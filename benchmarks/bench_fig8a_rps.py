@@ -1,0 +1,44 @@
+"""Figure 8a — average requests per second, DPU offload vs CPU baseline.
+
+Regenerates the figure's six bars from the datapath simulator (workload
+census measured on the real deserializer) and checks the paper's claims:
+the DPU matches the host's throughput, and the small-message scenario
+reaches ~9×10⁷ requests/second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import DatapathSimulator, Scenario
+from repro.workloads import SMALL
+
+
+def test_fig8a_rps(report, fig8_results, profiles, benchmark):
+    lines = [f"{'workload':<14} {'DPU offload':>14} {'CPU baseline':>14} {'DPU/CPU':>8}"]
+    for name in ("Small", "x512 Ints", "x8000 Chars"):
+        dpu = fig8_results[name, Scenario.DPU_OFFLOAD].requests_per_second
+        cpu = fig8_results[name, Scenario.CPU_BASELINE].requests_per_second
+        lines.append(f"{name:<14} {dpu:>14,.0f} {cpu:>14,.0f} {dpu / cpu:>8.2f}")
+    lines.append("paper: DPU matches host RPS; Small reaches ~9e7 req/s")
+    report("fig8a_rps", "\n".join(lines))
+
+    # Time one simulation cell as the benchmark payload.
+    benchmark.pedantic(
+        lambda: DatapathSimulator(profiles["Small"], Scenario.CPU_BASELINE).run(),
+        rounds=1,
+    )
+
+    for name in ("Small", "x512 Ints", "x8000 Chars"):
+        dpu = fig8_results[name, Scenario.DPU_OFFLOAD].requests_per_second
+        cpu = fig8_results[name, Scenario.CPU_BASELINE].requests_per_second
+        assert 0.75 <= dpu / cpu <= 1.35
+    assert 4e7 <= fig8_results["Small", Scenario.DPU_OFFLOAD].requests_per_second <= 1.5e8
+
+
+def test_fig8a_stability_protocol(fig8_results):
+    """§VI: each cell's monitor reached the 1%-stable regime before the
+    rates were collected."""
+    for result in fig8_results.values():
+        assert result.stable
+        assert len(result.samples) >= 3

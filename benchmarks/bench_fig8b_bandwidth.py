@@ -1,0 +1,52 @@
+"""Figure 8b — average PCIe bandwidth, DPU offload vs CPU baseline.
+
+The cost of offloading: deserialized objects occupy more bytes than their
+wire form, so the offloaded scenario pays more PCIe bandwidth — except
+for the nearly incompressible chars message, where both scenarios meet
+the link ceiling (~180 Gbps in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Scenario
+
+
+def test_fig8b_bandwidth(report, fig8_results, profiles, benchmark):
+    lines = [
+        f"{'workload':<14} {'DPU Gbps':>10} {'CPU Gbps':>10} "
+        f"{'inflation':>10} {'obj/wire':>9}"
+    ]
+    for name in ("Small", "x512 Ints", "x8000 Chars"):
+        dpu = fig8_results[name, Scenario.DPU_OFFLOAD].bandwidth_gbps
+        cpu = fig8_results[name, Scenario.CPU_BASELINE].bandwidth_gbps
+        ratio = profiles[name].compression_ratio
+        lines.append(
+            f"{name:<14} {dpu:>10.1f} {cpu:>10.1f} {dpu / cpu:>10.2f} {ratio:>9.2f}"
+        )
+    lines.append(
+        "paper: offload inflates bandwidth by the deserialized/serialized "
+        "ratio (minus protocol overhead effects); chars reach ~180 Gbps in both"
+    )
+    report("fig8b_bandwidth", "\n".join(lines))
+
+    def check():
+        small_dpu = fig8_results["Small", Scenario.DPU_OFFLOAD].bandwidth_gbps
+        small_cpu = fig8_results["Small", Scenario.CPU_BASELINE].bandwidth_gbps
+        chars_dpu = fig8_results["x8000 Chars", Scenario.DPU_OFFLOAD].bandwidth_gbps
+        chars_cpu = fig8_results["x8000 Chars", Scenario.CPU_BASELINE].bandwidth_gbps
+        assert small_dpu > 1.5 * small_cpu  # inflation for compressible messages
+        assert chars_dpu == pytest.approx(chars_cpu, rel=0.2)  # ~1.01x message
+        assert 150 <= chars_dpu <= 210  # the ~180 Gbps ceiling
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_fig8b_ints_bandwidth_roughly_doubles(fig8_results, benchmark):
+    """x512 Ints: varint compression ≈2.06× means offloading roughly
+    doubles the bytes on the link."""
+    dpu = fig8_results["x512 Ints", Scenario.DPU_OFFLOAD].bandwidth_gbps
+    cpu = fig8_results["x512 Ints", Scenario.CPU_BASELINE].bandwidth_gbps
+    benchmark.pedantic(lambda: dpu / cpu, rounds=1)
+    assert dpu / cpu == pytest.approx(2.06, rel=0.2)

@@ -1,0 +1,54 @@
+"""Figure 8c — host CPU usage, DPU offload vs CPU baseline.
+
+The paper's headline: offloading reduces host CPU usage by 1.8× (Small),
+8.0× (int array) and 1.53× (chars), freeing up to seven host cores for
+business logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Scenario
+
+PAPER_REDUCTIONS = {"Small": 1.8, "x512 Ints": 8.0, "x8000 Chars": 1.53}
+
+
+def test_fig8c_cpu_usage(report, fig8_results, benchmark):
+    lines = [
+        f"{'workload':<14} {'DPU host cores':>15} {'CPU host cores':>15} "
+        f"{'reduction':>10} {'paper':>7}"
+    ]
+    reductions = {}
+    for name in ("Small", "x512 Ints", "x8000 Chars"):
+        dpu = fig8_results[name, Scenario.DPU_OFFLOAD].host_cores_used
+        cpu = fig8_results[name, Scenario.CPU_BASELINE].host_cores_used
+        reductions[name] = cpu / dpu
+        lines.append(
+            f"{name:<14} {dpu:>15.2f} {cpu:>15.2f} "
+            f"{cpu / dpu:>9.2f}x {PAPER_REDUCTIONS[name]:>6.2f}x"
+        )
+    freed = (
+        fig8_results["x512 Ints", Scenario.CPU_BASELINE].host_cores_used
+        - fig8_results["x512 Ints", Scenario.DPU_OFFLOAD].host_cores_used
+    )
+    lines.append(f"host cores freed on the int workload: {freed:.1f} (paper: ~7)")
+    report("fig8c_cpu_usage", "\n".join(lines))
+
+    def check():
+        assert reductions["Small"] == pytest.approx(1.8, rel=0.25)
+        assert reductions["x512 Ints"] == pytest.approx(8.0, rel=0.25)
+        assert reductions["x8000 Chars"] == pytest.approx(1.53, rel=0.30)
+        assert freed == pytest.approx(7.0, abs=1.0)
+
+    benchmark.pedantic(check, rounds=1)
+
+
+def test_fig8c_dpu_absorbs_the_work(fig8_results, benchmark):
+    """The freed host cycles are not magic — the DPU pool carries them
+    (and saturates on the compute-bound int workload)."""
+    ints = fig8_results["x512 Ints", Scenario.DPU_OFFLOAD]
+    benchmark.pedantic(lambda: ints.dpu_cores_used, rounds=1)
+    assert ints.dpu_cores_used == pytest.approx(16.0, rel=0.05)
+    baseline = fig8_results["x512 Ints", Scenario.CPU_BASELINE]
+    assert baseline.dpu_cores_used == 0.0

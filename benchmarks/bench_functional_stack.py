@@ -1,0 +1,91 @@
+"""Implementation benchmarks of the functional stack (not a paper figure).
+
+Honest Python-level throughput of the pieces the figures are built from:
+the wire codec, the block protocol over simulated RDMA, and the complete
+offload datapath.  These are the regression numbers for *this* codebase;
+the paper-scale numbers come from the calibrated simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolConfig, Response, create_channel
+from repro.offload import create_offload_pair
+from repro.proto import parse, serialize
+from repro.workloads import WorkloadFactory
+
+CFG = ProtocolConfig(
+    block_size=8 * 1024,
+    block_alignment=1024,
+    credits=64,
+    send_buffer_size=1024 * 1024,
+    recv_buffer_size=1024 * 1024,
+    concurrency=512,
+)
+
+
+def test_bench_serialize_small(benchmark):
+    msg = WorkloadFactory().small()
+    benchmark.group = "codec"
+    benchmark(lambda: serialize(msg))
+
+
+def test_bench_reference_parse_small(benchmark):
+    f = WorkloadFactory()
+    msg = f.small()
+    wire = serialize(msg)
+    cls = type(msg)
+    benchmark.group = "codec"
+    benchmark(lambda: parse(cls, wire))
+
+
+@pytest.mark.parametrize("batch", [1, 64])
+def test_bench_protocol_roundtrip(benchmark, batch):
+    """Request/response round trips through the full protocol stack
+    (blocks, credits, IDs, simulated RDMA)."""
+    ch = create_channel(CFG, CFG)
+    ch.server.register(1, lambda req: Response.empty())
+    payload = b"x" * 15
+
+    def run():
+        done = []
+        for _ in range(batch):
+            ch.client.enqueue_bytes(1, payload, lambda v, f: done.append(1))
+        while len(done) < batch:
+            ch.client.progress()
+            ch.server.progress()
+
+    benchmark.group = "protocol"
+    benchmark(run)
+
+
+def test_bench_offloaded_call(benchmark):
+    """One full offloaded RPC: serialize -> DPU arena-deserialize into the
+    block -> host view -> response."""
+    from repro.proto import compile_schema
+
+    schema = compile_schema(
+        'syntax = "proto3"; package b;'
+        "message Req { uint32 id = 1; string s = 2; repeated uint32 v = 3; }"
+        "message Rsp { uint32 ok = 1; }"
+    )
+    Rsp = schema["b.Rsp"]
+    pair = create_offload_pair(
+        schema,
+        [(1, "b.Req", lambda view, req: Rsp(ok=view.id))],
+        client_config=CFG,
+        server_config=CFG,
+    )
+    Req = schema["b.Req"]
+    wire = serialize(Req(id=3, s="hello", v=[1, 2, 3]))
+
+    def run():
+        done = []
+        pair.dpu.call(1, wire, lambda v, f: done.append(1))
+        while not done:
+            pair.dpu.progress()
+            pair.host.progress()
+
+    benchmark.group = "offload"
+    benchmark(run)

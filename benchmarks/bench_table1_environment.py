@@ -1,0 +1,30 @@
+"""Table I — environment and configuration parameters.
+
+Regenerates the table from the machine-readable environment description
+and benchmarks the cost of standing up one fully wired RPC-over-RDMA
+channel with the paper's buffer sizes (the per-connection setup cost the
+many-to-one-to-one model amortizes, §III-C).
+"""
+
+from __future__ import annotations
+
+from repro.core import create_channel
+from repro.sim import PAPER_ENVIRONMENT, render_table1
+
+
+def test_table1_render(report, benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1)
+    report("table1_environment", text)
+    env = PAPER_ENVIRONMENT
+    assert env.client.cores == 16
+    assert env.server.cores == 64
+    assert env.client_config.credits == 256
+    assert env.client_config.block_size == 8 * 1024
+    assert env.client_config.concurrency == 1024
+    assert "BlueField-3" in text
+
+
+def test_bench_channel_setup(benchmark):
+    """Time to build one connection's full resource stack (mirrored
+    buffers, PDs/MRs/QPs/CQs, endpoints) at Table-I sizes."""
+    benchmark(create_channel)

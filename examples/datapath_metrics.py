@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation (§VI) from the command line.
+
+Prints Table I, the Figure 7 model curves, and the six Figure 8 cells
+(RPS / PCIe bandwidth / host CPU usage), with the Prometheus-style
+monitor's stability verdicts — the same pipeline the benchmarks assert
+against, packaged for eyeballing.
+
+Run:  python examples/datapath_metrics.py
+"""
+
+from repro.sim import (
+    DEFAULT_COST_MODEL,
+    Core,
+    DatapathSimulator,
+    Scenario,
+    WorkloadProfile,
+    render_table1,
+)
+from repro.workloads import SMALL, X512_INTS, X8000_CHARS
+
+
+def main() -> None:
+    print("=" * 66)
+    print("Table I — environment & configuration")
+    print("=" * 66)
+    print(render_table1())
+
+    print()
+    print("=" * 66)
+    print("Figure 7 — single-message deserialization time (modeled ns)")
+    print("=" * 66)
+    m = DEFAULT_COST_MODEL
+    print(f"{'n':>6} {'int CPU':>10} {'int DPU':>10} {'char CPU':>10} {'char DPU':>10}")
+    for n in (1, 16, 256, 4096):
+        print(
+            f"{n:>6} {m.int_array_ns(n, Core.HOST_X86):>10.1f} "
+            f"{m.int_array_ns(n, Core.DPU_ARM):>10.1f} "
+            f"{m.char_array_ns(n, Core.HOST_X86):>10.1f} "
+            f"{m.char_array_ns(n, Core.DPU_ARM):>10.1f}"
+        )
+
+    print()
+    print("=" * 66)
+    print("Figure 8 — RPC datapath (simulated; census from real deserializer)")
+    print("=" * 66)
+    for spec in (SMALL, X512_INTS, X8000_CHARS):
+        profile = WorkloadProfile.measure(spec)
+        print(
+            f"\n{spec.name}: wire {profile.serialized_size} B -> object "
+            f"{profile.object_size} B (x{profile.compression_ratio:.2f})"
+        )
+        results = {}
+        for scenario in Scenario:
+            result = DatapathSimulator(profile, scenario).run()
+            results[scenario] = result
+            tail = [f"{rate:,.0f}" for _, rate in result.samples[-3:]]
+            print(f"  {result.summary()}")
+            print(
+                f"       monitor: stable={result.stable} "
+                f"(last rates: {', '.join(tail)} req/s)"
+            )
+        dpu, cpu = results[Scenario.DPU_OFFLOAD], results[Scenario.CPU_BASELINE]
+        print(
+            f"       offload effect: RPS x{dpu.requests_per_second / cpu.requests_per_second:.2f}, "
+            f"PCIe x{dpu.bandwidth_gbps / cpu.bandwidth_gbps:.2f}, "
+            f"host CPU /{cpu.host_cores_used / dpu.host_cores_used:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

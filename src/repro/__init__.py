@@ -1,0 +1,34 @@
+"""repro — reproduction of "Protocol Buffer Deserialization DPU Offloading
+in the RPC Datapath" (SC 2024).
+
+The package implements the paper's full system in Python:
+
+* :mod:`repro.proto` — proto3 parser, descriptors, dynamic messages,
+  reference wire codec (the protobuf substrate).
+* :mod:`repro.abi` — byte-accurate C++ object-layout model (Itanium ABI,
+  libstdc++/libc++ ``std::string`` with SSO, vptr, default instances) and
+  the binary-compatibility checker.
+* :mod:`repro.memory` — 64-bit virtual address space, pinned regions,
+  mirrored host/DPU buffers, VMA-style offset allocator, arenas.
+* :mod:`repro.rdma` — simulated RDMA verbs (PD/MR/QP/CQ, reliable
+  connection, WRITE_WITH_IMM) over an in-process fabric.
+* :mod:`repro.core` — the paper's RPC-over-RDMA protocol: block codec,
+  credit-based congestion control, ack/recycle, request-ID pool, client and
+  server endpoints.
+* :mod:`repro.offload` — the deserialization offload layer: Accelerator
+  Description Table, the arena-based protobuf deserializer that emits
+  host-ABI objects, the host-side zero-copy materializer, and the DPU
+  offload engine.
+* :mod:`repro.xrpc` — the gRPC-like front end (xRPC) plus the host
+  compatibility layer.
+* :mod:`repro.sim` — discrete-event datapath simulator with the calibrated
+  CPU/DPU/PCIe cost model used to regenerate the paper's figures.
+* :mod:`repro.metrics` — Prometheus-style metrics with stability detection.
+* :mod:`repro.workloads` — the paper's synthetic messages (Small,
+  x512 Ints, x8000 Chars) and generators.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

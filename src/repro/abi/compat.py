@@ -1,0 +1,109 @@
+"""Binary-compatibility checking between two programs' ABIs.
+
+Implements the paper's compatibility definition (§V-A): a type ``T`` is
+binary-compatible between two programs iff, recursively for every field
+``f``, ``sizeof(T)``, ``alignof(T)`` and ``offsetof(T, f)`` evaluate to the
+same values in both.  The offload architecture *assumes* compatibility; the
+checker turns the assumption into a verified precondition exchanged at
+ADT-transfer time, so an incompatible pairing (say, host on libstdc++ and
+a stale DPU build expecting libc++) fails at startup instead of corrupting
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.proto.descriptor import MessageDescriptor
+
+from .cpp_types import AbiConfig
+from .layout import LayoutCache
+
+__all__ = ["Incompatibility", "CompatReport", "check_compatibility"]
+
+
+@dataclass(frozen=True)
+class Incompatibility:
+    """One detected layout divergence."""
+
+    type_name: str
+    kind: str  # "sizeof" | "alignof" | "offsetof" | "flags" | "string-layout"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.type_name}: {self.kind} mismatch ({self.detail})"
+
+
+@dataclass
+class CompatReport:
+    """Result of a compatibility check over a message tree."""
+
+    client_abi: AbiConfig
+    server_abi: AbiConfig
+    incompatibilities: list[Incompatibility]
+    types_checked: int
+
+    @property
+    def compatible(self) -> bool:
+        return not self.incompatibilities
+
+    def raise_if_incompatible(self) -> None:
+        if not self.compatible:
+            lines = "\n  ".join(str(i) for i in self.incompatibilities)
+            raise RuntimeError(
+                f"ABIs are not binary-compatible "
+                f"({self.client_abi.describe()} vs {self.server_abi.describe()}):\n  {lines}"
+            )
+
+
+def check_compatibility(
+    root: MessageDescriptor, client_abi: AbiConfig, server_abi: AbiConfig
+) -> CompatReport:
+    """Compare the layouts of ``root`` and all reachable message types
+    under the two ABIs; returns a :class:`CompatReport`."""
+    problems: list[Incompatibility] = []
+
+    if client_abi.abi_flags != server_abi.abi_flags:
+        problems.append(
+            Incompatibility(
+                "<build>",
+                "flags",
+                f"{sorted(client_abi.abi_flags)} vs {sorted(server_abi.abi_flags)}",
+            )
+        )
+
+    client_cache = LayoutCache(client_abi)
+    server_cache = LayoutCache(server_abi)
+    messages = root.transitive_messages()
+    for desc in messages:
+        cl = client_cache.layout(desc)
+        sl = server_cache.layout(desc)
+        if cl.sizeof != sl.sizeof:
+            problems.append(
+                Incompatibility(desc.full_name, "sizeof", f"{cl.sizeof} vs {sl.sizeof}")
+            )
+        if cl.alignof != sl.alignof:
+            problems.append(
+                Incompatibility(desc.full_name, "alignof", f"{cl.alignof} vs {sl.alignof}")
+            )
+        for cslot, sslot in zip(cl.slots, sl.slots):
+            if cslot.offset != sslot.offset or cslot.size != sslot.size:
+                problems.append(
+                    Incompatibility(
+                        desc.full_name,
+                        "offsetof",
+                        f"{cslot.field.name}: offset {cslot.offset}/{sslot.offset}, "
+                        f"size {cslot.size}/{sslot.size}",
+                    )
+                )
+    # std::string internals must match even if overall sizes happened to
+    # coincide (the SSO discriminators differ between implementations).
+    if client_abi.stdlib != server_abi.stdlib:
+        problems.append(
+            Incompatibility(
+                "std::string",
+                "string-layout",
+                f"{client_abi.stdlib.value} vs {server_abi.stdlib.value}",
+            )
+        )
+    return CompatReport(client_abi, server_abi, problems, len(messages))

@@ -1,0 +1,299 @@
+"""C++ type and ABI configuration model.
+
+The offloaded deserializer writes bytes that a C++ program on the host will
+interpret as live objects, so the DPU must know — exactly — the host's
+sizes, alignments, field offsets and standard-library internals (paper
+§V-A).  This module models those:
+
+* :class:`AbiConfig` — the (architecture, compiler, standard library)
+  triple the binary-compatibility argument quantifies over;
+* the primitive type table (Itanium/LP64 sizes and alignments, identical on
+  x86-64 and AArch64, which is *why* the offload is possible);
+* the two ``std::string`` implementations the paper discusses (Figure 6):
+  libstdc++ (32 bytes, pointer/size/union{sso[16], capacity}) and libc++
+  (24 bytes, SSO flag in the low bit of the first byte), both with
+  small-string optimization;
+* the repeated-field headers (pointer/size/capacity) used for
+  ``repeated`` members.
+
+Byte order is little-endian throughout (§IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AbiError",
+    "Arch",
+    "Compiler",
+    "StdLib",
+    "AbiConfig",
+    "PrimitiveType",
+    "PRIMITIVES",
+    "StringLayout",
+    "LibstdcxxString",
+    "LibcxxString",
+    "string_layout_for",
+    "RepeatedHeader",
+    "POINTER_SIZE",
+]
+
+POINTER_SIZE = 8  # LP64 on both x86-64 and AArch64
+
+
+class AbiError(RuntimeError):
+    """Raised on ABI-model violations (bad layouts, invalid object bytes)."""
+
+
+class Arch(enum.Enum):
+    X86_64 = "x86_64"
+    AARCH64 = "aarch64"
+
+
+class Compiler(enum.Enum):
+    GCC = "gcc"
+    CLANG = "clang"
+
+
+class StdLib(enum.Enum):
+    LIBSTDCXX = "libstdc++"
+    LIBCXX = "libc++"
+
+
+@dataclass(frozen=True)
+class AbiConfig:
+    """One program's ABI-relevant build configuration.
+
+    The paper's deployment pairs an AArch64 client (DPU) with an x86-64
+    host, both on the Itanium C++ ABI with LP64 data layout, gcc or clang,
+    and the *same* standard library — that combination is binary-compatible
+    for message classes.  The checker in :mod:`repro.abi.compat` verifies
+    compatibility instead of assuming it.
+    """
+
+    arch: Arch = Arch.X86_64
+    compiler: Compiler = Compiler.GCC
+    stdlib: StdLib = StdLib.LIBSTDCXX
+    #: Compiler flags that alter layout (e.g. -fpack-struct, -m32) would
+    #: break compatibility; we model them as an opaque frozenset the
+    #: checker compares for equality (paper: "Compiler flags that affect
+    #: the ABI should be the same").
+    abi_flags: frozenset[str] = field(default_factory=frozenset)
+
+    def describe(self) -> str:
+        flags = " ".join(sorted(self.abi_flags)) or "-"
+        return f"{self.arch.value}/{self.compiler.value}/{self.stdlib.value} [{flags}]"
+
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    """A scalar C++ type with its LP64 size/alignment and struct codec."""
+
+    name: str
+    size: int
+    align: int
+    fmt: str  # struct format (little-endian applied by callers)
+
+    def pack(self, value) -> bytes:
+        return struct.pack("<" + self.fmt, value)
+
+    def unpack(self, data) -> object:
+        return struct.unpack("<" + self.fmt, bytes(data))[0]
+
+
+PRIMITIVES: dict[str, PrimitiveType] = {
+    t.name: t
+    for t in [
+        PrimitiveType("bool", 1, 1, "?"),
+        PrimitiveType("int32", 4, 4, "i"),
+        PrimitiveType("uint32", 4, 4, "I"),
+        PrimitiveType("int64", 8, 8, "q"),
+        PrimitiveType("uint64", 8, 8, "Q"),
+        PrimitiveType("float", 4, 4, "f"),
+        PrimitiveType("double", 8, 8, "d"),
+        PrimitiveType("pointer", 8, 8, "Q"),
+    ]
+}
+
+
+# ---------------------------------------------------------------------------
+# std::string layouts
+# ---------------------------------------------------------------------------
+
+
+class StringLayout:
+    """Abstract ``std::string`` layout: craft and inspect instances.
+
+    Subclasses implement the two real-world layouts.  ``write`` crafts a
+    string object at ``addr`` whose character data (when not inlined by
+    SSO) lives at ``data_addr``; ``read`` does the inverse, resolving the
+    data pointer through the provided address space — exactly what host
+    code dereferencing the string does.
+    """
+
+    size: int
+    align: int = 8
+    sso_capacity: int
+
+    def write(self, space, addr: int, data: bytes, data_addr: int | None) -> None:
+        raise NotImplementedError
+
+    def read(self, space, addr: int) -> bytes:
+        raise NotImplementedError
+
+    def is_sso(self, space, addr: int) -> bool:
+        raise NotImplementedError
+
+    def heap_bytes_needed(self, length: int) -> int:
+        """Out-of-line bytes the deserializer must arena-allocate for a
+        string of ``length`` bytes (0 when SSO applies).  Includes the
+        terminating NUL real std::string maintains."""
+        return 0 if length <= self.sso_capacity else length + 1
+
+
+class LibstdcxxString(StringLayout):
+    """libstdc++ ``std::string`` (paper Figure 6)::
+
+        char*  data;        // offset 0
+        size_t size;        // offset 8
+        union {             // offset 16
+            char   sso[16]; // inline buffer, capacity 15 + NUL
+            size_t capacity;
+        };
+
+    SSO discriminator: ``data == &sso`` (pointer equality with the
+    object's own inline buffer).
+    """
+
+    size = 32
+    sso_capacity = 15
+    _SSO_OFF = 16
+
+    def write(self, space, addr: int, data: bytes, data_addr: int | None) -> None:
+        n = len(data)
+        if n <= self.sso_capacity:
+            sso_addr = addr + self._SSO_OFF
+            space.write_u64(addr, sso_addr)
+            space.write_u64(addr + 8, n)
+            space.write(sso_addr, data + b"\x00" * (16 - n))
+        else:
+            if data_addr is None:
+                raise AbiError("long string requires out-of-line data address")
+            space.write(data_addr, data + b"\x00")
+            space.write_u64(addr, data_addr)
+            space.write_u64(addr + 8, n)
+            space.write_u64(addr + self._SSO_OFF, n)  # capacity == size
+            space.write_u64(addr + self._SSO_OFF + 8, 0)
+
+    def is_sso(self, space, addr: int) -> bool:
+        return space.read_u64(addr) == addr + self._SSO_OFF
+
+    def read(self, space, addr: int) -> bytes:
+        data_ptr = space.read_u64(addr)
+        n = space.read_u64(addr + 8)
+        if n == 0:
+            # Zero-length reads never dereference the data pointer.  This
+            # matters across sides: an unset field's pointer references the
+            # *remote* default instance's SSO buffer, valid there but not
+            # mapped here.
+            return b""
+        if self.is_sso(space, addr):
+            if n > self.sso_capacity:
+                raise AbiError(f"SSO string claims size {n} > {self.sso_capacity}")
+            return space.read(addr + self._SSO_OFF, n)
+        # Out-of-line: dereference through the (shared) address space —
+        # this is the read a host-side field access performs.
+        return space.read(data_ptr, n)
+
+
+class LibcxxString(StringLayout):
+    """libc++ ``std::string`` (little-endian, 64-bit)::
+
+        long form  (24 bytes): size_t cap|1;  size_t size;  char* data;
+        short form (24 bytes): uint8 size<<1; char sso[23];
+
+    The discriminator is the low bit of byte 0 (the paper: "an SSO flag in
+    the first bit of the capacity field"): 1 → long form, 0 → short form.
+    """
+
+    size = 24
+    sso_capacity = 22
+
+    def write(self, space, addr: int, data: bytes, data_addr: int | None) -> None:
+        n = len(data)
+        if n <= self.sso_capacity:
+            space.write(addr, bytes([n << 1]) + data + b"\x00" * (23 - n))
+        else:
+            if data_addr is None:
+                raise AbiError("long string requires out-of-line data address")
+            space.write(data_addr, data + b"\x00")
+            cap = (n + 1) | 1  # stored capacity with long-form flag
+            space.write_u64(addr, cap)
+            space.write_u64(addr + 8, n)
+            space.write_u64(addr + 16, data_addr)
+
+    def is_sso(self, space, addr: int) -> bool:
+        return (space.read(addr, 1)[0] & 1) == 0
+
+    def read(self, space, addr: int) -> bytes:
+        if self.is_sso(space, addr):
+            n = space.read(addr, 1)[0] >> 1
+            if n > self.sso_capacity:
+                raise AbiError(f"SSO string claims size {n} > {self.sso_capacity}")
+            return space.read(addr + 1, n)
+        n = space.read_u64(addr + 8)
+        if n == 0:
+            return b""
+        data_ptr = space.read_u64(addr + 16)
+        return space.read(data_ptr, n)
+
+
+_STRING_LAYOUTS = {
+    StdLib.LIBSTDCXX: LibstdcxxString(),
+    StdLib.LIBCXX: LibcxxString(),
+}
+
+
+def string_layout_for(abi: AbiConfig) -> StringLayout:
+    """The ``std::string`` layout the given program uses.
+
+    Which standard library the *host* runs cannot be inferred by the DPU —
+    it is transmitted explicitly as part of the ADT (paper §V-C), which is
+    why this is a function of the config rather than a global.
+    """
+    return _STRING_LAYOUTS[abi.stdlib]
+
+
+@dataclass(frozen=True)
+class RepeatedHeader:
+    """In-object header of a repeated field::
+
+        T*       elements;  // offset 0, arena-allocated element storage
+        uint32_t size;      // offset 8
+        uint32_t capacity;  // offset 12
+
+    Element storage is a dense array for scalar element types and an array
+    of pointers for string/message element types (RepeatedPtrField analog).
+    """
+
+    size: int = 16
+    align: int = 8
+
+    def write(self, space, addr: int, elements_addr: int, count: int) -> None:
+        space.write_u64(addr, elements_addr)
+        space.write_u32(addr + 8, count)
+        space.write_u32(addr + 12, count)
+
+    def read(self, space, addr: int) -> tuple[int, int, int]:
+        """Returns (elements_addr, size, capacity)."""
+        return (
+            space.read_u64(addr),
+            space.read_u32(addr + 8),
+            space.read_u32(addr + 12),
+        )
+
+
+REPEATED_HEADER = RepeatedHeader()

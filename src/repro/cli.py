@@ -1,0 +1,153 @@
+"""Command-line interface: regenerate the paper's results and run the
+code generator from a shell.
+
+::
+
+    python -m repro table1                     # Table I
+    python -m repro fig7                       # Fig. 7 model curves
+    python -m repro fig8 [--workload NAME]     # Fig. 8 datapath cells
+    python -m repro workloads                  # message size accounting
+    python -m repro protoc FILE [--adt] [-o DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> int:
+    from repro.sim import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.sim import DEFAULT_COST_MODEL, Core
+
+    m = DEFAULT_COST_MODEL
+    counts = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+    print(f"{'n':>6} {'int CPU ns':>11} {'int DPU ns':>11} {'char CPU ns':>12} {'char DPU ns':>12}")
+    for n in counts:
+        print(
+            f"{n:>6} {m.int_array_ns(n, Core.HOST_X86):>11.1f} "
+            f"{m.int_array_ns(n, Core.DPU_ARM):>11.1f} "
+            f"{m.char_array_ns(n, Core.HOST_X86):>12.1f} "
+            f"{m.char_array_ns(n, Core.DPU_ARM):>12.1f}"
+        )
+    return 0
+
+
+_WORKLOADS = None
+
+
+def _workload_map():
+    global _WORKLOADS
+    if _WORKLOADS is None:
+        from repro.workloads import SMALL, X128_INTS, X512_INTS, X8000_CHARS
+
+        _WORKLOADS = {
+            "small": SMALL,
+            "ints": X512_INTS,
+            "ints128": X128_INTS,
+            "chars": X8000_CHARS,
+        }
+    return _WORKLOADS
+
+
+def _cmd_fig8(args) -> int:
+    from repro.sim import DatapathSimulator, Scenario, WorkloadProfile
+
+    profiles = []
+    if args.mix:
+        from repro.workloads import FLEET_MIX
+
+        profiles.append(WorkloadProfile.measure_mix(FLEET_MIX))
+    else:
+        names = [args.workload] if args.workload else ["small", "ints", "chars"]
+        profiles.extend(WorkloadProfile.measure(_workload_map()[n]) for n in names)
+    for profile in profiles:
+        print(
+            f"{profile.spec.name}: wire {profile.serialized_size} B -> "
+            f"object {profile.object_size} B"
+        )
+        for scenario in Scenario:
+            result = DatapathSimulator(profile, scenario).run()
+            print(
+                f"  {result.summary()}  "
+                f"[p50={result.latency_p50_s * 1e6:.0f}us stable={result.stable}]"
+            )
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from repro.sim import WorkloadProfile
+
+    print(f"{'workload':<14} {'wire B':>8} {'object B':>9} {'obj/wire':>9} "
+          f"{'varints':>8} {'utf8 B':>8}")
+    for spec in _workload_map().values():
+        p = WorkloadProfile.measure(spec)
+        print(
+            f"{p.spec.name:<14} {p.serialized_size:>8} {p.object_size:>9} "
+            f"{p.compression_ratio:>9.2f} {p.stats.varints_decoded:>8} "
+            f"{p.stats.utf8_bytes_validated:>8}"
+        )
+    return 0
+
+
+def _cmd_protoc(args) -> int:
+    from repro.proto.codegen import protoc
+
+    path = pathlib.Path(args.file)
+    source = path.read_text()
+    artifacts = protoc(source, path.name, with_adt=args.adt)
+    stem = path.stem
+    outdir = pathlib.Path(args.output) if args.output else path.parent
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for kind, text in artifacts.items():
+        out_path = outdir / f"{stem}_{kind}.py"
+        out_path.write_text(text)
+        written.append(str(out_path))
+    print("\n".join(written))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Protocol Buffer Deserialization DPU "
+        "Offloading in the RPC Datapath' (SC 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(fn=_cmd_table1)
+    sub.add_parser("fig7", help="print the Fig. 7 model curves").set_defaults(fn=_cmd_fig7)
+
+    fig8 = sub.add_parser("fig8", help="run the Fig. 8 datapath cells")
+    fig8.add_argument("--workload", choices=["small", "ints", "ints128", "chars"])
+    fig8.add_argument("--mix", action="store_true",
+                      help="run the fleet-shaped traffic mix instead")
+    fig8.set_defaults(fn=_cmd_fig8)
+
+    sub.add_parser("workloads", help="message size accounting").set_defaults(
+        fn=_cmd_workloads
+    )
+
+    pc = sub.add_parser("protoc", help="compile a .proto file to Python modules")
+    pc.add_argument("file", help=".proto source file")
+    pc.add_argument("--adt", action="store_true",
+                    help="also run the ADT plugin (.adt.pb analog)")
+    pc.add_argument("-o", "--output", help="output directory (default: alongside input)")
+    pc.set_defaults(fn=_cmd_protoc)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

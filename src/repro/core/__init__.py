@@ -1,0 +1,72 @@
+"""The paper's primary contribution: the RPC-over-RDMA protocol.
+
+Block-based wire format with Nagle-style batching (§IV), credit-based
+congestion control (§IV-C), implicit acknowledgment and memory recycling
+(§IV-B), deterministic request-ID synchronization (§IV-D), and the
+client/server endpoints with callback/continuation APIs (§III-D).
+"""
+
+from .channel import AddressPlanner, Channel, RpcServer, create_channel
+from .config import CLIENT_DEFAULTS, SERVER_DEFAULTS, ProtocolConfig
+from .credits import CreditError, CreditManager
+from .endpoint import (
+    ClientEndpoint,
+    EndpointStats,
+    IncomingRequest,
+    ProtocolError,
+    Response,
+    ServerEndpoint,
+)
+from .executor import DeferredExecutor, InlineExecutor, WorkerPool
+from .idpool import IdPoolError, RequestIdPool
+from .tracing import describe_flags, dissect_block, hexdump
+from .wire import (
+    HEADER_SIZE,
+    PAYLOAD_ALIGN,
+    PREAMBLE_SIZE,
+    BlockFormatError,
+    BlockReader,
+    BlockWriter,
+    Flags,
+    MessageHeader,
+    Preamble,
+    bucket_to_offset,
+    offset_to_bucket,
+)
+
+__all__ = [
+    "AddressPlanner",
+    "Channel",
+    "RpcServer",
+    "create_channel",
+    "CLIENT_DEFAULTS",
+    "SERVER_DEFAULTS",
+    "ProtocolConfig",
+    "CreditError",
+    "CreditManager",
+    "ClientEndpoint",
+    "EndpointStats",
+    "IncomingRequest",
+    "ProtocolError",
+    "Response",
+    "ServerEndpoint",
+    "IdPoolError",
+    "RequestIdPool",
+    "DeferredExecutor",
+    "InlineExecutor",
+    "WorkerPool",
+    "describe_flags",
+    "dissect_block",
+    "hexdump",
+    "HEADER_SIZE",
+    "PAYLOAD_ALIGN",
+    "PREAMBLE_SIZE",
+    "BlockFormatError",
+    "BlockReader",
+    "BlockWriter",
+    "Flags",
+    "MessageHeader",
+    "Preamble",
+    "bucket_to_offset",
+    "offset_to_bucket",
+]

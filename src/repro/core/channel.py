@@ -1,0 +1,195 @@
+"""Channel factory: wires a client/server endpoint pair over the fabric.
+
+Builds the full resource stack for one RPC-over-RDMA connection —
+address-space carving with mirrored buffers (Figure 2), protection
+domains, registered memory, queue pairs, completion queues — and returns
+the connected :class:`~repro.core.endpoint.ClientEndpoint` /
+:class:`~repro.core.endpoint.ServerEndpoint` pair.
+
+The mirroring contract it establishes:
+
+* the client's SBuf and the server's RBuf occupy the *same* virtual
+  address range (each with its own backing store);
+* likewise the server's SBuf and the client's RBuf;
+* therefore any pointer the client writes inside a block payload is valid
+  verbatim on the server (§III-B) — the property the offloaded
+  deserializer depends on.
+
+:class:`RpcServer` bundles several server endpoints behind one progress
+loop, the "a single poller can share multiple connections on the server
+side" arrangement of §III-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory import AddressSpace, MemoryRegion
+from repro.rdma import (
+    Access,
+    CompletionChannel,
+    CompletionQueue,
+    Fabric,
+    ProtectionDomain,
+    QueuePair,
+)
+
+from .config import CLIENT_DEFAULTS, SERVER_DEFAULTS, ProtocolConfig
+from .endpoint import ClientEndpoint, ServerEndpoint
+
+__all__ = ["AddressPlanner", "Channel", "RpcServer", "create_channel"]
+
+
+class AddressPlanner:
+    """Hands out disjoint virtual address ranges for buffer pairs.
+
+    One planner per simulated deployment keeps every mirrored range
+    unique, so a host that serves many connections maps them all without
+    overlap — as the real host does with distinct pinned allocations.
+    """
+
+    def __init__(self, start: int = 0x1000_0000, alignment: int = 1 << 20) -> None:
+        self._cursor = start
+        self._alignment = alignment
+
+    def take(self, size: int) -> int:
+        base = self._cursor
+        self._cursor += -(-size // self._alignment) * self._alignment
+        return base
+
+
+@dataclass
+class Channel:
+    """Everything belonging to one connected client/server pair."""
+
+    fabric: Fabric
+    client: ClientEndpoint
+    server: ServerEndpoint
+    client_space: AddressSpace
+    server_space: AddressSpace
+
+    def progress(self, iterations: int = 1) -> None:
+        """Convenience: advance both sides."""
+        for _ in range(iterations):
+            self.client.progress()
+            self.server.progress()
+
+
+def create_channel(
+    client_config: ProtocolConfig = CLIENT_DEFAULTS,
+    server_config: ProtocolConfig = SERVER_DEFAULTS,
+    fabric: Fabric | None = None,
+    planner: AddressPlanner | None = None,
+    client_space: AddressSpace | None = None,
+    server_space: AddressSpace | None = None,
+    name: str = "chan",
+    background_executor=None,
+) -> Channel:
+    """Create and connect one RPC-over-RDMA channel.
+
+    Pass existing spaces to add a connection to an existing side (the
+    multi-connection server case); a fresh space is created otherwise.
+    """
+    if client_config.block_alignment != server_config.block_alignment:
+        raise ValueError("both sides must agree on block alignment")
+    if client_config.recv_buffer_size < server_config.send_buffer_size:
+        raise ValueError("client RBuf must cover the server SBuf it mirrors")
+    if server_config.recv_buffer_size < client_config.send_buffer_size:
+        raise ValueError("server RBuf must cover the client SBuf it mirrors")
+
+    fabric = fabric or Fabric()
+    planner = planner or AddressPlanner()
+    client_space = client_space or AddressSpace(f"{name}.client")
+    server_space = server_space or AddressSpace(f"{name}.server")
+
+    c2s_base = planner.take(client_config.send_buffer_size)
+    s2c_base = planner.take(server_config.send_buffer_size)
+
+    client_sbuf = client_space.map(
+        MemoryRegion(c2s_base, client_config.send_buffer_size, f"{name}.client.sbuf")
+    )
+    server_rbuf = server_space.map(
+        MemoryRegion(c2s_base, client_config.send_buffer_size, f"{name}.server.rbuf")
+    )
+    server_sbuf = server_space.map(
+        MemoryRegion(s2c_base, server_config.send_buffer_size, f"{name}.server.sbuf")
+    )
+    client_rbuf = client_space.map(
+        MemoryRegion(s2c_base, server_config.send_buffer_size, f"{name}.client.rbuf")
+    )
+
+    client_pd = ProtectionDomain(client_space, f"{name}.client.pd")
+    server_pd = ProtectionDomain(server_space, f"{name}.server.pd")
+    client_pd.register_memory(client_sbuf, Access.LOCAL_READ | Access.LOCAL_WRITE)
+    client_pd.register_memory(
+        client_rbuf, Access.LOCAL_READ | Access.LOCAL_WRITE | Access.REMOTE_WRITE
+    )
+    server_pd.register_memory(server_sbuf, Access.LOCAL_READ | Access.LOCAL_WRITE)
+    server_pd.register_memory(
+        server_rbuf, Access.LOCAL_READ | Access.LOCAL_WRITE | Access.REMOTE_WRITE
+    )
+
+    # CQ capacity must exceed everything that can complete at once:
+    # receives bounded by the peer's credits, sends by ours.
+    client_cq = CompletionQueue(
+        capacity=2 * (client_config.credits + server_config.credits) + 64,
+        name=f"{name}.client.cq",
+        channel=CompletionChannel(),
+    )
+    server_cq = CompletionQueue(
+        capacity=2 * (client_config.credits + server_config.credits) + 64,
+        name=f"{name}.server.cq",
+        channel=CompletionChannel(),
+    )
+
+    client_qp = QueuePair(
+        client_pd, client_cq, client_cq,
+        max_recv_wr=server_config.credits + 16, name=f"{name}.client.qp",
+    )
+    server_qp = QueuePair(
+        server_pd, server_cq, server_cq,
+        max_recv_wr=client_config.credits + 16, name=f"{name}.server.qp",
+    )
+    fabric.connect(client_qp, server_qp)
+
+    client = ClientEndpoint(
+        f"{name}.client", client_space, client_qp, client_cq,
+        client_sbuf, client_rbuf, client_config,
+        remote_block_alignment=server_config.block_alignment,
+        recv_slots=server_config.credits,
+    )
+    server = ServerEndpoint(
+        f"{name}.server", server_space, server_qp, server_cq,
+        server_sbuf, server_rbuf, server_config,
+        remote_block_alignment=client_config.block_alignment,
+        recv_slots=client_config.credits,
+        background_executor=background_executor,
+    )
+    return Channel(fabric, client, server, client_space, server_space)
+
+
+class RpcServer:
+    """A host-side poller serving several connections (§III-C: many
+    connections, one poller, shared handler table)."""
+
+    def __init__(self) -> None:
+        self._endpoints: list[ServerEndpoint] = []
+        self._handlers: list[tuple[int, object]] = []
+
+    def attach(self, endpoint: ServerEndpoint) -> None:
+        for method_id, handler in self._handlers:
+            endpoint.register(method_id, handler)
+        self._endpoints.append(endpoint)
+
+    def register(self, method_id: int, handler) -> None:
+        """Register on all current and future connections."""
+        self._handlers.append((method_id, handler))
+        for ep in self._endpoints:
+            ep.register(method_id, handler)
+
+    def progress(self) -> int:
+        return sum(ep.progress() for ep in self._endpoints)
+
+    @property
+    def endpoints(self) -> list[ServerEndpoint]:
+        return list(self._endpoints)

@@ -1,0 +1,738 @@
+"""RPC-over-RDMA client and server endpoints (§III–IV).
+
+The client (DPU side) enqueues requests; the server (host side) dispatches
+them to registered callbacks and returns responses.  Both sides move data
+exclusively as *blocks* written into the peer's mirrored receive buffer by
+``RDMA WRITE_WITH_IMM``, with the block bucket in the immediate data.
+
+The full protocol state machine implemented here:
+
+* Nagle-style batching — messages accumulate in an open block; the block
+  is sent when it reaches ``block_size`` or when the event loop flushes a
+  partial block (low-workload latency bound, §IV).
+* Credit-based congestion control — one credit per block in flight;
+  sealed blocks queue when credits run out (§IV-C).
+* Implicit acknowledgment & memory recycling (§IV-B) —
+
+  - the *server* acknowledges request blocks by answering their requests;
+    the client releases a request block (and its credit) once every
+    request in it is answered;
+  - the *client* acknowledges response blocks through a counter in the
+    preamble of its next request block; the server releases that many of
+    its oldest outstanding response blocks (and credits).
+
+* Deterministic request-ID synchronization (§IV-D) — IDs never travel
+  with requests.  On sending a block the client first frees the IDs
+  answered by the response blocks it is acknowledging, then allocates IDs
+  for the block's messages; the server replays exactly the same two steps
+  when the block arrives.  The reliable connection makes the two
+  sequences identical.
+
+Threading (§III-C/D): endpoints are event-loop objects — the application
+calls :meth:`progress` repeatedly ("an event loop function that should be
+called continuously").  Foreground RPCs run inside ``progress``;
+background execution is available through an optional executor, carrying
+the BACKGROUND header flag the protocol reserves for it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.memory import (
+    AddressSpace,
+    AllocationError,
+    MemoryRegion,
+    OffsetAllocator,
+)
+from repro.rdma import CompletionQueue, Opcode, QueuePair, WorkRequest
+
+from .config import ProtocolConfig
+from .credits import CreditManager
+from .idpool import RequestIdPool
+from .wire import (
+    PREAMBLE_SIZE,
+    BlockReader,
+    BlockWriter,
+    Flags,
+    Preamble,
+    bucket_to_offset,
+    offset_to_bucket,
+)
+
+__all__ = [
+    "ProtocolError",
+    "IncomingRequest",
+    "Response",
+    "ClientEndpoint",
+    "ServerEndpoint",
+    "EndpointStats",
+]
+
+#: Writer callback: writes payload bytes at ``addr`` and returns the actual
+#: payload size (must be <= the reserved size).
+PayloadWriter = Callable[[AddressSpace, int], int]
+#: Client continuation: (payload memoryview, flags) -> None
+Continuation = Callable[[memoryview, int], None]
+
+
+class AddressContinuation:
+    """Wrap a continuation that needs the payload's *virtual address*
+    (``fn(payload_addr, payload_size, flags)``) instead of a byte view —
+    required when the response payload is an object whose internal
+    pointers must be resolved in place (response-serialization offload)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[int, int, int], None]) -> None:
+        self.fn = fn
+
+
+class ProtocolError(RuntimeError):
+    """Protocol invariant violated."""
+
+
+@dataclass
+class EndpointStats:
+    """Library-level instrumentation (§VI: 'directly instrumentalized at
+    the library level'); exported to repro.metrics by the monitor."""
+
+    requests_sent: int = 0
+    responses_received: int = 0
+    requests_received: int = 0
+    responses_sent: int = 0
+    blocks_sent: int = 0
+    blocks_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    handler_errors: int = 0
+
+
+@dataclass(frozen=True)
+class IncomingRequest:
+    """A request as the server sees it: payload referenced in place inside
+    the receive buffer (zero copy).  The view is valid only until the
+    handler returns — the block's memory is recycled afterwards."""
+
+    space: AddressSpace
+    method_id: int
+    request_id: int
+    payload_addr: int
+    payload_size: int
+    flags: int = Flags.NONE
+
+    def payload_view(self) -> memoryview:
+        return self.space.view(self.payload_addr, self.payload_size)
+
+    def payload_bytes(self) -> bytes:
+        return bytes(self.payload_view())
+
+
+@dataclass(frozen=True)
+class Response:
+    """What a handler returns: either raw bytes or a (size, writer) pair
+    for in-place construction."""
+
+    size: int
+    writer: PayloadWriter | None = None
+    data: bytes | None = None
+    flags: int = Flags.NONE
+
+    @classmethod
+    def from_bytes(cls, data: bytes, flags: int = Flags.NONE) -> "Response":
+        return cls(size=len(data), data=data, flags=flags)
+
+    @classmethod
+    def empty(cls) -> "Response":
+        return cls(size=0, data=b"")
+
+    def write_to(self, space: AddressSpace, addr: int) -> int:
+        if self.writer is not None:
+            return self.writer(space, addr)
+        if self.data is not None:
+            if self.data:
+                space.write(addr, self.data)
+            return len(self.data)
+        return 0
+
+
+Handler = Callable[[IncomingRequest], Response]
+
+
+@dataclass
+class _OutBlock:
+    """A sealed block waiting for (or in) flight.
+
+    Client request blocks carry their messages' continuations; the
+    request IDs are allocated only at transmit time (§IV-D: "the client
+    *sends* a block and flushes all the pending acknowledgments"), so
+    queued blocks never hold IDs hostage while waiting for credits.
+    """
+
+    sbuf_addr: int
+    length: int
+    bucket: int
+    message_count: int = 0
+    continuations: list = field(default_factory=list)
+
+
+class _EndpointBase:
+    """State shared by both endpoint roles: one connection's buffers,
+    allocator, credits, ID pool, QP plumbing."""
+
+    def __init__(
+        self,
+        name: str,
+        space: AddressSpace,
+        qp: QueuePair,
+        recv_cq: CompletionQueue,
+        sbuf: MemoryRegion,
+        rbuf: MemoryRegion,
+        config: ProtocolConfig,
+        remote_block_alignment: int,
+        recv_slots: int | None = None,
+    ) -> None:
+        self.name = name
+        self.space = space
+        self.qp = qp
+        self.recv_cq = recv_cq
+        self.sbuf = sbuf
+        self.rbuf = rbuf
+        self.config = config
+        self.remote_block_alignment = remote_block_alignment
+        self.allocator = OffsetAllocator(sbuf.size)
+        self.credits = CreditManager(config.credits)
+        self.id_pool = RequestIdPool(min(config.concurrency, 1 << 16))
+        self.stats = EndpointStats()
+        self._wr_ids = itertools.count(1)
+        self._send_queue: deque[_OutBlock] = deque()
+        #: out-of-band RDMA SEND payloads (bootstrap/control traffic)
+        self.inbound_sends: deque[bytes] = deque()
+        # Pre-post one receive WQE per possible in-flight block from the
+        # peer (the peer's credit limit bounds that; the factory passes it
+        # in), plus slack for the repost that replenishes.
+        self._posted_recvs = 0
+        for _ in range((recv_slots if recv_slots is not None else config.credits) + 8):
+            self._post_recv()
+
+    # -- receive WQE management ------------------------------------------------
+
+    def _post_recv(self) -> None:
+        self.qp.post_recv(next(self._wr_ids))
+        self._posted_recvs += 1
+
+    # -- block plumbing ----------------------------------------------------------
+
+    def _alloc_block(self, capacity: int) -> int:
+        """Allocate block space in the SBuf; raises AllocationError when
+        the buffer is full (back-pressure)."""
+        offset = self.allocator.allocate(capacity, self.config.block_alignment)
+        return self.sbuf.base + offset
+
+    def _free_block(self, sbuf_addr: int) -> None:
+        self.allocator.free(sbuf_addr - self.sbuf.base)
+
+    def _block_capacity(self, first_payload: int) -> int:
+        """Capacity of a new block: at least block_size, grown for a
+        single oversized message (§IV: 'the block is composed of a single
+        message'; LARGE messages add a size-extension word)."""
+        need = PREAMBLE_SIZE + 8 + 8 + 8 + first_payload + 16
+        return max(self.config.block_size, -(-need // self.config.block_alignment) * self.config.block_alignment)
+
+    def _transmit(self, out: _OutBlock) -> int:
+        """WRITE_WITH_IMM the sealed block into the peer's mirrored RBuf
+        at the same offset the block occupies in our SBuf.  Returns the
+        send work-request id."""
+        offset = out.sbuf_addr - self.sbuf.base
+        bucket = offset_to_bucket(offset, self.remote_block_alignment)
+        out.bucket = bucket
+        wr_id = next(self._wr_ids)
+        self.qp.post_send(
+            WorkRequest(
+                wr_id=wr_id,
+                opcode=Opcode.RDMA_WRITE_WITH_IMM,
+                local_addr=out.sbuf_addr,
+                length=out.length,
+                remote_addr=out.sbuf_addr,  # mirrored: same virtual address
+                imm_data=bucket,
+            )
+        )
+        self.stats.blocks_sent += 1
+        self.stats.bytes_sent += out.length
+        return wr_id
+
+    def _on_transmit(self, out: _OutBlock) -> None:
+        """Hook run just before a queued block is posted (the client's
+        send-time ID bookkeeping lives here)."""
+
+    def _pump_send_queue(self) -> None:
+        """Send queued blocks while credits remain (§IV-C)."""
+        while self._send_queue and self.credits.consume():
+            out = self._send_queue.popleft()
+            self._on_transmit(out)
+            self._transmit(out)
+
+    def _drain_recv_cq(self) -> list:
+        """Poll received block notifications; drains send completions."""
+        events = []
+        for wc in self.recv_cq.poll(max_entries=1 << 16):
+            if wc.opcode is Opcode.RECV_RDMA_WITH_IMM and wc.ok:
+                events.append(wc)
+                self._posted_recvs -= 1
+                self._post_recv()
+            elif wc.opcode is Opcode.RECV and wc.ok:
+                # Out-of-band SEND (ADT bootstrap and other control data).
+                self.inbound_sends.append(getattr(wc, "payload", b""))
+                self._posted_recvs -= 1
+                self._post_recv()
+            elif not wc.ok:
+                raise ProtocolError(f"{self.name}: completion error {wc.status}")
+            else:
+                # Send completion: normal blocks are recycled by acks, but
+                # pure-ack blocks (client only) recycle here.
+                self._on_send_complete(wc)
+        return events
+
+    def _on_send_complete(self, wc) -> None:
+        """Hook for send completions (no-op by default)."""
+
+
+class ClientEndpoint(_EndpointBase):
+    """The RPC-over-RDMA *client* — runs on the DPU in the paper's
+    deployment.  Enqueue requests with :meth:`enqueue` /
+    :meth:`enqueue_bytes`; drive with :meth:`progress`."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._writer: BlockWriter | None = None
+        self._writer_addr = 0
+        self._writer_capacity = 0
+        self._writer_continuations: list[Continuation] = []
+        # rid -> (continuation, block_seq)
+        self._pending: dict[int, tuple[Continuation, int]] = {}
+        # block_seq -> [sbuf_addr, outstanding_count]
+        self._blocks: dict[int, list] = {}
+        self._block_seq = itertools.count()
+        # Response blocks processed but not yet acknowledged: their
+        # answered request IDs, in processing order (freed at the next
+        # transmit, §IV-D step 1).
+        self._unacked_response_ids: deque[list[int]] = deque()
+        # Requests beyond the concurrency window wait here (§IV-D bounds
+        # live request IDs to the pool size; the app may enqueue freely).
+        self._backlog: deque[tuple] = deque()
+        # Messages sealed into queued blocks but not yet transmitted.
+        self._queued_messages = 0
+        # SBuf addresses of in-flight pure-ack blocks, by send wr_id;
+        # recycled at send completion (they carry no requests to answer).
+        self._ackonly_in_flight: dict[int, int] = {}
+
+    # -- enqueue ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests awaiting a response (sent or not yet transmitted)."""
+        return len(self._pending) + len(self._writer_continuations) + self._queued_messages
+
+    def enqueue_bytes(
+        self, method_id: int, payload: bytes, continuation: Continuation,
+        flags: int = Flags.NONE,
+    ) -> None:
+        self.enqueue(
+            method_id,
+            len(payload),
+            lambda space, addr: (space.write(addr, payload) if payload else None,
+                                 len(payload))[1],
+            continuation,
+            flags,
+        )
+
+    def enqueue(
+        self,
+        method_id: int,
+        max_payload: int,
+        writer: PayloadWriter,
+        continuation: Continuation,
+        flags: int = Flags.NONE,
+    ) -> None:
+        """Queue one request.  ``writer`` constructs the payload in place
+        inside the outgoing block (this is where the offloaded
+        deserializer writes the C++ object).  ``continuation`` fires when
+        the response arrives (§III-D)."""
+        if max_payload > self.config.max_message_size:
+            raise ProtocolError(
+                f"payload of {max_payload} exceeds max_message_size "
+                f"{self.config.max_message_size}"
+            )
+        if self._backlog or self.outstanding >= min(
+            self.config.concurrency, self.id_pool.capacity
+        ):
+            # Concurrency window full: defer, preserving FIFO order.
+            self._backlog.append((method_id, max_payload, writer, continuation, flags))
+            return
+        self._enqueue_now(method_id, max_payload, writer, continuation, flags)
+
+    def _enqueue_now(
+        self,
+        method_id: int,
+        max_payload: int,
+        writer: PayloadWriter,
+        continuation: Continuation,
+        flags: int,
+    ) -> None:
+        if self._writer is not None and self._writer.remaining() < max_payload + 32:
+            self._seal_current()
+        if self._writer is None:
+            self._open_block(max_payload)
+        _, payload_addr = self._writer.begin_message(max_payload)
+        actual = writer(self.space, payload_addr)
+        if actual > max_payload:
+            self._writer.abort_message()
+            raise ProtocolError(f"writer produced {actual} > reserved {max_payload}")
+        self._writer.commit_message(actual, method_id, flags)
+        self._writer_continuations.append(continuation)
+        self.stats.requests_sent += 1
+        if self._writer.bytes_used >= self.config.block_size:
+            self._seal_current()
+        self._pump_send_queue()
+
+    def _open_block(self, first_payload: int) -> None:
+        capacity = self._block_capacity(first_payload)
+        addr = self._alloc_block(capacity)
+        self._writer = BlockWriter(self.space, addr, capacity)
+        self._writer_addr = addr
+        self._writer_capacity = capacity
+
+    def _seal_current(self) -> None:
+        """Seal the open block and queue it for transmission.  The ack
+        counter and request IDs are settled at transmit time
+        (:meth:`_on_transmit`), keeping ID bookkeeping in wire order."""
+        writer = self._writer
+        if writer is None:
+            return
+        assert writer.message_count == len(self._writer_continuations)
+        length = writer.seal(ack_blocks=0)  # placeholder; patched on send
+        out = _OutBlock(
+            self._writer_addr,
+            length,
+            bucket=0,
+            message_count=writer.message_count,
+            continuations=self._writer_continuations,
+        )
+        self._queued_messages += writer.message_count
+        self._writer = None
+        self._writer_continuations = []
+        self._send_queue.append(out)
+
+    def _flush_pending_acks(self) -> int:
+        """§IV-D step 1: free the request IDs answered by every response
+        block we are about to acknowledge; returns the ack count."""
+        ack_blocks = len(self._unacked_response_ids)
+        while self._unacked_response_ids:
+            for rid in self._unacked_response_ids.popleft():
+                self.id_pool.free(rid)
+        return ack_blocks
+
+    def _on_transmit(self, out: _OutBlock) -> None:
+        """Send-time bookkeeping, mirrored verbatim by the server on
+        receipt: flush acks, then allocate this block's request IDs."""
+        ack_blocks = self._flush_pending_acks()
+        ids = self.id_pool.allocate_many(out.message_count)
+        # Patch the preamble with the real ack count (the block still
+        # lives in our SBuf; the fabric snapshots it at post time).
+        Preamble(out.message_count, ack_blocks, out.length).pack_into(
+            self.space, out.sbuf_addr
+        )
+        seq = next(self._block_seq)
+        self._blocks[seq] = [out.sbuf_addr, len(ids)]
+        for rid, cont in zip(ids, out.continuations):
+            self._pending[rid] = (cont, seq)
+        self._queued_messages -= out.message_count
+
+    def _send_pure_ack(self) -> None:
+        """Emit a zero-message block that only carries the preamble ack
+        counter.  It consumes no credit (it cannot be answered, so it
+        could never replenish one) — this is what breaks the mutual
+        credit-starvation cycle when both sides are at zero.  At most one
+        is in flight; its SBuf block recycles at send completion."""
+        if not self._unacked_response_ids or self._ackonly_in_flight:
+            return
+        try:
+            addr = self._alloc_block(self.config.block_alignment)
+        except AllocationError:
+            return  # SBuf exhausted; retry next pass
+        writer = BlockWriter(self.space, addr, self.config.block_alignment)
+        length = writer.seal(ack_blocks=0)
+        ack_blocks = self._flush_pending_acks()
+        Preamble(0, ack_blocks, length).pack_into(self.space, addr)
+        wr_id = self._transmit(_OutBlock(addr, length, bucket=0))
+        self._ackonly_in_flight[wr_id] = addr
+
+    # -- event loop -----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Seal a partial block so queued requests make progress even
+        under low load (§IV deadlock prevention)."""
+        if self._writer is not None and self._writer.message_count:
+            self._seal_current()
+        self._pump_send_queue()
+
+    def progress(self) -> int:
+        """One event-loop pass: flush, then process arrived response
+        blocks.  Returns the number of responses delivered."""
+        self.flush()
+        delivered = 0
+        for wc in self._drain_recv_cq():
+            delivered += self._process_response_block(wc.imm_data, wc.byte_len)
+        self._drain_backlog()
+        self._pump_send_queue()
+        # Two reasons to push acknowledgments out of band: we are credit-
+        # starved with blocks waiting (deadlock breaker), or acks piled up
+        # while we had nothing to send (lets the server recycle memory).
+        if self._unacked_response_ids and (
+            (self._send_queue and not self.credits.can_send())
+            or len(self._unacked_response_ids) >= max(4, self.config.credits // 2)
+        ):
+            self._send_pure_ack()
+        return delivered
+
+    def _on_send_complete(self, wc) -> None:
+        addr = self._ackonly_in_flight.pop(wc.wr_id, None)
+        if addr is not None:
+            self._free_block(addr)
+
+    def _drain_backlog(self) -> None:
+        """Admit deferred requests as the concurrency window reopens."""
+        window = min(self.config.concurrency, self.id_pool.capacity)
+        admitted = False
+        while self._backlog and self.outstanding < window:
+            self._enqueue_now(*self._backlog.popleft())
+            admitted = True
+        if admitted:
+            # Ship what we admitted so the window keeps moving even while
+            # a backlog remains.
+            if self._writer is not None and self._writer.message_count:
+                self._seal_current()
+
+    def _process_response_block(self, bucket: int, byte_len: int) -> int:
+        base = self.rbuf.base + bucket_to_offset(bucket, self.config.block_alignment)
+        reader = BlockReader(self.space, base, self.rbuf.base + self.rbuf.size - base)
+        self.stats.blocks_received += 1
+        self.stats.bytes_received += reader.preamble.block_length
+        answered: list[int] = []
+        count = 0
+        for msg in reader.messages():
+            rid = msg.header.method_or_id
+            try:
+                cont, seq = self._pending.pop(rid)
+            except KeyError:
+                raise ProtocolError(f"{self.name}: response for unknown request {rid}")
+            if isinstance(cont, AddressContinuation):
+                cont.fn(msg.payload_addr, msg.payload_size, msg.header.flags)
+            else:
+                view = self.space.view(msg.payload_addr, msg.payload_size)
+                cont(view, msg.header.flags)
+            answered.append(rid)
+            self.stats.responses_received += 1
+            count += 1
+            block = self._blocks[seq]
+            block[1] -= 1
+            if block[1] == 0:
+                # Every request in that block is answered: recycle the
+                # request block and its credit (§IV-B server-side implicit
+                # ack, observed client-side).
+                del self._blocks[seq]
+                self._free_block(block[0])
+                self.credits.replenish(1)
+        # Remember the IDs to free at the next seal, and count the block
+        # toward the preamble ack counter.
+        self._unacked_response_ids.append(answered)
+        return count
+
+    def run_until_complete(self, max_iters: int = 100_000) -> None:
+        """Drive the loop until no requests are outstanding."""
+        for _ in range(max_iters):
+            self.progress()
+            if (
+                not self._pending
+                and not self._backlog
+                and self._writer is None
+                and not self._send_queue
+            ):
+                return
+        raise ProtocolError(f"{self.name}: requests still pending after {max_iters} iterations")
+
+
+class ServerEndpoint(_EndpointBase):
+    """The RPC-over-RDMA *server* — the host.  Register callbacks with
+    :meth:`register`; drive with :meth:`progress` (§III-D)."""
+
+    def __init__(self, *args, background_executor=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._handlers: dict[int, Handler] = {}
+        self._writer: BlockWriter | None = None
+        self._writer_addr = 0
+        # Outstanding response blocks in send order: (sbuf_addr, answered ids)
+        self._outstanding_responses: deque[tuple[int, list[int]]] = deque()
+        self._current_block_ids: list[int] = []
+        self._background_executor = background_executor
+        self._background_results: deque[tuple[int, Response]] = deque()
+
+    def register(self, method_id: int, handler: Handler) -> None:
+        """Register the callback for a procedure ID (§III-D)."""
+        if method_id in self._handlers:
+            raise ProtocolError(f"method {method_id} already registered")
+        self._handlers[method_id] = handler
+
+    # -- event loop -------------------------------------------------------------------
+
+    def progress(self) -> int:
+        """One pass: process arrived request blocks (foreground execution
+        in the polling thread), collect finished background RPCs, flush
+        responses.  Returns the number of requests handled."""
+        handled = 0
+        for wc in self._drain_recv_cq():
+            handled += self._process_request_block(wc.imm_data)
+        while self._background_results:
+            rid, response = self._background_results.popleft()
+            self._enqueue_response(rid, response)
+        self._flush_responses()
+        return handled
+
+    def _process_request_block(self, bucket: int) -> int:
+        base = self.rbuf.base + bucket_to_offset(bucket, self.config.block_alignment)
+        reader = BlockReader(self.space, base, self.rbuf.base + self.rbuf.size - base)
+        self.stats.blocks_received += 1
+        self.stats.bytes_received += reader.preamble.block_length
+
+        # Replay the client's two-step ID bookkeeping (§IV-D).
+        acked = reader.preamble.ack_blocks
+        if acked > len(self._outstanding_responses):
+            raise ProtocolError(
+                f"{self.name}: client acked {acked} response blocks, "
+                f"only {len(self._outstanding_responses)} outstanding"
+            )
+        for _ in range(acked):
+            sbuf_addr, ids = self._outstanding_responses.popleft()
+            for rid in ids:
+                self.id_pool.free(rid)
+            self._free_block(sbuf_addr)
+            self.credits.replenish(1)
+
+        messages = reader.messages()
+        ids = self.id_pool.allocate_many(len(messages))
+
+        count = 0
+        for rid, msg in zip(ids, messages):
+            request = IncomingRequest(
+                space=self.space,
+                method_id=msg.header.method_or_id,
+                request_id=rid,
+                payload_addr=msg.payload_addr,
+                payload_size=msg.payload_size,
+                flags=msg.header.flags,
+            )
+            self.stats.requests_received += 1
+            if (
+                msg.header.flags & Flags.BACKGROUND
+                and self._background_executor is not None
+            ):
+                self._spawn_background(request)
+            else:
+                response = self._invoke(request)
+                self._enqueue_response(rid, response)
+            count += 1
+        return count
+
+    def _invoke(self, request: IncomingRequest) -> Response:
+        handler = self._handlers.get(request.method_id)
+        if handler is None:
+            self.stats.handler_errors += 1
+            return Response.from_bytes(
+                f"unknown method {request.method_id}".encode(), flags=Flags.ERROR
+            )
+        try:
+            return handler(request)
+        except Exception as exc:  # noqa: BLE001 — handler faults become RPC errors
+            self.stats.handler_errors += 1
+            return Response.from_bytes(repr(exc).encode(), flags=Flags.ERROR)
+
+    def _spawn_background(self, request: IncomingRequest) -> None:
+        """Background RPCs (§III-D): the payload view dies with the block,
+        so the executor gets a private copy of the payload."""
+        payload = request.payload_bytes()
+        rid = request.request_id
+        detached = IncomingRequest(
+            space=None, method_id=request.method_id, request_id=rid,
+            payload_addr=0, payload_size=len(payload), flags=request.flags,
+        )
+
+        def run() -> None:
+            handler = self._handlers.get(detached.method_id)
+            try:
+                if handler is None:
+                    raise LookupError(f"unknown method {detached.method_id}")
+                resp = handler(_DetachedRequest(detached, payload))
+            except Exception as exc:  # noqa: BLE001
+                self.stats.handler_errors += 1
+                resp = Response.from_bytes(repr(exc).encode(), flags=Flags.ERROR)
+            self._background_results.append((rid, resp))
+
+        self._background_executor(run)
+
+    # -- response path -------------------------------------------------------------------
+
+    def _enqueue_response(self, rid: int, response: Response) -> None:
+        if self._writer is not None and self._writer.remaining() < response.size + 32:
+            self._seal_responses()
+        if self._writer is None:
+            capacity = self._block_capacity(response.size)
+            self._writer_addr = self._alloc_block(capacity)
+            self._writer = BlockWriter(self.space, self._writer_addr, capacity)
+        _, payload_addr = self._writer.begin_message(response.size)
+        actual = response.write_to(self.space, payload_addr)
+        self._writer.commit_message(actual, rid, response.flags)
+        self._current_block_ids.append(rid)
+        self.stats.responses_sent += 1
+        if self._writer.bytes_used >= self.config.block_size:
+            self._seal_responses()
+        self._pump_send_queue()
+
+    def _seal_responses(self) -> None:
+        writer = self._writer
+        if writer is None:
+            return
+        length = writer.seal(ack_blocks=0)
+        out = _OutBlock(
+            self._writer_addr, length, bucket=0,
+            message_count=writer.message_count,
+        )
+        self._outstanding_responses.append((self._writer_addr, list(self._current_block_ids)))
+        self._writer = None
+        self._current_block_ids = []
+        self._send_queue.append(out)
+
+    def _flush_responses(self) -> None:
+        if self._writer is not None and self._writer.message_count:
+            self._seal_responses()
+        self._pump_send_queue()
+
+
+class _DetachedRequest:
+    """Request facade handed to background handlers: payload copied out of
+    the (already recycled) block."""
+
+    def __init__(self, meta: IncomingRequest, payload: bytes) -> None:
+        self.method_id = meta.method_id
+        self.request_id = meta.request_id
+        self.payload_size = len(payload)
+        self.flags = meta.flags
+        self._payload = payload
+
+    def payload_bytes(self) -> bytes:
+        return self._payload
+
+    def payload_view(self) -> memoryview:
+        return memoryview(self._payload)

@@ -1,0 +1,121 @@
+"""Execution backends for background RPCs (§III-D).
+
+Foreground RPCs run inside the poller's event loop; background RPCs — for
+long-running procedures — run elsewhere and post their results back.  The
+paper's prototype supports only foreground execution but is "designed to
+allow background RPCs with little modifications ... by adding a thread
+pool"; this module is that thread pool, plus two simpler executors used
+in tests and deterministic simulations.
+
+An executor is just a callable ``submit(fn)``; the server endpoint hands
+it zero-argument closures whose side effect is to enqueue the RPC's
+response (see ``ServerEndpoint._spawn_background``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+
+__all__ = ["InlineExecutor", "DeferredExecutor", "WorkerPool"]
+
+
+class InlineExecutor:
+    """Runs submissions immediately (background flag becomes a no-op)."""
+
+    def __call__(self, fn) -> None:
+        fn()
+
+    def shutdown(self) -> None:  # symmetry with WorkerPool
+        pass
+
+
+class DeferredExecutor:
+    """Collects submissions; a test (or a cooperative scheduler) runs
+    them explicitly with :meth:`run_one` / :meth:`run_all` — gives
+    deterministic interleaving for out-of-order completion tests."""
+
+    def __init__(self) -> None:
+        self.pending: deque = deque()
+
+    def __call__(self, fn) -> None:
+        self.pending.append(fn)
+
+    def run_one(self) -> bool:
+        if not self.pending:
+            return False
+        self.pending.popleft()()
+        return True
+
+    def run_all(self) -> int:
+        count = 0
+        while self.run_one():
+            count += 1
+        return count
+
+    def shutdown(self) -> None:
+        self.pending.clear()
+
+
+class WorkerPool:
+    """A real thread pool.
+
+    Results are posted back through the endpoint's background-result
+    queue (a plain deque append — atomic under the GIL), and the poller
+    picks them up on its next :meth:`progress` pass, exactly the
+    "transmitted bookkeeping" arrangement §III-D describes.
+    """
+
+    _STOP = object()
+
+    def __init__(self, workers: int = 4, name: str = "bg") -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._queue: queue.Queue = queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        self._closed = False
+        for t in self._threads:
+            t.start()
+
+    def _run(self) -> None:
+        while True:
+            fn = self._queue.get()
+            if fn is self._STOP:
+                return
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 — background faults must not kill workers
+                pass
+
+    def __call__(self, fn) -> None:
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        self._queue.put(fn)
+
+    def join_idle(self, timeout: float = 5.0) -> None:
+        """Block until everything submitted so far has finished: every
+        worker rendezvouses at a barrier behind the queued work."""
+        barrier = threading.Barrier(len(self._threads) + 1)
+
+        def rendezvous() -> None:
+            barrier.wait(timeout)
+
+        for _ in self._threads:
+            self._queue.put(rendezvous)
+        try:
+            barrier.wait(timeout)
+        except threading.BrokenBarrierError:
+            raise TimeoutError("worker pool did not drain") from None
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(self._STOP)
+        for t in self._threads:
+            t.join(timeout=5.0)

@@ -1,0 +1,282 @@
+"""Block wire format: preamble, per-message headers, payload layout.
+
+Implements Figure 4/5 of the paper: a *block* is the unit written to
+remote memory by one RDMA WRITE_WITH_IMM.  It starts with a fixed-size
+preamble and contains a sequence of (header, payload) message records.
+Everything is aligned for zero-copy processing on the receiving side:
+preamble and headers to 8 bytes, payloads to 8 bytes (§IV-A), whole blocks
+to 1024 bytes so the bucket index fits the 4-byte immediate (§IV-E).
+
+Layout (little-endian)::
+
+    preamble (8 bytes):
+        u16 message_count     # max 2^16 messages per block
+        u16 ack_blocks        # response blocks processed since last send
+        u32 block_length      # total bytes incl. preamble (validation)
+
+    header (8 bytes, precedes every message):
+        u16 payload_size      # user payload bytes (max 2^16 - 1)
+        u16 method_or_id      # request: procedure id; response: request id
+        u16 flags             # response status, etc.
+        u16 reserved
+
+The request ID is deliberately *not* in request headers — both sides
+derive it from the synchronized ID pool (§IV-D).  Response headers carry
+the request ID because responses may complete out of order.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "PREAMBLE_SIZE",
+    "HEADER_SIZE",
+    "PAYLOAD_ALIGN",
+    "SIZE_EXT_SIZE",
+    "Flags",
+    "Preamble",
+    "MessageHeader",
+    "BlockWriter",
+    "BlockReader",
+    "BlockFormatError",
+    "bucket_to_offset",
+    "offset_to_bucket",
+]
+
+PREAMBLE_SIZE = 8
+HEADER_SIZE = 8
+PAYLOAD_ALIGN = 8
+#: 64-bit size-extension word used by LARGE messages (§IV-E)
+SIZE_EXT_SIZE = 8
+
+_PREAMBLE = struct.Struct("<HHI")
+_HEADER = struct.Struct("<HHHH")
+
+
+class BlockFormatError(RuntimeError):
+    """A received block violates the wire format."""
+
+
+class Flags:
+    """Header flag bits."""
+
+    NONE = 0
+    #: response carries an application-level error instead of a payload
+    ERROR = 1 << 0
+    #: request asks for background (thread-pool) execution
+    BACKGROUND = 1 << 1
+    #: payload is a deserialized C++ object (not wire bytes) — set on
+    #: responses when response *serialization* is offloaded to the client
+    OBJECT_PAYLOAD = 1 << 2
+    #: the header's 16-bit size is an overflow marker; the true payload
+    #: size sits in a 64-bit extension word before the payload (the §IV-E
+    #: "variable-length encoding" escape hatch for large messages —
+    #: "larger messages are more likely to be computationally expensive,
+    #: making this cost negligible")
+    LARGE = 1 << 3
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def bucket_to_offset(bucket: int, block_alignment: int) -> int:
+    """offset = bucket * block_alignment (§IV-E: the immediate carries a
+    bucket, the receiver adds its RBuf base)."""
+    return bucket * block_alignment
+
+
+def offset_to_bucket(offset: int, block_alignment: int) -> int:
+    if offset % block_alignment:
+        raise BlockFormatError(
+            f"block offset {offset:#x} not aligned to {block_alignment}"
+        )
+    return offset // block_alignment
+
+
+@dataclass(frozen=True)
+class Preamble:
+    message_count: int
+    ack_blocks: int
+    block_length: int
+
+    def pack_into(self, space, addr: int) -> None:
+        space.write(addr, _PREAMBLE.pack(self.message_count, self.ack_blocks, self.block_length))
+
+    @classmethod
+    def read(cls, space, addr: int) -> "Preamble":
+        return cls(*_PREAMBLE.unpack(bytes(space.read(addr, PREAMBLE_SIZE))))
+
+
+@dataclass(frozen=True)
+class MessageHeader:
+    payload_size: int
+    method_or_id: int
+    flags: int = Flags.NONE
+
+    def pack_into(self, space, addr: int) -> None:
+        space.write(
+            addr, _HEADER.pack(self.payload_size, self.method_or_id, self.flags, 0)
+        )
+
+    @classmethod
+    def read(cls, space, addr: int) -> "MessageHeader":
+        size, mid, flags, _ = _HEADER.unpack(bytes(space.read(addr, HEADER_SIZE)))
+        return cls(size, mid, flags)
+
+
+class BlockWriter:
+    """Builds one block in place inside a send buffer.
+
+    The caller reserves payload space with :meth:`begin_message` and
+    writes the payload directly at the returned address — this is what
+    lets the arena deserializer construct the C++ object *inside* the
+    outgoing block with no further copies.
+    """
+
+    def __init__(self, space, base_addr: int, capacity: int) -> None:
+        self.space = space
+        self.base = base_addr
+        self.capacity = capacity
+        self._cursor = base_addr + PREAMBLE_SIZE
+        self._messages: list[tuple[int, MessageHeader]] = []  # (header_addr, header)
+        self._open: int | None = None  # header addr of the in-progress message
+        self._open_large = False
+
+    @property
+    def message_count(self) -> int:
+        return len(self._messages)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor - self.base
+
+    def remaining(self) -> int:
+        return self.base + self.capacity - self._cursor
+
+    def begin_message(self, max_payload: int) -> tuple[int, int]:
+        """Reserve a header + up to ``max_payload`` bytes of payload.
+
+        Returns ``(header_addr, payload_addr)``.  The payload address is
+        8-byte aligned.  Call :meth:`commit_message` with the actual size
+        (or :meth:`abort_message`) before beginning the next one.
+
+        Payloads that may exceed the header's 16-bit size field get a
+        64-bit size-extension word between header and payload (§IV-E's
+        escape hatch); the returned payload address accounts for it.
+        """
+        if self._open is not None:
+            raise BlockFormatError("previous message not committed")
+        header_addr = _align_up(self._cursor, PAYLOAD_ALIGN)
+        large = max_payload >= (1 << 16)
+        payload_addr = header_addr + HEADER_SIZE + (SIZE_EXT_SIZE if large else 0)
+        if payload_addr + max_payload > self.base + self.capacity:
+            raise BlockFormatError(
+                f"block full: need {max_payload} payload bytes, "
+                f"{self.base + self.capacity - payload_addr} remain"
+            )
+        self._open = header_addr
+        self._open_large = large
+        return header_addr, payload_addr
+
+    def commit_message(
+        self, payload_size: int, method_or_id: int, flags: int = Flags.NONE
+    ) -> None:
+        if self._open is None:
+            raise BlockFormatError("no message in progress")
+        header_addr = self._open
+        if self._open_large:
+            # Large form: marker in the 16-bit field, true size in the
+            # extension word.
+            flags |= Flags.LARGE
+            header = MessageHeader(0xFFFF, method_or_id, flags)
+            header.pack_into(self.space, header_addr)
+            self.space.write_u64(header_addr + HEADER_SIZE, payload_size)
+            payload_addr = header_addr + HEADER_SIZE + SIZE_EXT_SIZE
+        else:
+            if payload_size >= (1 << 16):
+                raise BlockFormatError(
+                    f"payload of {payload_size} bytes exceeds the 2^16 limit "
+                    "(reserve it as large via begin_message)"
+                )
+            header = MessageHeader(payload_size, method_or_id, flags)
+            header.pack_into(self.space, header_addr)
+            payload_addr = header_addr + HEADER_SIZE
+        self._messages.append((header_addr, header))
+        self._cursor = payload_addr + payload_size
+        self._open = None
+        self._open_large = False
+
+    def abort_message(self) -> None:
+        self._open = None
+
+    def seal(self, ack_blocks: int = 0) -> int:
+        """Write the preamble; returns the total block length in bytes."""
+        if self._open is not None:
+            raise BlockFormatError("cannot seal with a message in progress")
+        length = self.bytes_used
+        Preamble(len(self._messages), ack_blocks, length).pack_into(self.space, self.base)
+        return length
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """One message as seen by the receiving side — payload referenced in
+    place (zero copy), not extracted."""
+
+    header: MessageHeader
+    payload_addr: int
+    #: true payload size (reads the extension word for LARGE messages)
+    payload_size: int = -1
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            object.__setattr__(self, "payload_size", self.header.payload_size)
+
+
+class BlockReader:
+    """Parses a received block in place."""
+
+    def __init__(self, space, base_addr: int, max_length: int) -> None:
+        self.space = space
+        self.base = base_addr
+        self.preamble = Preamble.read(space, base_addr)
+        if self.preamble.block_length < PREAMBLE_SIZE:
+            raise BlockFormatError("block length smaller than preamble")
+        if self.preamble.block_length > max_length:
+            raise BlockFormatError(
+                f"block claims {self.preamble.block_length} bytes, "
+                f"only {max_length} are addressable"
+            )
+
+    def messages(self) -> list[ReceivedMessage]:
+        out: list[ReceivedMessage] = []
+        cursor = self.base + PREAMBLE_SIZE
+        end = self.base + self.preamble.block_length
+        for _ in range(self.preamble.message_count):
+            header_addr = _align_up(cursor, PAYLOAD_ALIGN)
+            if header_addr + HEADER_SIZE > end:
+                raise BlockFormatError("header extends past block end")
+            header = MessageHeader.read(self.space, header_addr)
+            if header.flags & Flags.LARGE:
+                if header_addr + HEADER_SIZE + SIZE_EXT_SIZE > end:
+                    raise BlockFormatError("size extension extends past block end")
+                payload_size = self.space.read_u64(header_addr + HEADER_SIZE)
+                payload_addr = header_addr + HEADER_SIZE + SIZE_EXT_SIZE
+            else:
+                payload_size = header.payload_size
+                payload_addr = header_addr + HEADER_SIZE
+            if payload_addr + payload_size > end:
+                raise BlockFormatError("payload extends past block end")
+            out.append(ReceivedMessage(header, payload_addr, payload_size))
+            cursor = payload_addr + payload_size
+        if _align_up(cursor, PAYLOAD_ALIGN) not in (end, _align_up(end, PAYLOAD_ALIGN)):
+            # All messages consumed must land exactly at the declared end
+            # (modulo final padding).
+            if cursor != end:
+                raise BlockFormatError(
+                    f"block length mismatch: cursor {cursor:#x}, end {end:#x}"
+                )
+        return out

@@ -1,0 +1,23 @@
+"""Memory substrate: virtual address space, pinned regions, offset
+allocator, and arenas.
+
+This package models the memory architecture the paper's shared address
+space rests on (§III-B, §IV-A): mirrored pinned buffers at identical
+virtual addresses on both sides, VMA-style offset allocation of protocol
+blocks with external bookkeeping, and bump-pointer arenas for in-place
+object construction.
+"""
+
+from .arena import Arena, ArenaExhausted
+from .offset_allocator import AllocationError, OffsetAllocator
+from .region import AddressSpace, MemoryError_, MemoryRegion
+
+__all__ = [
+    "Arena",
+    "ArenaExhausted",
+    "AllocationError",
+    "OffsetAllocator",
+    "AddressSpace",
+    "MemoryError_",
+    "MemoryRegion",
+]

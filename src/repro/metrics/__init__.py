@@ -1,0 +1,19 @@
+"""Prometheus-style metrics and the monitoring/stability pipeline (§VI)."""
+
+from .exporters import EndpointExporter
+from .monitor import MonitorError, Scraper, StabilityMonitor, TimeSeries
+from .registry import Counter, Gauge, Histogram, MetricError, MetricsRegistry, Sample
+
+__all__ = [
+    "EndpointExporter",
+    "MonitorError",
+    "Scraper",
+    "StabilityMonitor",
+    "TimeSeries",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Sample",
+]

@@ -1,0 +1,67 @@
+"""Library-level instrumentation adapters (§VI).
+
+"The RPC over RDMA library is directly instrumentalized at the library
+level with a Prometheus client ... This permits the gathering of
+statistics independently of the scenario or application."
+
+:class:`EndpointExporter` mirrors an endpoint's
+:class:`~repro.core.endpoint.EndpointStats` (plus credits and allocator
+occupancy) into a registry; call :meth:`update` before each scrape — the
+equivalent of the client's collect callback.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["EndpointExporter"]
+
+
+_COUNTERS = (
+    ("requests_sent", "requests enqueued by the client"),
+    ("responses_received", "responses delivered to continuations"),
+    ("requests_received", "requests dispatched to handlers"),
+    ("responses_sent", "responses enqueued by the server"),
+    ("blocks_sent", "protocol blocks transmitted"),
+    ("blocks_received", "protocol blocks received"),
+    ("bytes_sent", "payload bytes transmitted"),
+    ("bytes_received", "payload bytes received"),
+    ("handler_errors", "handler faults turned into RPC errors"),
+)
+
+
+class EndpointExporter:
+    """Exports one endpoint's statistics under a name prefix."""
+
+    def __init__(self, registry: MetricsRegistry, endpoint, prefix: str) -> None:
+        self.endpoint = endpoint
+        self._counters = {}
+        for field, help_text in _COUNTERS:
+            self._counters[field] = registry.counter(
+                f"{prefix}_{field}_total", help_text
+            )
+        self._credits = registry.gauge(f"{prefix}_credits", "credits available")
+        self._credit_low = registry.gauge(
+            f"{prefix}_credits_low_watermark", "lowest credit level observed"
+        )
+        self._live_blocks = registry.gauge(
+            f"{prefix}_sbuf_live_blocks", "unrecycled blocks in the send buffer"
+        )
+        self._sbuf_bytes = registry.gauge(
+            f"{prefix}_sbuf_live_bytes", "bytes held by unrecycled blocks"
+        )
+
+    def update(self) -> None:
+        """Refresh all exported values from the endpoint."""
+        stats = self.endpoint.stats
+        for field, counter in self._counters.items():
+            value = getattr(stats, field)
+            delta = value - counter.value
+            if delta < 0:  # pragma: no cover - stats never regress
+                raise RuntimeError(f"{field} went backwards")
+            if delta:
+                counter.inc(delta)
+        self._credits.set(self.endpoint.credits.available)
+        self._credit_low.set(self.endpoint.credits.low_watermark)
+        self._live_blocks.set(self.endpoint.allocator.live_count)
+        self._sbuf_bytes.set(self.endpoint.allocator.bytes_live)

@@ -1,0 +1,115 @@
+"""Scraping, rate computation, and stability detection (§VI).
+
+The paper's monitoring process scrapes the library-level metrics, derives
+the per-second *instant rate of increase* from the last two data points of
+each counter, and only collects final results once the request rate has
+been stable — within 1% — for a while (≈20 s).  This module reproduces
+that pipeline over simulated (or real) time:
+
+* :class:`TimeSeries` — timestamped samples with instant/windowed rates;
+* :class:`Scraper` — periodically snapshots a registry's counters into
+  series;
+* :class:`StabilityMonitor` — the within-tolerance steady-state detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import MetricsRegistry
+
+__all__ = ["TimeSeries", "Scraper", "StabilityMonitor", "MonitorError"]
+
+
+class MonitorError(RuntimeError):
+    """Monitoring misuse (e.g. rate over fewer than two samples)."""
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped observations of one metric."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, t: float, value: float) -> None:
+        if self.times and t <= self.times[-1]:
+            raise MonitorError(f"{self.name}: non-monotonic sample time {t}")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def instant_rate(self) -> float:
+        """Per-second rate of increase from the last two data points —
+        the paper's 'instant rate of increase' (§VI)."""
+        if len(self.times) < 2:
+            raise MonitorError(f"{self.name}: instant rate needs two samples")
+        dt = self.times[-1] - self.times[-2]
+        return (self.values[-1] - self.values[-2]) / dt
+
+    def rates(self) -> list[float]:
+        """Per-interval rates over the whole series."""
+        return [
+            (v1 - v0) / (t1 - t0)
+            for (t0, v0), (t1, v1) in zip(
+                zip(self.times, self.values), zip(self.times[1:], self.values[1:])
+            )
+        ]
+
+    def last(self) -> float:
+        if not self.values:
+            raise MonitorError(f"{self.name}: empty series")
+        return self.values[-1]
+
+
+class Scraper:
+    """Snapshots registry samples into per-metric time series."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.series: dict[str, TimeSeries] = {}
+
+    def scrape(self, t: float) -> None:
+        for sample in self.registry.collect():
+            key = sample.render().split(" ")[0]  # name{labels}
+            ts = self.series.get(key)
+            if ts is None:
+                ts = TimeSeries(key)
+                self.series[key] = ts
+            ts.observe(t, sample.value)
+
+    def get(self, key: str) -> TimeSeries:
+        try:
+            return self.series[key]
+        except KeyError:
+            raise MonitorError(f"no series {key!r} scraped yet") from None
+
+
+class StabilityMonitor:
+    """Declares steady state once the rate has stayed within ``tolerance``
+    of its window mean for ``window`` consecutive intervals."""
+
+    def __init__(self, window: int = 3, tolerance: float = 0.01) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self.tolerance = tolerance
+
+    def is_stable(self, series: TimeSeries) -> bool:
+        rates = series.rates()
+        if len(rates) < self.window:
+            return False
+        recent = rates[-self.window :]
+        mean = sum(recent) / len(recent)
+        if mean == 0:
+            return all(r == 0 for r in recent)
+        return all(abs(r - mean) <= self.tolerance * abs(mean) for r in recent)
+
+    def stable_rate(self, series: TimeSeries) -> float:
+        """The steady-state rate (instant rate once stable)."""
+        if not self.is_stable(series):
+            raise MonitorError(f"{series.name}: not yet stable")
+        return series.instant_rate()

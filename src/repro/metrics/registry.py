@@ -1,0 +1,205 @@
+"""Prometheus-style metrics primitives.
+
+The paper instruments the RPC-over-RDMA library itself with a Prometheus
+client and scrapes it from a monitoring server (§VI).  This module is that
+client: counters, gauges and histograms with label support, a registry,
+and the text exposition format.  :mod:`repro.metrics.monitor` adds the
+scraping/stability side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MetricError", "Counter", "Gauge", "Histogram", "MetricsRegistry", "Sample"]
+
+
+class MetricError(ValueError):
+    """Invalid metric usage (bad labels, negative counter increment...)."""
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def render(self) -> str:
+        if self.labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+            return f"{self.name}{{{inner}}} {self.value}"
+        return f"{self.name} {self.value}"
+
+
+class _MetricBase:
+    def __init__(self, name: str, help_text: str, label_names: tuple[str, ...]) -> None:
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], "_MetricBase"] = {}
+        self._is_child = False
+
+    def labels(self, *values: str):
+        """Child metric for one label combination."""
+        if self._is_child:
+            raise MetricError("labels() on a child metric")
+        if len(values) != len(self.label_names):
+            raise MetricError(
+                f"{self.name}: expected {len(self.label_names)} label values, got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name, self.help, ())
+            child._is_child = True
+            self._children[key] = child
+        return child
+
+    def _check_leaf(self) -> None:
+        if self.label_names and not self._is_child:
+            raise MetricError(f"{self.name}: call .labels(...) first")
+
+    def samples(self) -> list[Sample]:
+        raise NotImplementedError
+
+    def _iter_leaves(self):
+        if self.label_names and not self._is_child:
+            for key, child in self._children.items():
+                yield tuple(zip(self.label_names, key)), child
+        else:
+            yield (), self
+
+
+class Counter(_MetricBase):
+    """Monotonically increasing value."""
+
+    def __init__(self, name: str, help_text: str = "", label_names: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters cannot decrease")
+        self.value += amount
+
+    def samples(self) -> list[Sample]:
+        return [
+            Sample(self.name, labels, leaf.value) for labels, leaf in self._iter_leaves()
+        ]
+
+
+class Gauge(_MetricBase):
+    """Freely settable value."""
+
+    def __init__(self, name: str, help_text: str = "", label_names: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help_text, label_names)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self._check_leaf()
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        self.value -= amount
+
+    def samples(self) -> list[Sample]:
+        return [
+            Sample(self.name, labels, leaf.value) for labels, leaf in self._iter_leaves()
+        ]
+
+
+class Histogram(_MetricBase):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    DEFAULT_BUCKETS = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, float("inf"))
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        if list(buckets) != sorted(buckets):
+            raise MetricError("buckets must be sorted")
+        if buckets and buckets[-1] != float("inf"):
+            buckets = tuple(buckets) + (float("inf"),)
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self._check_leaf()
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def samples(self) -> list[Sample]:
+        out = []
+        for labels, leaf in self._iter_leaves():
+            cumulative = 0
+            for bound, c in zip(leaf.buckets, leaf.counts):
+                cumulative += c
+                le = "+Inf" if bound == float("inf") else repr(bound)
+                out.append(
+                    Sample(f"{self.name}_bucket", labels + (("le", le),), cumulative)
+                )
+            out.append(Sample(f"{self.name}_sum", labels, leaf.total))
+            out.append(Sample(f"{self.name}_count", labels, leaf.count))
+        return out
+
+
+class MetricsRegistry:
+    """Holds all metrics; renders the text exposition format."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _MetricBase] = {}
+
+    def register(self, metric: _MetricBase):
+        if metric.name in self._metrics:
+            raise MetricError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "", label_names: tuple[str, ...] = ()) -> Counter:
+        return self.register(Counter(name, help_text, label_names))
+
+    def gauge(self, name: str, help_text: str = "", label_names: tuple[str, ...] = ()) -> Gauge:
+        return self.register(Gauge(name, help_text, label_names))
+
+    def histogram(self, name: str, help_text: str = "", label_names: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = Histogram.DEFAULT_BUCKETS) -> Histogram:
+        return self.register(Histogram(name, help_text, label_names, buckets))
+
+    def get(self, name: str) -> _MetricBase:
+        return self._metrics[name]
+
+    def collect(self) -> list[Sample]:
+        out: list[Sample] = []
+        for metric in self._metrics.values():
+            out.extend(metric.samples())
+        return out
+
+    def expose(self) -> str:
+        """Prometheus text format (simplified: HELP + samples)."""
+        lines = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.extend(s.render() for s in metric.samples())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,496 @@
+"""The custom arena-based protobuf deserializer (paper §V-C).
+
+This is the code that runs on the DPU: it parses proto3 wire bytes and
+constructs, inside a bump-pointer arena, a byte-exact C++ object for the
+host's ABI — default-instance memcpy (which seeds the vptr), scalar stores
+at member offsets, presence-bit updates, hand-crafted ``std::string``
+instances (honouring SSO), repeated-field element arrays, and recursively
+allocated child messages.  Because the arena lives inside the outgoing
+protocol block and the block is mirrored at the same virtual address on
+the host, every internal pointer the deserializer writes is valid on the
+host without adjustment (§III-B).
+
+It is driven entirely by the :class:`~repro.offload.adt.Adt` — no message
+descriptors, no generated code — which is what lets one DPU binary serve
+any protobuf schema (§V-B).
+
+The deserializer also keeps an operation census (:class:`DeserializeStats`)
+— varints decoded, bytes copied, UTF-8 bytes validated, messages recursed —
+which the calibrated cost model converts into CPU/DPU time for the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abi import StringLayout, StdLib
+from repro.abi.cpp_types import REPEATED_HEADER, LibcxxString, LibstdcxxString
+from repro.memory import Arena
+from repro.proto.descriptor import FieldType
+from repro.proto.utf8 import validate_utf8
+from repro.proto.wire_format import (
+    TruncatedMessageError,
+    WireFormatError,
+    WireType,
+    decode_packed_varints,
+    read_fixed32,
+    read_fixed64,
+    read_tag,
+    read_varint,
+)
+
+from .adt import Adt, AdtEntry, AdtField
+
+__all__ = ["DeserializeError", "DeserializeStats", "ArenaDeserializer"]
+
+_U64 = (1 << 64) - 1
+HASBITS_OFFSET = 8  # immediately after the vptr, see MessageLayout
+
+
+class DeserializeError(WireFormatError):
+    """Offloaded deserialization failed (bad wire data)."""
+
+
+@dataclass
+class DeserializeStats:
+    """Operation census for the cost model (reset per measurement)."""
+
+    messages: int = 0
+    varints_decoded: int = 0
+    varint_bytes: int = 0
+    fixed_fields: int = 0
+    string_bytes_copied: int = 0
+    utf8_bytes_validated: int = 0
+    array_elements: int = 0
+    bytes_memcpy: int = 0  # default-instance and array stores
+    max_depth: int = 0
+
+    def reset(self) -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, 0)
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _zigzag_decode(v: int) -> int:
+    return (v >> 1) ^ -(v & 1)
+
+
+def _u32_to_i32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+def _u64_to_i64(v: int) -> int:
+    v &= _U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+# numpy dtypes for repeated-scalar element storage (little-endian).
+_ELEM_DTYPE = {
+    FieldType.BOOL: np.dtype("u1"),
+    FieldType.INT32: np.dtype("<i4"),
+    FieldType.SINT32: np.dtype("<i4"),
+    FieldType.SFIXED32: np.dtype("<i4"),
+    FieldType.ENUM: np.dtype("<i4"),
+    FieldType.UINT32: np.dtype("<u4"),
+    FieldType.FIXED32: np.dtype("<u4"),
+    FieldType.INT64: np.dtype("<i8"),
+    FieldType.SINT64: np.dtype("<i8"),
+    FieldType.SFIXED64: np.dtype("<i8"),
+    FieldType.UINT64: np.dtype("<u8"),
+    FieldType.FIXED64: np.dtype("<u8"),
+    FieldType.FLOAT: np.dtype("<f4"),
+    FieldType.DOUBLE: np.dtype("<f8"),
+}
+
+_FIXED_WIDTH = {
+    FieldType.FIXED32: 4,
+    FieldType.SFIXED32: 4,
+    FieldType.FLOAT: 4,
+    FieldType.FIXED64: 8,
+    FieldType.SFIXED64: 8,
+    FieldType.DOUBLE: 8,
+}
+
+
+class ArenaDeserializer:
+    """Deserializes wire bytes into host-ABI objects inside an arena."""
+
+    def __init__(self, adt: Adt, stats: DeserializeStats | None = None) -> None:
+        self.adt = adt
+        self.stats = stats or DeserializeStats()
+        self.string_layout: StringLayout = (
+            LibstdcxxString() if adt.stdlib is StdLib.LIBSTDCXX else LibcxxString()
+        )
+
+    # ------------------------------------------------------------------ API
+
+    def deserialize(self, root_index: int, wire, arena: Arena) -> int:
+        """Parse ``wire`` as the message class at ``root_index``; build the
+        object in ``arena``; returns the object's virtual address."""
+        buf = bytes(wire)
+        return self._parse_message(root_index, buf, 0, len(buf), arena, depth=1)
+
+    def deserialize_by_name(self, full_name: str, wire, arena: Arena) -> int:
+        return self.deserialize(self.adt.index_of(full_name), wire, arena)
+
+    # ------------------------------------------------------- size estimation
+
+    def estimate_size(self, root_index: int, wire) -> int:
+        """Cheap upper bound on the arena bytes :meth:`deserialize` will
+        consume — used to reserve payload space in the outgoing block
+        before constructing the object in place."""
+        buf = bytes(wire)
+        return self._estimate(root_index, buf, 0, len(buf)) + 64
+
+    def _estimate(self, index: int, buf: bytes, pos: int, end: int) -> int:
+        entry = self.adt.entry(index)
+        total = _align8(entry.sizeof) + 8
+        sso = self.string_layout.sso_capacity
+        str_size = self.string_layout.size
+        while pos < end:
+            number, wt, pos = read_tag(buf, pos)
+            f = entry.field_by_number(number)
+            if wt == WireType.VARINT:
+                _, pos = read_varint(buf, pos)
+                if f is not None and f.repeated:
+                    total += f.elem_size + 8
+            elif wt == WireType.FIXED64:
+                pos += 8
+                if f is not None and f.repeated:
+                    total += f.elem_size + 8
+            elif wt == WireType.FIXED32:
+                pos += 4
+                if f is not None and f.repeated:
+                    total += f.elem_size + 8
+            else:  # LENGTH_DELIMITED
+                n, pos = read_varint(buf, pos)
+                if pos + n > end:
+                    raise TruncatedMessageError("length-delimited field overruns buffer")
+                if f is None:
+                    pass
+                elif f.kind is FieldType.MESSAGE:
+                    total += self._estimate(f.child, buf, pos, pos + n) + 16
+                elif f.kind in (FieldType.STRING, FieldType.BYTES):
+                    if f.repeated:
+                        total += _align8(str_size) + 8
+                    if n > sso:
+                        total += _align8(n + 1) + 8
+                elif f.repeated:
+                    # packed run
+                    width = _FIXED_WIDTH.get(f.kind)
+                    if width is not None:
+                        count = n // width
+                    else:
+                        count = sum(1 for b in buf[pos : pos + n] if b < 0x80)
+                    total += count * f.elem_size + 16
+                pos += n
+        return total
+
+    # --------------------------------------------------------------- parsing
+
+    def _parse_message(
+        self, index: int, buf: bytes, pos: int, end: int, arena: Arena, depth: int
+    ) -> int:
+        entry = self.adt.entry(index)
+        obj = arena.allocate(entry.sizeof, entry.alignof)
+        # memcpy the default instance: vptr, zeroed scalars, SSO-empty
+        # strings pointing at the host's global default instance (§V-B).
+        arena.space.write(obj, entry.default_bytes)
+        self.stats.bytes_memcpy += entry.sizeof
+        self.stats.messages += 1
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        self._parse_into(entry, obj, buf, pos, end, arena, depth)
+        return obj
+
+    def _parse_into(
+        self,
+        entry: AdtEntry,
+        obj: int,
+        buf: bytes,
+        pos: int,
+        end: int,
+        arena: Arena,
+        depth: int,
+    ) -> None:
+        space = arena.space
+        # Repeated fields accumulate here and materialize at the end:
+        # number -> list of python values / (addr for messages).
+        pending_repeated: dict[int, list] = {}
+        while pos < end:
+            number, wt, pos = read_tag(buf, pos)
+            f = entry.field_by_number(number)
+            if f is None:
+                pos = self._skip(buf, pos, wt, end)
+                continue
+            try:
+                pos = self._parse_field(
+                    entry, f, obj, wt, buf, pos, end, arena, depth, pending_repeated
+                )
+            except (WireFormatError, ValueError) as exc:
+                raise DeserializeError(f"{entry.full_name}.{f.name}: {exc}") from exc
+        if pos != end:
+            raise DeserializeError(f"{entry.full_name}: overran submessage end")
+        if pending_repeated:
+            for number, values in pending_repeated.items():
+                self._materialize_repeated(entry.field_by_number(number), obj, values, arena)
+
+    def _skip(self, buf: bytes, pos: int, wt: int, end: int) -> int:
+        if wt == WireType.VARINT:
+            _, pos = read_varint(buf, pos)
+        elif wt == WireType.FIXED64:
+            pos += 8
+        elif wt == WireType.FIXED32:
+            pos += 4
+        else:
+            n, pos = read_varint(buf, pos)
+            pos += n
+        if pos > end:
+            raise TruncatedMessageError("skipped field overruns buffer")
+        return pos
+
+    def _set_has_bit(self, space, obj: int, has_bit: int) -> None:
+        word_addr = obj + HASBITS_OFFSET + 4 * (has_bit // 32)
+        space.write_u32(word_addr, space.read_u32(word_addr) | (1 << (has_bit % 32)))
+
+    def _clear_has_bit(self, space, obj: int, has_bit: int) -> None:
+        word_addr = obj + HASBITS_OFFSET + 4 * (has_bit // 32)
+        space.write_u32(
+            word_addr, space.read_u32(word_addr) & ~(1 << (has_bit % 32)) & 0xFFFFFFFF
+        )
+
+    def _slot_size(self, f: AdtField) -> int:
+        if f.repeated:
+            return REPEATED_HEADER.size
+        if f.kind in (FieldType.STRING, FieldType.BYTES):
+            return self.string_layout.size
+        if f.kind is FieldType.MESSAGE:
+            return 8
+        return f.elem_size
+
+    def _clear_oneof_siblings(
+        self, entry: AdtEntry, f: AdtField, obj: int, space
+    ) -> None:
+        """Setting a oneof member clears the others (the union semantics
+        the dynamic API enforces; on the wire two members may appear in
+        sequence and the last one must win alone)."""
+        if f.oneof_group < 0:
+            return
+        for other in entry.fields:
+            if other.oneof_group != f.oneof_group or other.number == f.number:
+                continue
+            # Restore the sibling's slot from the default instance bytes
+            # (for strings that re-points the data pointer at the host
+            # default instance's SSO buffer, the canonical 'unset' form).
+            size = self._slot_size(other)
+            space.write(
+                obj + other.offset,
+                entry.default_bytes[other.offset : other.offset + size],
+            )
+            self._clear_has_bit(space, obj, other.has_bit)
+
+    def _read_scalar(self, f: AdtField, buf: bytes, pos: int, wt: int):
+        """One element of a numeric field from its natural wire type."""
+        kind = f.kind
+        if kind in _FIXED_WIDTH:
+            self.stats.fixed_fields += 1
+            if _FIXED_WIDTH[kind] == 4:
+                raw, pos = read_fixed32(buf, pos)
+                if kind is FieldType.SFIXED32:
+                    return _u32_to_i32(raw), pos
+                if kind is FieldType.FLOAT:
+                    return np.frombuffer(raw.to_bytes(4, "little"), dtype="<f4")[0], pos
+                return raw, pos
+            raw, pos = read_fixed64(buf, pos)
+            if kind is FieldType.SFIXED64:
+                return _u64_to_i64(raw), pos
+            if kind is FieldType.DOUBLE:
+                return np.frombuffer(raw.to_bytes(8, "little"), dtype="<f8")[0], pos
+            return raw, pos
+        start = pos
+        raw, pos = read_varint(buf, pos)
+        self.stats.varints_decoded += 1
+        self.stats.varint_bytes += pos - start
+        if kind is FieldType.BOOL:
+            return 1 if raw else 0, pos
+        if kind in (FieldType.SINT32, FieldType.SINT64):
+            return _zigzag_decode(raw), pos
+        if kind in (FieldType.INT32, FieldType.ENUM):
+            return _u32_to_i32(raw), pos
+        if kind is FieldType.INT64:
+            return _u64_to_i64(raw), pos
+        if kind is FieldType.UINT32:
+            return raw & 0xFFFFFFFF, pos
+        return raw, pos  # uint64
+
+    def _store_scalar(self, space, f: AdtField, addr: int, value) -> None:
+        dtype = _ELEM_DTYPE[f.kind]
+        space.write(addr, np.asarray(value, dtype=dtype).tobytes())
+
+    def _expected_wire_type(self, kind: FieldType) -> int:
+        if kind in (FieldType.FIXED32, FieldType.SFIXED32, FieldType.FLOAT):
+            return WireType.FIXED32
+        if kind in (FieldType.FIXED64, FieldType.SFIXED64, FieldType.DOUBLE):
+            return WireType.FIXED64
+        if kind in (FieldType.STRING, FieldType.BYTES, FieldType.MESSAGE):
+            return WireType.LENGTH_DELIMITED
+        return WireType.VARINT
+
+    def _parse_field(
+        self,
+        entry: AdtEntry,
+        f: AdtField,
+        obj: int,
+        wt: int,
+        buf: bytes,
+        pos: int,
+        end: int,
+        arena: Arena,
+        depth: int,
+        pending_repeated: dict[int, list],
+    ) -> int:
+        space = arena.space
+        kind = f.kind
+
+        if kind is FieldType.MESSAGE:
+            if wt != WireType.LENGTH_DELIMITED:
+                raise DeserializeError(f"message field with wire type {wt}")
+            n, pos = read_varint(buf, pos)
+            if pos + n > end:
+                raise TruncatedMessageError("submessage overruns parent")
+            if f.repeated:
+                child = self._parse_message(f.child, buf, pos, pos + n, arena, depth + 1)
+                pending_repeated.setdefault(f.number, []).append(child)
+            else:
+                self._clear_oneof_siblings(entry, f, obj, space)
+                existing = space.read_u64(obj + f.offset)
+                if existing == 0:
+                    child = self._parse_message(f.child, buf, pos, pos + n, arena, depth + 1)
+                    space.write_u64(obj + f.offset, child)
+                else:
+                    # proto3 merge: re-parse into the existing child.
+                    self._parse_into(
+                        self.adt.entry(f.child), existing, buf, pos, pos + n, arena, depth + 1
+                    )
+                self._set_has_bit(space, obj, f.has_bit)
+            return pos + n
+
+        if kind in (FieldType.STRING, FieldType.BYTES):
+            if wt != WireType.LENGTH_DELIMITED:
+                raise DeserializeError(f"{kind.value} field with wire type {wt}")
+            n, pos = read_varint(buf, pos)
+            if pos + n > end:
+                raise TruncatedMessageError("string overruns buffer")
+            raw = buf[pos : pos + n]
+            if kind is FieldType.STRING:
+                validate_utf8(raw)
+                self.stats.utf8_bytes_validated += n
+            self.stats.string_bytes_copied += n
+            if f.repeated:
+                pending_repeated.setdefault(f.number, []).append(raw)
+            else:
+                self._clear_oneof_siblings(entry, f, obj, space)
+                self._write_string(arena, obj + f.offset, raw)
+                self._set_has_bit(space, obj, f.has_bit)
+            return pos + n
+
+        # Numeric scalar.
+        if f.repeated and wt == WireType.LENGTH_DELIMITED:
+            n, pos = read_varint(buf, pos)
+            if pos + n > end:
+                raise TruncatedMessageError("packed run overruns buffer")
+            values = self._decode_packed(f, buf, pos, pos + n)
+            pending_repeated.setdefault(f.number, []).extend(values)
+            return pos + n
+        if wt != self._expected_wire_type(kind):
+            raise DeserializeError(f"wire type {wt} for {kind.value} field")
+        value, pos = self._read_scalar(f, buf, pos, wt)
+        if f.repeated:
+            pending_repeated.setdefault(f.number, []).append(value)
+        else:
+            self._clear_oneof_siblings(entry, f, obj, space)
+            self._store_scalar(space, f, obj + f.offset, value)
+            self._set_has_bit(space, obj, f.has_bit)
+        return pos
+
+    # ------------------------------------------------------------ composites
+
+    def _write_string(self, arena: Arena, addr: int, raw: bytes) -> None:
+        layout = self.string_layout
+        data_addr = None
+        if len(raw) > layout.sso_capacity:
+            data_addr = arena.allocate(len(raw) + 1, alignment=8)
+        layout.write(arena.space, addr, raw, data_addr)
+
+    def _decode_packed(self, f: AdtField, buf: bytes, pos: int, end: int) -> list:
+        """Decode a packed run.  Varint kinds take the vectorized wide
+        path (the DPU analog of decoding many elements per iteration);
+        fixed-width kinds are a single reinterpreting view."""
+        kind = f.kind
+        width = _FIXED_WIDTH.get(kind)
+        if width is not None:
+            if (end - pos) % width:
+                raise DeserializeError("packed fixed run not a multiple of element width")
+            arr = np.frombuffer(buf[pos:end], dtype=_ELEM_DTYPE[kind])
+            self.stats.fixed_fields += len(arr)
+            return list(arr)
+        raw = decode_packed_varints(buf[pos:end])
+        self.stats.varints_decoded += len(raw)
+        self.stats.varint_bytes += end - pos
+        if kind is FieldType.BOOL:
+            return list((raw != 0).astype("u1"))
+        if kind in (FieldType.SINT32, FieldType.SINT64):
+            dec = (raw >> np.uint64(1)).astype(np.int64) ^ -(raw & np.uint64(1)).astype(np.int64)
+            return list(dec)
+        if kind in (FieldType.INT32, FieldType.ENUM):
+            return list(raw.astype(np.uint32).astype(np.int32))
+        if kind is FieldType.INT64:
+            return list(raw.astype(np.int64))
+        if kind is FieldType.UINT32:
+            return list(raw.astype(np.uint32))
+        return list(raw)  # uint64
+
+    def _materialize_repeated(self, f: AdtField, obj: int, values: list, arena: Arena) -> None:
+        space = arena.space
+        # proto3 merge: if the object already carries elements (a singular
+        # parent message field occurred twice and was merged), the new
+        # occurrences append after them.
+        old_elems, old_count, _ = REPEATED_HEADER.read(space, obj + f.offset)
+        count = old_count + len(values)
+        self.stats.array_elements += len(values)
+        if f.kind is FieldType.MESSAGE:
+            # Array of pointers; children are already constructed.
+            elems = arena.allocate(8 * count, alignment=8)
+            old = space.read(old_elems, 8 * old_count) if old_count else b""
+            space.write(
+                elems, old + b"".join(int(v).to_bytes(8, "little") for v in values)
+            )
+            self.stats.bytes_memcpy += 8 * count
+        elif f.kind in (FieldType.STRING, FieldType.BYTES):
+            # Dense array of std::string objects; data follows in the
+            # arena.  Existing SSO strings self-point, so moving them
+            # requires re-crafting, not memcpy.
+            str_size = self.string_layout.size
+            elems = arena.allocate(str_size * count, alignment=8)
+            old_values = [
+                bytes(self.string_layout.read(space, old_elems + str_size * i))
+                for i in range(old_count)
+            ]
+            for i, raw in enumerate(old_values + values):
+                self._write_string(arena, elems + str_size * i, raw)
+        else:
+            dtype = _ELEM_DTYPE[f.kind]
+            data = np.asarray(values, dtype=dtype).tobytes()
+            old = space.read(old_elems, old_count * dtype.itemsize) if old_count else b""
+            elems = arena.allocate(old_count * dtype.itemsize + len(data), alignment=8)
+            if old or data:
+                space.write(elems, old + data)
+            self.stats.bytes_memcpy += len(data)
+        REPEATED_HEADER.write(space, obj + f.offset, elems, count)
+        self._set_has_bit(space, obj, f.has_bit)

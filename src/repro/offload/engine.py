@@ -1,0 +1,405 @@
+"""The offload engines: DPU-side and host-side halves of Figure 1's
+host/DPU connection.
+
+``HostEngine`` (host):
+
+* owns the :class:`~repro.offload.adt.TypeUniverse` (vtables + default
+  instances in host globals memory) and builds/encodes the ADT;
+* registers business-logic callbacks that receive the request as a
+  zero-copy :class:`~repro.offload.materialize.CppMessageView` — the
+  object was fully constructed by the DPU, no deserialization happens
+  here;
+* serializes responses on the host (response serialization is *not*
+  offloaded, matching the paper's prototype, §III-A).
+
+``DpuEngine`` (DPU):
+
+* receives the bootstrap blob (ADT + method table + ABI note) once at
+  startup (§V-B) and instantiates the
+  :class:`~repro.offload.arena_deserializer.ArenaDeserializer` from it;
+* for each xRPC request, deserializes the protobuf payload **directly
+  into the outgoing protocol block** (the arena *is* the payload) and
+  enqueues it, so the host receives a ready C++ object at a shared
+  virtual address.
+
+``create_offload_pair`` wires both over one RPC-over-RDMA channel and
+performs the startup handshake: binary-compatibility check (§V-A), ADT
+transfer over an RDMA SEND, method-table agreement.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.abi import AbiConfig, check_compatibility
+from repro.core import (
+    Channel,
+    Flags,
+    IncomingRequest,
+    ProtocolConfig,
+    Response,
+    create_channel,
+)
+from repro.core.config import CLIENT_DEFAULTS, SERVER_DEFAULTS
+from repro.memory import Arena
+from repro.proto import CompiledSchema, Message, serialize
+from repro.proto.descriptor import MessageDescriptor
+from repro.rdma import Opcode, WorkRequest
+
+from .adt import Adt, AdtError, TypeUniverse, decode_adt, encode_adt
+from .arena_deserializer import ArenaDeserializer, DeserializeStats
+from .materialize import CppMessageView
+
+__all__ = [
+    "MethodSpec",
+    "HostEngine",
+    "DpuEngine",
+    "OffloadPair",
+    "create_offload_pair",
+    "encode_bootstrap",
+    "decode_bootstrap",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One offloadable procedure: numeric ID, input message type, and —
+    when response serialization is offloaded too — the output type."""
+
+    method_id: int
+    name: str
+    input_type: str  # full message type name
+    output_type: str | None = None  # set => responses cross as objects
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap blob: ADT + method table
+# ---------------------------------------------------------------------------
+
+_BOOT_MAGIC = b"BOOT"
+
+
+def encode_bootstrap(adt: Adt, methods: list[MethodSpec]) -> bytes:
+    out = bytearray(_BOOT_MAGIC)
+    adt_bytes = encode_adt(adt)
+    out += struct.pack("<I", len(adt_bytes))
+    out += adt_bytes
+    out += struct.pack("<H", len(methods))
+    by_name = {e.full_name: i for i, e in enumerate(adt.entries)}
+    for m in methods:
+        name = m.name.encode()
+        output_idx = by_name[m.output_type] if m.output_type else -1
+        out += struct.pack("<Hhh", m.method_id, by_name[m.input_type], output_idx)
+        out += struct.pack("<H", len(name)) + name
+    return bytes(out)
+
+
+def decode_bootstrap(
+    data: bytes,
+) -> tuple[Adt, dict[int, int], dict[int, str], dict[int, int]]:
+    """Returns (adt, method_id -> input entry index, method_id -> name,
+    method_id -> output entry index [response-offloaded methods only])."""
+    if data[:4] != _BOOT_MAGIC:
+        raise AdtError("bad bootstrap magic")
+    (adt_len,) = struct.unpack_from("<I", data, 4)
+    pos = 8
+    adt = decode_adt(data[pos : pos + adt_len])
+    pos += adt_len
+    (n,) = struct.unpack_from("<H", data, pos)
+    pos += 2
+    table: dict[int, int] = {}
+    names: dict[int, str] = {}
+    outputs: dict[int, int] = {}
+    for _ in range(n):
+        mid, entry_idx, output_idx = struct.unpack_from("<Hhh", data, pos)
+        pos += 6
+        (name_len,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        names[mid] = data[pos : pos + name_len].decode()
+        pos += name_len
+        table[mid] = entry_idx
+        if output_idx >= 0:
+            outputs[mid] = output_idx
+    return adt, table, names, outputs
+
+
+# ---------------------------------------------------------------------------
+# Host side
+# ---------------------------------------------------------------------------
+
+#: Host business-logic callback: receives the zero-copy view of the
+#: already-deserialized request; returns the response Message (serialized
+#: on the host) or raw bytes.
+HostCallback = Callable[[CppMessageView, IncomingRequest], "Message | bytes | Response"]
+
+
+class HostEngine:
+    """Host half: compatibility layer feeding ready objects to callbacks."""
+
+    def __init__(self, channel: Channel, schema: CompiledSchema, abi: AbiConfig | None = None) -> None:
+        self.channel = channel
+        self.schema = schema
+        self.universe = TypeUniverse(channel.server_space, abi)
+        self.methods: list[MethodSpec] = []
+        self._input_descriptors: dict[int, MessageDescriptor] = {}
+
+    def register_method(self, method_id: int, input_type: str, callback: HostCallback,
+                        name: str | None = None, output_type: str | None = None) -> None:
+        """Register business logic for ``method_id``.  The wrapper converts
+        the incoming block payload address into a typed view — the entire
+        'deserialization' the host performs.
+
+        With ``output_type`` set, *response serialization is offloaded
+        too*: the callback's response Message is written into the response
+        block as a C++ object (no host-side serialization) and the DPU
+        serializes it for the xRPC client (§III-A).
+        """
+        desc = self.schema.pool.message(input_type)
+        self.methods.append(
+            MethodSpec(method_id, name or f"m{method_id}", input_type, output_type)
+        )
+        self._input_descriptors[method_id] = desc
+        layout = self.universe.layouts.layout(desc)
+        output_desc = self.schema.pool.message(output_type) if output_type else None
+
+        def handler(request: IncomingRequest) -> Response:
+            view = CppMessageView(self.universe, layout, request.payload_addr)
+            result = callback(view, request)
+            if isinstance(result, Response):
+                return result
+            if isinstance(result, Message):
+                if output_desc is not None:
+                    if result.DESCRIPTOR.full_name != output_desc.full_name:
+                        raise TypeError(
+                            f"method {method_id}: expected {output_desc.full_name} "
+                            f"response, got {result.DESCRIPTOR.full_name}"
+                        )
+                    return self._object_response(result)
+                return Response.from_bytes(serialize(result))
+            return Response.from_bytes(result)
+
+        self.channel.server.register(method_id, handler)
+
+    def _object_response(self, result: Message) -> Response:
+        """Ship a response as an in-block C++ object (zero host-side
+        serialization): build it in place via the object builder."""
+        from repro.memory import Arena
+
+        from .object_builder import build_object, object_size_upper_bound
+
+        bound = object_size_upper_bound(self.universe, result)
+
+        def writer(space, addr: int) -> int:
+            arena = Arena(space, addr, bound)
+            obj = build_object(self.universe, result, arena)
+            assert obj == addr
+            return arena.used
+
+        return Response(size=bound, writer=writer, flags=Flags.OBJECT_PAYLOAD)
+
+    def bootstrap_bytes(self) -> bytes:
+        """Encode the ADT + method table, built over every registered
+        input type and every response-offloaded output type (transmitted
+        once, §V-B)."""
+        roots = [self._input_descriptors[m.method_id] for m in self.methods]
+        roots += [
+            self.schema.pool.message(m.output_type)
+            for m in self.methods
+            if m.output_type
+        ]
+        adt = self.universe.build_adt(roots)
+        return encode_bootstrap(adt, self.methods)
+
+    def send_bootstrap(self) -> None:
+        """Ship the bootstrap blob to the DPU over an RDMA SEND (consumes
+        one of the DPU's pre-posted receive WQEs)."""
+        data = self.bootstrap_bytes()
+        server = self.channel.server
+        staging = server.allocator.allocate(len(data), 8)
+        addr = server.sbuf.base + staging
+        server.space.write(addr, data)
+        server.qp.post_send(
+            WorkRequest(wr_id=0xB007, opcode=Opcode.SEND, local_addr=addr, length=len(data))
+        )
+        server.allocator.free(staging)
+
+    def progress(self) -> int:
+        return self.channel.server.progress()
+
+
+# ---------------------------------------------------------------------------
+# DPU side
+# ---------------------------------------------------------------------------
+
+
+class DpuEngine:
+    """DPU half: turns serialized protobuf requests into in-block C++
+    objects and ships them over the protocol."""
+
+    def __init__(self, channel: Channel, abi: AbiConfig | None = None) -> None:
+        self.channel = channel
+        self.abi = abi or AbiConfig()
+        self.adt: Adt | None = None
+        self.method_table: dict[int, int] = {}
+        self.method_names: dict[int, str] = {}
+        #: method_id -> ADT entry index of the output type, for methods
+        #: whose response serialization is offloaded to this side.
+        self.method_outputs: dict[int, int] = {}
+        self.deserializer: ArenaDeserializer | None = None
+        self.stats = DeserializeStats()
+
+    # -- bootstrap -------------------------------------------------------------
+
+    def receive_bootstrap(self, max_polls: int = 1000) -> None:
+        """Wait for the host's bootstrap SEND and build the deserializer."""
+        client = self.channel.client
+        for _ in range(max_polls):
+            client.progress()
+            if client.inbound_sends:
+                data = client.inbound_sends.popleft()
+                self._install_bootstrap(bytes(data))
+                return
+        raise AdtError("bootstrap blob never arrived")
+
+    def _install_bootstrap(self, data: bytes) -> None:
+        adt, table, names, outputs = decode_bootstrap(data)
+        if adt.stdlib is not (self.abi.stdlib):
+            # The DPU must craft strings for the *host's* stdlib; it adapts
+            # rather than rejecting (§V-C: the layout to use is chosen from
+            # the transmitted information).
+            pass
+        self.adt = adt
+        self.method_table = table
+        self.method_names = names
+        self.method_outputs = outputs
+        self.deserializer = ArenaDeserializer(adt, self.stats)
+
+    # -- datapath ----------------------------------------------------------------
+
+    def call(
+        self,
+        method_id: int,
+        wire_bytes: bytes,
+        on_response: Callable[[memoryview, int], None],
+        background: bool = False,
+    ) -> None:
+        """Offload one request: deserialize ``wire_bytes`` straight into
+        the outgoing block and enqueue it."""
+        if self.deserializer is None:
+            raise AdtError("bootstrap not received yet")
+        try:
+            root = self.method_table[method_id]
+        except KeyError:
+            raise AdtError(f"method {method_id} not in the offload table") from None
+        deserializer = self.deserializer
+        estimate = deserializer.estimate_size(root, wire_bytes)
+
+        def writer(space, addr: int) -> int:
+            arena = Arena(space, addr, estimate)
+            obj = deserializer.deserialize(root, wire_bytes, arena)
+            assert obj == addr, "root object must sit at the payload start"
+            return arena.used
+
+        output_idx = self.method_outputs.get(method_id)
+        continuation = on_response
+        if output_idx is not None:
+            # Response-serialization offload: the host ships an object; we
+            # serialize it here (on the DPU) before handing wire bytes to
+            # the caller.  Pointers inside the object resolve through the
+            # mirrored buffers, so we need the payload's address.
+            from repro.core.endpoint import AddressContinuation
+
+            from .view import serialize_object
+
+            space = self.channel.client.space
+
+            def on_object(payload_addr: int, payload_size: int, flags: int) -> None:
+                if flags & Flags.OBJECT_PAYLOAD:
+                    wire = serialize_object(self.adt, output_idx, space, payload_addr)
+                    on_response(memoryview(wire), flags & ~Flags.OBJECT_PAYLOAD)
+                else:
+                    # e.g. an ERROR response: plain bytes as usual.
+                    on_response(space.view(payload_addr, payload_size), flags)
+
+            continuation = AddressContinuation(on_object)
+
+        self.channel.client.enqueue(
+            method_id,
+            estimate,
+            writer,
+            continuation,
+            flags=Flags.BACKGROUND if background else Flags.NONE,
+        )
+
+    def call_message(self, method_id: int, message: Message, on_response) -> None:
+        """Convenience: serialize a message (the xRPC client's job) and
+        offload its deserialization."""
+        self.call(method_id, serialize(message), on_response)
+
+    def progress(self) -> int:
+        return self.channel.client.progress()
+
+
+# ---------------------------------------------------------------------------
+# Pair factory
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OffloadPair:
+    """A fully bootstrapped DPU+host deployment over one channel."""
+
+    channel: Channel
+    dpu: DpuEngine
+    host: HostEngine
+
+    def progress(self, iterations: int = 1) -> None:
+        for _ in range(iterations):
+            self.dpu.progress()
+            self.host.progress()
+
+    def run_until_idle(self, max_iters: int = 10_000) -> None:
+        for _ in range(max_iters):
+            self.dpu.progress()
+            self.host.progress()
+            client = self.channel.client
+            if client.outstanding == 0 and not client._send_queue:
+                return
+        raise RuntimeError("offload pair did not go idle")
+
+
+def create_offload_pair(
+    schema: CompiledSchema,
+    methods: list[tuple],
+    client_config: ProtocolConfig = CLIENT_DEFAULTS,
+    server_config: ProtocolConfig = SERVER_DEFAULTS,
+    dpu_abi: AbiConfig | None = None,
+    host_abi: AbiConfig | None = None,
+) -> OffloadPair:
+    """Build a channel, register methods, verify binary compatibility,
+    and run the ADT handshake.
+
+    ``methods`` entries are ``(method_id, input_type, callback)`` or
+    ``(method_id, input_type, callback, output_type)`` — the 4-tuple form
+    additionally offloads that method's *response serialization*.
+    """
+    dpu_abi = dpu_abi or AbiConfig()
+    host_abi = host_abi or AbiConfig()
+    channel = create_channel(client_config, server_config)
+    host = HostEngine(channel, schema, host_abi)
+    for entry in methods:
+        method_id, input_type, callback = entry[:3]
+        output_type = entry[3] if len(entry) > 3 else None
+        host.register_method(method_id, input_type, callback, output_type=output_type)
+        # §V-A: the pairing is validated, not assumed.
+        for type_name in filter(None, (input_type, output_type)):
+            report = check_compatibility(
+                schema.pool.message(type_name), dpu_abi, host_abi
+            )
+            report.raise_if_incompatible()
+    dpu = DpuEngine(channel, dpu_abi)
+    host.send_bootstrap()
+    dpu.receive_bootstrap()
+    return OffloadPair(channel, dpu, host)

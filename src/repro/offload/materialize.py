@@ -1,0 +1,178 @@
+"""Host-side access to offloaded (already deserialized) objects.
+
+The host receives a block whose payload *is* a live C++ object.  Real host
+code would simply cast the payload pointer to ``const Msg*``; the Python
+analog is :class:`CppMessageView`, which reads fields lazily through the
+layout — pointer dereferences resolve through the host address space, so a
+view access touches exactly the bytes a C++ field access would.
+
+:func:`read_message` eagerly converts an object back into a dynamic
+:class:`~repro.proto.message.Message`, which lets tests assert that the
+offloaded path and the reference deserializer agree on every input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.abi import AbiError, MessageLayout
+from repro.memory import AddressSpace
+from repro.proto.descriptor import FieldType
+from repro.proto.message import Message, MessageFactory
+
+from .adt import TypeUniverse
+
+__all__ = ["CppMessageView", "read_message", "verify_object"]
+
+
+def verify_object(universe: TypeUniverse, layout: MessageLayout, addr: int) -> None:
+    """Check the object's vptr references the expected vtable — the crash
+    the paper's default-instance memcpy avoids (§V-B) becomes an explicit
+    assertion here."""
+    vptr = layout.read_vptr(universe.space, addr)
+    expected = universe.vtable_address(layout.descriptor)
+    if vptr != expected:
+        raise AbiError(
+            f"{layout.descriptor.full_name} at {addr:#x}: vptr {vptr:#x} != "
+            f"vtable {expected:#x} (object corrupt or ABI mismatch)"
+        )
+
+
+class CppMessageView:
+    """Zero-copy, read-only view of a C++ message object in memory.
+
+    Field access follows exactly the memory trips host code makes: scalar
+    loads at member offsets, ``std::string`` data-pointer dereferences
+    (with the SSO fast path), repeated-header + element-array reads, and
+    child-pointer chases returning nested views.
+    """
+
+    __slots__ = ("_universe", "_layout", "_addr", "_space")
+
+    def __init__(self, universe: TypeUniverse, layout: MessageLayout, addr: int) -> None:
+        verify_object(universe, layout, addr)
+        object.__setattr__(self, "_universe", universe)
+        object.__setattr__(self, "_layout", layout)
+        object.__setattr__(self, "_addr", addr)
+        object.__setattr__(self, "_space", universe.space)
+
+    @property
+    def address(self) -> int:
+        return self._addr
+
+    @property
+    def type_name(self) -> str:
+        return self._layout.descriptor.full_name
+
+    def has_field(self, name: str) -> bool:
+        slot = self._layout.slot(name)
+        return self._layout.get_has_bit(self._space, self._addr, slot.has_bit)
+
+    def __getattr__(self, name: str) -> Any:
+        layout: MessageLayout = self._layout
+        slot = layout.slot(name)
+        space: AddressSpace = self._space
+        fd = slot.field
+        addr = self._addr + slot.offset
+
+        if fd.is_repeated:
+            return self._read_repeated(fd, addr)
+        if fd.type in (FieldType.STRING, FieldType.BYTES):
+            raw = bytes(layout.string_layout.read(space, addr))
+            return raw.decode("utf-8") if fd.type is FieldType.STRING else raw
+        if fd.type is FieldType.MESSAGE:
+            ptr = space.read_u64(addr)
+            child_layout = self._universe.layouts.layout(fd.message_type)
+            if ptr == 0:
+                # C++ semantics: accessing an unset submessage returns the
+                # (immutable) global default instance, never null — the
+                # same view a parsed Message gives via auto-vivification.
+                ptr = self._universe.default_instance(fd.message_type)
+            return CppMessageView(self._universe, child_layout, ptr)
+        return self._read_scalar(fd, addr)
+
+    def _read_scalar(self, fd, addr: int):
+        from repro.abi import member_primitive
+
+        prim = member_primitive(fd)
+        value = prim.unpack(self._space.read(addr, prim.size))
+        return value
+
+    def _read_repeated(self, fd, addr: int) -> list:
+        from repro.abi import REPEATED_HEADER, member_primitive
+
+        space = self._space
+        elems, count, _cap = REPEATED_HEADER.read(space, addr)
+        if count == 0:
+            return []
+        if fd.type is FieldType.MESSAGE:
+            child_layout = self._universe.layouts.layout(fd.message_type)
+            out = []
+            for i in range(count):
+                ptr = space.read_u64(elems + 8 * i)
+                out.append(CppMessageView(self._universe, child_layout, ptr))
+            return out
+        if fd.type in (FieldType.STRING, FieldType.BYTES):
+            sl = self._layout.string_layout
+            out = []
+            for i in range(count):
+                raw = bytes(sl.read(space, elems + sl.size * i))
+                out.append(raw.decode("utf-8") if fd.type is FieldType.STRING else raw)
+            return out
+        prim = member_primitive(fd)
+        return [
+            prim.unpack(space.read(elems + prim.size * i, prim.size))
+            for i in range(count)
+        ]
+
+    def fields(self) -> Iterator[str]:
+        for slot in self._layout.slots:
+            yield slot.field.name
+
+    def __repr__(self) -> str:
+        return f"<CppMessageView {self.type_name} @ {self._addr:#x}>"
+
+
+def read_message(
+    universe: TypeUniverse,
+    factory: MessageFactory,
+    full_name: str,
+    addr: int,
+) -> Message:
+    """Eagerly convert an offloaded object back into a dynamic Message
+    (test/debug path; applications use :class:`CppMessageView`)."""
+    desc = factory.pool.message(full_name)
+    layout = universe.layouts.layout(desc)
+    view = CppMessageView(universe, layout, addr)
+    return _view_to_message(factory, view)
+
+
+def _view_to_message(factory: MessageFactory, view: CppMessageView) -> Message:
+    desc = view._layout.descriptor
+    msg = factory.get_class(desc)()
+    for slot in view._layout.slots:
+        fd = slot.field
+        value = getattr(view, fd.name)
+        if fd.is_repeated:
+            if not value:
+                continue
+            if fd.type is FieldType.MESSAGE:
+                for child in value:
+                    getattr(msg, fd.name).append(_view_to_message(factory, child))
+            elif fd.type is FieldType.BOOL:
+                getattr(msg, fd.name).extend(bool(v) for v in value)
+            else:
+                getattr(msg, fd.name).extend(value)
+            continue
+        if fd.type is FieldType.MESSAGE:
+            # Presence, not the (never-null) accessor, decides whether the
+            # submessage exists in the logical value.
+            if view.has_field(fd.name):
+                setattr(msg, fd.name, _view_to_message(factory, value))
+            continue
+        if not view.has_field(fd.name):
+            continue
+        if fd.type is FieldType.BOOL:
+            value = bool(value)
+        setattr(msg, fd.name, value)
+    return msg

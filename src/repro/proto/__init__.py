@@ -1,0 +1,134 @@
+"""Protobuf substrate: proto3 parser, descriptors, messages, codec.
+
+This subpackage is a from-scratch implementation of the parts of Protocol
+Buffers the paper's system depends on: the proto3 schema language, the
+descriptor model, dynamic message classes (the generated-code analog), the
+wire format, a reference serializer/deserializer, and UTF-8 validation.
+
+Typical use::
+
+    from repro.proto import compile_schema
+
+    schema = compile_schema('''
+        syntax = "proto3";
+        package demo;
+        message Ping { uint32 seq = 1; string note = 2; }
+    ''')
+    Ping = schema["demo.Ping"]
+    data = Ping(seq=7, note="hi").SerializeToString()
+    again = Ping().ParseFromString(data)
+"""
+
+from __future__ import annotations
+
+from .descriptor import (
+    DescriptorError,
+    DescriptorPool,
+    EnumDescriptor,
+    FieldDescriptor,
+    FieldLabel,
+    FieldType,
+    MessageDescriptor,
+    MethodDescriptor,
+    ServiceDescriptor,
+)
+from .deserializer import DecodeError, parse, parse_into
+from .message import FieldValueError, Message, MessageFactory
+from .parser import ProtoParseError, compile_proto, parse_proto
+from .serializer import serialize, serialized_size
+from .json_format import (
+    JsonFormatError,
+    message_to_dict,
+    message_to_json,
+    parse_dict,
+    parse_json,
+)
+from .text_format import TextFormatError, message_to_string, parse_text
+from .utf8 import Utf8Error, validate_utf8
+from .wire_format import (
+    TruncatedMessageError,
+    WireFormatError,
+    WireType,
+    decode_zigzag,
+    encode_varint,
+    encode_zigzag,
+    read_varint,
+    varint_size,
+)
+
+__all__ = [
+    "CompiledSchema",
+    "compile_schema",
+    "DescriptorError",
+    "DescriptorPool",
+    "EnumDescriptor",
+    "FieldDescriptor",
+    "FieldLabel",
+    "FieldType",
+    "MessageDescriptor",
+    "MethodDescriptor",
+    "ServiceDescriptor",
+    "DecodeError",
+    "parse",
+    "parse_into",
+    "FieldValueError",
+    "Message",
+    "MessageFactory",
+    "ProtoParseError",
+    "compile_proto",
+    "parse_proto",
+    "serialize",
+    "serialized_size",
+    "Utf8Error",
+    "validate_utf8",
+    "JsonFormatError",
+    "message_to_dict",
+    "message_to_json",
+    "parse_dict",
+    "parse_json",
+    "TextFormatError",
+    "message_to_string",
+    "parse_text",
+    "TruncatedMessageError",
+    "WireFormatError",
+    "WireType",
+    "encode_varint",
+    "read_varint",
+    "varint_size",
+    "encode_zigzag",
+    "decode_zigzag",
+]
+
+
+class CompiledSchema:
+    """The result of compiling one or more .proto sources: a descriptor
+    pool, a message factory, and name-indexed access to generated classes
+    and services."""
+
+    def __init__(self) -> None:
+        self.pool = DescriptorPool()
+        self.factory = MessageFactory(self.pool)
+
+    def add(self, source: str, filename: str = "<string>") -> "CompiledSchema":
+        compile_proto(source, filename, self.pool)
+        return self
+
+    def __getitem__(self, full_name: str) -> type[Message]:
+        return self.factory.get_class_by_name(full_name)
+
+    def message_class(self, full_name: str) -> type[Message]:
+        return self.factory.get_class_by_name(full_name)
+
+    def service(self, full_name: str) -> ServiceDescriptor:
+        return self.pool.service(full_name)
+
+    def messages(self) -> list[MessageDescriptor]:
+        return self.pool.messages()
+
+
+def compile_schema(*sources: str) -> CompiledSchema:
+    """Compile proto3 source text(s) into a :class:`CompiledSchema`."""
+    schema = CompiledSchema()
+    for i, src in enumerate(sources):
+        schema.add(src, filename=f"<source-{i}>")
+    return schema

@@ -1,0 +1,215 @@
+"""Reference protobuf deserializer — the *non-offloaded* baseline.
+
+This is the deserializer the host CPU runs in the paper's baseline
+scenario: it parses proto3 wire bytes into the dynamic
+:class:`~repro.proto.message.Message` objects.  Like protobuf it
+
+* accepts fields in any order,
+* lets later occurrences of a singular field overwrite earlier ones
+  ("last one wins"),
+* merges repeated occurrences of an embedded message field,
+* accepts packed and unpacked encodings interchangeably for repeated
+  scalars, and
+* skips unknown fields by wire type.
+
+The offloaded equivalent, which decodes straight into C++ object layout in
+a shared-address-space arena, lives in
+:mod:`repro.offload.arena_deserializer`; the two must agree on every valid
+input (tested property-based).
+"""
+
+from __future__ import annotations
+
+from .descriptor import FieldDescriptor, FieldType, MessageDescriptor
+from .message import Message
+from .utf8 import Utf8Error, validate_utf8
+from .wire_format import (
+    TruncatedMessageError,
+    WireFormatError,
+    WireType,
+    decode_zigzag,
+    read_double,
+    read_fixed32,
+    read_fixed64,
+    read_float,
+    read_tag,
+    read_varint,
+)
+
+__all__ = ["parse", "parse_into", "skip_field", "DecodeError"]
+
+
+class DecodeError(WireFormatError):
+    """Message-level decoding failure (wraps wire-format errors with the
+    message type and field context)."""
+
+
+def _u32_to_i32(v: int) -> int:
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+def _u64_to_i64(v: int) -> int:
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _decode_varint_value(fd: FieldDescriptor, raw: int):
+    t = fd.type
+    if t is FieldType.BOOL:
+        return raw != 0
+    if t is FieldType.SINT32 or t is FieldType.SINT64:
+        return decode_zigzag(raw)
+    if t is FieldType.INT32:
+        # int32 is sign-extended to 64 bits on the wire.
+        return _u32_to_i32(raw & 0xFFFFFFFF)
+    if t is FieldType.ENUM:
+        return _u32_to_i32(raw & 0xFFFFFFFF)
+    if t is FieldType.INT64:
+        return _u64_to_i64(raw)
+    if t is FieldType.UINT32:
+        return raw & 0xFFFFFFFF
+    return raw  # uint64
+
+
+def _read_scalar(fd: FieldDescriptor, buf, pos: int):
+    """Read one element of ``fd`` assuming its natural wire type."""
+    t = fd.type
+    if t.is_varint:
+        raw, pos = read_varint(buf, pos)
+        return _decode_varint_value(fd, raw), pos
+    if t is FieldType.DOUBLE:
+        return read_double(buf, pos)
+    if t is FieldType.FLOAT:
+        return read_float(buf, pos)
+    if t is FieldType.FIXED64:
+        return read_fixed64(buf, pos)
+    if t is FieldType.SFIXED64:
+        raw, pos = read_fixed64(buf, pos)
+        return _u64_to_i64(raw), pos
+    if t is FieldType.FIXED32:
+        return read_fixed32(buf, pos)
+    if t is FieldType.SFIXED32:
+        raw, pos = read_fixed32(buf, pos)
+        return _u32_to_i32(raw), pos
+    raise AssertionError(f"not a packable scalar: {t}")
+
+
+def skip_field(buf, pos: int, wire_type: int) -> int:
+    """Skip an unknown field's payload; returns the new position."""
+    if wire_type == WireType.VARINT:
+        _, pos = read_varint(buf, pos)
+        return pos
+    if wire_type == WireType.FIXED64:
+        if pos + 8 > len(buf):
+            raise TruncatedMessageError("truncated fixed64 while skipping")
+        return pos + 8
+    if wire_type == WireType.FIXED32:
+        if pos + 4 > len(buf):
+            raise TruncatedMessageError("truncated fixed32 while skipping")
+        return pos + 4
+    if wire_type == WireType.LENGTH_DELIMITED:
+        n, pos = read_varint(buf, pos)
+        if pos + n > len(buf):
+            raise TruncatedMessageError("truncated length-delimited field while skipping")
+        return pos + n
+    raise WireFormatError(f"cannot skip wire type {wire_type}")
+
+
+def _parse_range(msg: Message, buf, pos: int, end: int) -> None:
+    desc: MessageDescriptor = msg.DESCRIPTOR
+    while pos < end:
+        tag_start = pos
+        field_number, wire_type, pos = read_tag(buf, pos)
+        fd = desc.field_by_number(field_number)
+        if fd is None:
+            pos = skip_field(buf, pos, wire_type)
+            # proto3 (>= 3.5) semantics: unknown fields are preserved and
+            # re-emitted on serialization, not dropped.
+            msg._unknown += bytes(buf[tag_start:pos])
+            continue
+        try:
+            pos = _parse_field(msg, fd, wire_type, buf, pos, end)
+        except (WireFormatError, Utf8Error) as exc:
+            raise DecodeError(
+                f"{desc.full_name}.{fd.name}: {exc}"
+            ) from exc
+    if pos != end:
+        raise DecodeError(f"{desc.full_name}: field payload overran submessage end")
+
+
+def _parse_field(
+    msg: Message, fd: FieldDescriptor, wire_type: int, buf, pos: int, end: int
+) -> int:
+    t = fd.type
+    if t is FieldType.MESSAGE:
+        if wire_type != WireType.LENGTH_DELIMITED:
+            raise WireFormatError(f"message field with wire type {wire_type}")
+        n, pos = read_varint(buf, pos)
+        if pos + n > end:
+            raise TruncatedMessageError("submessage extends past parent")
+        if fd.is_repeated:
+            sub = getattr(msg, fd.name).add()
+        else:
+            # proto3 merge semantics: repeated occurrences merge into the
+            # existing submessage.
+            sub = getattr(msg, fd.name)
+            msg._values[fd.name] = sub
+        _parse_range(sub, buf, pos, pos + n)
+        return pos + n
+
+    if t in (FieldType.STRING, FieldType.BYTES):
+        if wire_type != WireType.LENGTH_DELIMITED:
+            raise WireFormatError(f"{t.value} field with wire type {wire_type}")
+        n, pos = read_varint(buf, pos)
+        if pos + n > end:
+            raise TruncatedMessageError(f"{t.value} extends past end")
+        raw = bytes(buf[pos : pos + n])
+        if t is FieldType.STRING:
+            validate_utf8(raw)
+            value = raw.decode("utf-8")
+        else:
+            value = raw
+        if fd.is_repeated:
+            getattr(msg, fd.name).append(value)
+        else:
+            setattr(msg, fd.name, value)
+        return pos + n
+
+    # Numeric scalar.
+    if fd.is_repeated and wire_type == WireType.LENGTH_DELIMITED:
+        # Packed encoding.
+        n, pos = read_varint(buf, pos)
+        if pos + n > end:
+            raise TruncatedMessageError("packed run extends past end")
+        run_end = pos + n
+        target = getattr(msg, fd.name)
+        while pos < run_end:
+            value, pos = _read_scalar(fd, buf, pos)
+            target.append(value)
+        if pos != run_end:
+            raise WireFormatError("packed run length mismatch")
+        return pos
+
+    from .serializer import wire_type_for
+
+    if wire_type != wire_type_for(fd):
+        raise WireFormatError(
+            f"field {fd.name}: wire type {wire_type}, expected {wire_type_for(fd)}"
+        )
+    value, pos = _read_scalar(fd, buf, pos)
+    if fd.is_repeated:
+        getattr(msg, fd.name).append(value)
+    else:
+        setattr(msg, fd.name, value)
+    return pos
+
+
+def parse_into(msg: Message, data) -> Message:
+    """Parse wire bytes into an existing message (merging)."""
+    buf = bytes(data)
+    _parse_range(msg, buf, 0, len(buf))
+    return msg
+
+
+def parse(cls: type[Message], data) -> Message:
+    """Parse wire bytes into a fresh instance of ``cls``."""
+    return parse_into(cls(), data)

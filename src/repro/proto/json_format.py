@@ -1,0 +1,206 @@
+"""proto3 canonical JSON mapping: ``MessageToJson`` / ``ParseJson``.
+
+Implements the proto3 JSON rules gRPC transcoding and tooling rely on:
+
+* field names mapped to lowerCamelCase (original names accepted on parse);
+* 64-bit integers as decimal **strings** (JavaScript-safety rule);
+* ``bytes`` as standard base64 (padded; URL-safe accepted on parse);
+* floats as numbers, with ``"NaN"``/``"Infinity"``/``"-Infinity"``
+  strings for the non-finite values;
+* enums by value name (unknown values fall back to numbers), numbers
+  accepted on parse;
+* messages as objects, repeated fields as arrays;
+* proto3 presence: unset fields are omitted when printing (an
+  ``always_print`` flag emits defaults instead); ``null`` means default
+  on parse.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+
+from .descriptor import FieldDescriptor, FieldType
+from .message import Message
+
+__all__ = ["message_to_json", "message_to_dict", "parse_json", "parse_dict", "JsonFormatError"]
+
+
+class JsonFormatError(ValueError):
+    """Input violates the proto3 JSON mapping."""
+
+
+def to_camel(name: str) -> str:
+    parts = name.split("_")
+    return parts[0] + "".join(p.capitalize() for p in parts[1:] if p)
+
+
+_I64_TYPES = frozenset(
+    {FieldType.INT64, FieldType.SINT64, FieldType.SFIXED64, FieldType.UINT64, FieldType.FIXED64}
+)
+
+
+def _scalar_to_json(fd: FieldDescriptor, value):
+    t = fd.type
+    if t in _I64_TYPES:
+        return str(value)
+    if t is FieldType.BYTES:
+        return base64.b64encode(value).decode("ascii")
+    if t in (FieldType.FLOAT, FieldType.DOUBLE):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if t is FieldType.ENUM and fd.enum_type is not None:
+        named = fd.enum_type.value_by_number(value)
+        return named.name if named is not None else value
+    return value
+
+
+def message_to_dict(msg: Message, always_print: bool = False) -> dict:
+    """The JSON object for ``msg`` as Python primitives."""
+    out: dict = {}
+    fields = msg.DESCRIPTOR.fields_sorted() if always_print else [
+        fd for fd, _ in msg.ListFields()
+    ]
+    for fd in fields:
+        value = getattr(msg, fd.name)
+        key = to_camel(fd.name)
+        if fd.is_repeated:
+            if not value and not always_print:
+                continue
+            if fd.type is FieldType.MESSAGE:
+                out[key] = [message_to_dict(v, always_print) for v in value]
+            else:
+                out[key] = [_scalar_to_json(fd, v) for v in value]
+        elif fd.type is FieldType.MESSAGE:
+            if fd.name in msg._values:
+                out[key] = message_to_dict(value, always_print)
+            elif always_print:
+                out[key] = None
+        else:
+            out[key] = _scalar_to_json(fd, value)
+    return out
+
+
+def message_to_json(msg: Message, indent: int | None = None, always_print: bool = False) -> str:
+    return json.dumps(message_to_dict(msg, always_print), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_INT_TYPES = frozenset(
+    {
+        FieldType.INT32, FieldType.SINT32, FieldType.SFIXED32,
+        FieldType.UINT32, FieldType.FIXED32,
+    }
+) | _I64_TYPES
+
+
+def _scalar_from_json(fd: FieldDescriptor, value):
+    t = fd.type
+    if t in _INT_TYPES:
+        if isinstance(value, bool):
+            raise JsonFormatError(f"{fd.name}: boolean is not an integer")
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                raise JsonFormatError(f"{fd.name}: bad integer string {value!r}") from None
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise JsonFormatError(f"{fd.name}: non-integral number {value}")
+            return int(value)
+        if isinstance(value, int):
+            return value
+        raise JsonFormatError(f"{fd.name}: expected integer, got {type(value).__name__}")
+    if t is FieldType.BOOL:
+        if not isinstance(value, bool):
+            raise JsonFormatError(f"{fd.name}: expected bool")
+        return value
+    if t in (FieldType.FLOAT, FieldType.DOUBLE):
+        if isinstance(value, str):
+            mapping = {"NaN": math.nan, "Infinity": math.inf, "-Infinity": -math.inf}
+            if value not in mapping:
+                raise JsonFormatError(f"{fd.name}: bad float string {value!r}")
+            return mapping[value]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise JsonFormatError(f"{fd.name}: expected number")
+        return float(value)
+    if t is FieldType.STRING:
+        if not isinstance(value, str):
+            raise JsonFormatError(f"{fd.name}: expected string")
+        return value
+    if t is FieldType.BYTES:
+        if not isinstance(value, str):
+            raise JsonFormatError(f"{fd.name}: expected base64 string")
+        normalized = value.replace("-", "+").replace("_", "/").rstrip("=")
+        normalized += "=" * (-len(normalized) % 4)
+        try:
+            return base64.b64decode(normalized, validate=True)
+        except Exception:
+            raise JsonFormatError(f"{fd.name}: invalid base64") from None
+    if t is FieldType.ENUM:
+        if isinstance(value, str):
+            if fd.enum_type is not None:
+                named = fd.enum_type.value_by_name(value)
+                if named is not None:
+                    return named.number
+            raise JsonFormatError(f"{fd.name}: unknown enum value {value!r}")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise JsonFormatError(f"{fd.name}: expected enum name or number")
+        return value
+    raise JsonFormatError(f"{fd.name}: unsupported type {t}")  # pragma: no cover
+
+
+def parse_dict(cls: type[Message], data: dict, ignore_unknown: bool = False) -> Message:
+    if not isinstance(data, dict):
+        raise JsonFormatError(f"expected object, got {type(data).__name__}")
+    msg = cls()
+    desc = msg.DESCRIPTOR
+    by_json: dict[str, FieldDescriptor] = {}
+    for fd in desc.fields:
+        by_json[to_camel(fd.name)] = fd
+        by_json[fd.name] = fd  # original names also accepted
+    for key, value in data.items():
+        fd = by_json.get(key)
+        if fd is None:
+            if ignore_unknown:
+                continue
+            raise JsonFormatError(f"{desc.full_name}: unknown field {key!r}")
+        if value is None:
+            continue  # null == default == absent
+        if fd.is_repeated:
+            if not isinstance(value, list):
+                raise JsonFormatError(f"{fd.name}: expected array")
+            target = getattr(msg, fd.name)
+            for item in value:
+                if fd.type is FieldType.MESSAGE:
+                    target.append(
+                        parse_dict(
+                            msg._FACTORY.get_class(fd.message_type), item, ignore_unknown
+                        )
+                    )
+                else:
+                    target.append(_scalar_from_json(fd, item))
+        elif fd.type is FieldType.MESSAGE:
+            setattr(
+                msg,
+                fd.name,
+                parse_dict(msg._FACTORY.get_class(fd.message_type), value, ignore_unknown),
+            )
+        else:
+            setattr(msg, fd.name, _scalar_from_json(fd, value))
+    return msg
+
+
+def parse_json(cls: type[Message], text: str, ignore_unknown: bool = False) -> Message:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JsonFormatError(f"invalid JSON: {exc}") from exc
+    return parse_dict(cls, data, ignore_unknown)

@@ -1,0 +1,397 @@
+"""A proto3 schema parser (the ``protoc`` front end analog).
+
+Parses the proto3 domain-specific language into the descriptor model of
+:mod:`repro.proto.descriptor`.  Supported constructs cover what the paper's
+offloading layer needs (§V: "we support proto3 domain-specific language"):
+
+* ``syntax``, ``package``, ``import`` (recorded, not fetched)
+* ``message`` with nested messages/enums, all scalar types, ``repeated``,
+  ``optional`` (proto3.15+ presence), ``oneof``, field options (parsed and
+  retained for ``packed``), ``reserved`` ranges and names
+* ``enum``
+* ``service`` with unary ``rpc`` methods
+
+Deliberately unsupported (as in the paper's prototype): proto2 syntax,
+``extensions``, ``group``, ``map`` fields (a map is wire-compatible with a
+repeated nested message, which callers can declare explicitly), and
+streaming RPCs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .descriptor import (
+    SCALAR_TYPE_NAMES,
+    DescriptorError,
+    DescriptorPool,
+    EnumDescriptor,
+    EnumValueDescriptor,
+    FieldDescriptor,
+    FieldLabel,
+    FieldType,
+    FileDescriptor,
+    MessageDescriptor,
+    MethodDescriptor,
+    ServiceDescriptor,
+)
+
+__all__ = ["ProtoParseError", "parse_proto", "compile_proto"]
+
+
+class ProtoParseError(ValueError):
+    """Raised on malformed .proto source, with line information."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<number>-?(?:0x[0-9a-fA-F]+|\d+(?:\.\d+)?))
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*|\.[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[{}=;,<>()\[\]])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    value: str
+    line: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    for m in _TOKEN_RE.finditer(source):
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "bad":
+            raise ProtoParseError(f"unexpected character {text!r}", line)
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line))
+        line += text.count("\n")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], filename: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+        self.package = ""
+        self.imports: list[str] = []
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            last_line = self.tokens[-1].line if self.tokens else 1
+            raise ProtoParseError("unexpected end of file", last_line)
+        self.pos += 1
+        return tok
+
+    def _expect(self, value: str) -> _Token:
+        tok = self._next()
+        if tok.value != value:
+            raise ProtoParseError(f"expected {value!r}, got {tok.value!r}", tok.line)
+        return tok
+
+    def _expect_ident(self) -> _Token:
+        tok = self._next()
+        if tok.kind != "ident":
+            raise ProtoParseError(f"expected identifier, got {tok.value!r}", tok.line)
+        return tok
+
+    def _expect_int(self) -> int:
+        tok = self._next()
+        if tok.kind != "number":
+            raise ProtoParseError(f"expected number, got {tok.value!r}", tok.line)
+        return int(tok.value, 0)
+
+    def _accept(self, value: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.value == value:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_file(self) -> FileDescriptor:
+        fd = FileDescriptor(name=self.filename, package="")
+        while self._peek() is not None:
+            tok = self._peek()
+            if tok.value == "syntax":
+                self._next()
+                self._expect("=")
+                syntax = self._next().value.strip("\"'")
+                self._expect(";")
+                if syntax != "proto3":
+                    raise ProtoParseError(f"only proto3 is supported, got {syntax!r}", tok.line)
+            elif tok.value == "package":
+                self._next()
+                self.package = self._expect_ident().value
+                fd.package = self.package
+                self._expect(";")
+            elif tok.value == "import":
+                self._next()
+                nxt = self._peek()
+                if nxt is not None and nxt.value in ("public", "weak"):
+                    self._next()
+                self.imports.append(self._next().value.strip("\"'"))
+                self._expect(";")
+            elif tok.value == "option":
+                self._skip_option()
+            elif tok.value == "message":
+                fd.messages.append(self._parse_message(self.package))
+            elif tok.value == "enum":
+                fd.enums.append(self._parse_enum(self.package))
+            elif tok.value == "service":
+                fd.services.append(self._parse_service_decl())
+            elif tok.value == ";":
+                self._next()
+            else:
+                raise ProtoParseError(f"unexpected token {tok.value!r}", tok.line)
+        return fd
+
+    def _skip_option(self) -> None:
+        # 'option' ... ';'  — values can contain aggregate braces.
+        tok = self._next()
+        depth = 0
+        while True:
+            tok = self._next()
+            if tok.value == "{":
+                depth += 1
+            elif tok.value == "}":
+                depth -= 1
+            elif tok.value == ";" and depth <= 0:
+                return
+
+    def _parse_field_options(self) -> dict[str, str]:
+        """Parse ``[name = value, ...]`` after a field declaration."""
+        options: dict[str, str] = {}
+        if not self._accept("["):
+            return options
+        while True:
+            name = self._expect_ident().value
+            self._expect("=")
+            value = self._next().value
+            options[name] = value
+            if self._accept("]"):
+                return options
+            self._expect(",")
+
+    def _parse_message(self, scope: str) -> MessageDescriptor:
+        self._expect("message")
+        name_tok = self._expect_ident()
+        name = name_tok.value
+        full_name = f"{scope}.{name}" if scope else name
+        desc = MessageDescriptor(name=name, full_name=full_name)
+        self._expect("{")
+        while not self._accept("}"):
+            tok = self._peek()
+            if tok is None:
+                raise ProtoParseError(f"unterminated message {name!r}", name_tok.line)
+            if tok.value == "message":
+                desc.nested_messages.append(self._parse_message(full_name))
+            elif tok.value == "enum":
+                desc.nested_enums.append(self._parse_enum(full_name))
+            elif tok.value == "oneof":
+                self._parse_oneof(desc)
+            elif tok.value == "reserved":
+                self._skip_reserved()
+            elif tok.value == "option":
+                self._skip_option()
+            elif tok.value == ";":
+                self._next()
+            else:
+                desc.add_field(self._parse_field())
+        return desc
+
+    def _parse_oneof(self, desc: MessageDescriptor) -> None:
+        self._expect("oneof")
+        oneof_name = self._expect_ident().value
+        desc.oneofs.append(oneof_name)
+        self._expect("{")
+        while not self._accept("}"):
+            fd = self._parse_field(allow_label=False)
+            fd.containing_oneof = oneof_name
+            desc.add_field(fd)
+
+    def _skip_reserved(self) -> None:
+        self._expect("reserved")
+        while True:
+            tok = self._next()
+            if tok.value == ";":
+                return
+
+    def _parse_field(self, allow_label: bool = True) -> FieldDescriptor:
+        label = FieldLabel.SINGULAR
+        tok = self._peek()
+        if allow_label and tok is not None and tok.value in ("repeated", "optional"):
+            # proto3 'optional' only toggles presence tracking, which our
+            # in-memory model keeps for all singular fields; treat as
+            # singular.
+            if self._next().value == "repeated":
+                label = FieldLabel.REPEATED
+        type_tok = self._next()
+        type_name = type_tok.value
+        if type_name == "map":
+            raise ProtoParseError(
+                "map fields are not supported; declare the equivalent "
+                "repeated message explicitly",
+                type_tok.line,
+            )
+        name = self._expect_ident().value
+        self._expect("=")
+        number = self._expect_int()
+        options = self._parse_field_options()
+        self._expect(";")
+
+        if type_name in SCALAR_TYPE_NAMES:
+            ftype = SCALAR_TYPE_NAMES[type_name]
+            symbolic = None
+        else:
+            # Resolved later by the pool: may be a message or an enum.
+            ftype = FieldType.MESSAGE
+            symbolic = type_name
+        fd = FieldDescriptor(
+            name=name, number=number, type=ftype, label=label, type_name=symbolic
+        )
+        if options.get("packed") == "false" and fd.is_repeated:
+            # Honoured by the serializer via a shadow attribute; the wire
+            # decoder accepts both packed and unpacked regardless.
+            fd.force_unpacked = True  # type: ignore[attr-defined]
+        return fd
+
+    def _parse_enum(self, scope: str) -> EnumDescriptor:
+        self._expect("enum")
+        name = self._expect_ident().value
+        full_name = f"{scope}.{name}" if scope else name
+        values: list[EnumValueDescriptor] = []
+        self._expect("{")
+        while not self._accept("}"):
+            tok = self._peek()
+            if tok is not None and tok.value == "option":
+                self._skip_option()
+                continue
+            if tok is not None and tok.value == "reserved":
+                self._skip_reserved()
+                continue
+            vname = self._expect_ident().value
+            self._expect("=")
+            vnum = self._expect_int()
+            self._parse_field_options()
+            self._expect(";")
+            values.append(EnumValueDescriptor(name=vname, number=vnum))
+        return EnumDescriptor(name=name, full_name=full_name, values=values)
+
+    def _parse_service_decl(self) -> ServiceDescriptor:
+        self._expect("service")
+        name = self._expect_ident().value
+        full_name = f"{self.package}.{name}" if self.package else name
+        desc = ServiceDescriptor(name=name, full_name=full_name)
+        self._expect("{")
+        while not self._accept("}"):
+            tok = self._peek()
+            if tok is not None and tok.value == "option":
+                self._skip_option()
+                continue
+            self._expect("rpc")
+            mname_tok = self._expect_ident()
+            mname = mname_tok.value
+            self._expect("(")
+            if self._peek() is not None and self._peek().value == "stream":
+                raise ProtoParseError("streaming RPCs are not supported", mname_tok.line)
+            input_name = self._expect_ident().value
+            self._expect(")")
+            self._expect("returns")
+            self._expect("(")
+            if self._peek() is not None and self._peek().value == "stream":
+                raise ProtoParseError("streaming RPCs are not supported", mname_tok.line)
+            output_name = self._expect_ident().value
+            self._expect(")")
+            if self._accept("{"):
+                depth = 1
+                while depth:
+                    v = self._next().value
+                    if v == "{":
+                        depth += 1
+                    elif v == "}":
+                        depth -= 1
+            else:
+                self._expect(";")
+            # Store symbolic names; resolved in compile_proto once the pool
+            # knows all messages.
+            desc.methods.append(
+                _UnresolvedMethod(mname, f"{full_name}.{mname}", input_name, output_name)  # type: ignore[arg-type]
+            )
+        return desc
+
+
+class _UnresolvedMethod(MethodDescriptor):
+    """MethodDescriptor whose input/output are still symbolic names."""
+
+    def __init__(self, name: str, full_name: str, input_name: str, output_name: str) -> None:
+        self.name = name
+        self.full_name = full_name
+        self.input_type = None  # type: ignore[assignment]
+        self.output_type = None  # type: ignore[assignment]
+        self.input_name = input_name
+        self.output_name = output_name
+
+
+def parse_proto(source: str, filename: str = "<string>") -> FileDescriptor:
+    """Parse proto3 source text into an (unresolved) FileDescriptor."""
+    return _Parser(_tokenize(source), filename).parse_file()
+
+
+def compile_proto(
+    source: str,
+    filename: str = "<string>",
+    pool: DescriptorPool | None = None,
+) -> tuple[FileDescriptor, DescriptorPool]:
+    """Parse ``source`` and register + resolve everything in ``pool``.
+
+    Returns ``(file_descriptor, pool)``.  This is the full protoc analog:
+    after it returns, every field's message/enum reference is linked and
+    every service method's input/output descriptor is resolved.
+    """
+    fd = parse_proto(source, filename)
+    pool = pool or DescriptorPool()
+    for m in fd.messages:
+        pool.add_message(m)
+    for e in fd.enums:
+        pool.add_enum(e)
+    pool.resolve()
+    for svc in fd.services:
+        resolved_methods: list[MethodDescriptor] = []
+        for m in svc.methods:
+            assert isinstance(m, _UnresolvedMethod)
+            scope = fd.package
+            input_desc = pool._lookup_type(m.input_name, scope)
+            output_desc = pool._lookup_type(m.output_name, scope)
+            if not isinstance(input_desc, MessageDescriptor):
+                raise DescriptorError(f"{m.full_name}: unknown input type {m.input_name!r}")
+            if not isinstance(output_desc, MessageDescriptor):
+                raise DescriptorError(f"{m.full_name}: unknown output type {m.output_name!r}")
+            resolved_methods.append(
+                MethodDescriptor(m.name, m.full_name, input_desc, output_desc)
+            )
+        svc.methods = resolved_methods
+        pool.add_service(svc)
+    return fd, pool

@@ -1,0 +1,300 @@
+"""Protobuf text format: ``MessageToString`` / ``Parse``.
+
+The human-readable serialization protobuf ships alongside the binary
+format (debug strings, golden files, config files).  Supported syntax —
+the subset produced by protobuf's own printer:
+
+* ``field: value`` for scalars, one per line (repeated fields repeat the
+  line);
+* ``field { ... }`` for messages;
+* strings double-quoted with C-style escapes; bytes likewise (hex escapes
+  for non-ASCII);
+* enums printed by value name when known, parsed by name or number;
+* floats via ``repr``-round-trippable decimals, with ``inf``/``nan``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .descriptor import FieldDescriptor, FieldType
+from .message import Message
+
+__all__ = ["message_to_string", "parse_text", "TextFormatError"]
+
+
+class TextFormatError(ValueError):
+    """Malformed text-format input."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Printing
+# ---------------------------------------------------------------------------
+
+_ESCAPES = {
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    '"': '\\"',
+    "\\": "\\\\",
+}
+
+
+def _quote_str(value: str) -> str:
+    out = ['"']
+    for ch in value:
+        if ch in _ESCAPES:
+            out.append(_ESCAPES[ch])
+        elif ord(ch) < 0x20:
+            out.append(f"\\{ord(ch):03o}")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def _quote_bytes(value: bytes) -> str:
+    out = ['"']
+    for b in value:
+        ch = chr(b)
+        if ch in _ESCAPES:
+            out.append(_ESCAPES[ch])
+        elif 0x20 <= b < 0x7F:
+            out.append(ch)
+        else:
+            out.append(f"\\{b:03o}")
+    out.append('"')
+    return "".join(out)
+
+
+def _format_float(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return repr(value)
+
+
+def _format_scalar(fd: FieldDescriptor, value) -> str:
+    t = fd.type
+    if t is FieldType.STRING:
+        return _quote_str(value)
+    if t is FieldType.BYTES:
+        return _quote_bytes(value)
+    if t is FieldType.BOOL:
+        return "true" if value else "false"
+    if t in (FieldType.FLOAT, FieldType.DOUBLE):
+        return _format_float(value)
+    if t is FieldType.ENUM and fd.enum_type is not None:
+        named = fd.enum_type.value_by_number(value)
+        if named is not None:
+            return named.name
+    return str(value)
+
+
+def message_to_string(msg: Message, indent: int = 0) -> str:
+    """Render ``msg`` in protobuf text format (set fields only, in field
+    number order — protobuf's printer behaviour)."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for fd, value in msg.ListFields():
+        values = value if fd.is_repeated else [value]
+        for v in values:
+            if fd.type is FieldType.MESSAGE:
+                body = message_to_string(v, indent + 1)
+                if body:
+                    lines.append(f"{pad}{fd.name} {{\n{body}\n{pad}}}")
+                else:
+                    lines.append(f"{pad}{fd.name} {{\n{pad}}}")
+            else:
+                lines.append(f"{pad}{fd.name}: {_format_scalar(fd, v)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "#":  # comment to end of line
+                while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                    self.pos += 1
+            elif ch == "\n":
+                self.line += 1
+                self.pos += 1
+            elif ch in " \t\r,;":
+                self.pos += 1
+            else:
+                return
+
+    def peek(self) -> str | None:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else None
+
+    def expect(self, ch: str) -> None:
+        got = self.peek()
+        if got != ch:
+            raise TextFormatError(f"expected {ch!r}, got {got!r}", self.line)
+        self.pos += 1
+
+    def accept(self, ch: str) -> bool:
+        if self.peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    def identifier(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_."
+        ):
+            self.pos += 1
+        if start == self.pos:
+            raise TextFormatError("expected identifier", self.line)
+        return self.text[start : self.pos]
+
+    def scalar_token(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in " \t\r\n,;}{]":
+            self.pos += 1
+        if start == self.pos:
+            raise TextFormatError("expected value", self.line)
+        return self.text[start : self.pos]
+
+    def quoted(self) -> bytes:
+        self._skip_ws()
+        quote = self.text[self.pos]
+        if quote not in "\"'":
+            raise TextFormatError("expected quoted string", self.line)
+        self.pos += 1
+        out = bytearray()
+        while True:
+            if self.pos >= len(self.text):
+                raise TextFormatError("unterminated string", self.line)
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == quote:
+                return bytes(out)
+            if ch != "\\":
+                out += ch.encode("utf-8")
+                continue
+            esc = self.text[self.pos]
+            self.pos += 1
+            if esc == "n":
+                out.append(10)
+            elif esc == "r":
+                out.append(13)
+            elif esc == "t":
+                out.append(9)
+            elif esc in "\"'\\":
+                out += esc.encode()
+            elif esc == "x":
+                hex_digits = self.text[self.pos : self.pos + 2]
+                out.append(int(hex_digits, 16))
+                self.pos += 2
+            elif esc.isdigit():
+                digits = esc
+                while len(digits) < 3 and self.text[self.pos].isdigit():
+                    digits += self.text[self.pos]
+                    self.pos += 1
+                out.append(int(digits, 8) & 0xFF)
+            else:
+                raise TextFormatError(f"unknown escape \\{esc}", self.line)
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def _parse_scalar(tok: _Tokenizer, fd: FieldDescriptor):
+    t = fd.type
+    if t is FieldType.STRING:
+        return tok.quoted().decode("utf-8")
+    if t is FieldType.BYTES:
+        return tok.quoted()
+    word = tok.scalar_token()
+    if t is FieldType.BOOL:
+        if word in ("true", "True", "1"):
+            return True
+        if word in ("false", "False", "0"):
+            return False
+        raise TextFormatError(f"bad bool {word!r}", tok.line)
+    if t in (FieldType.FLOAT, FieldType.DOUBLE):
+        try:
+            return float(word)
+        except ValueError:
+            raise TextFormatError(f"bad float {word!r}", tok.line) from None
+    if t is FieldType.ENUM:
+        if fd.enum_type is not None:
+            named = fd.enum_type.value_by_name(word)
+            if named is not None:
+                return named.number
+        try:
+            return int(word, 0)
+        except ValueError:
+            raise TextFormatError(f"unknown enum value {word!r}", tok.line) from None
+    try:
+        return int(word, 0)
+    except ValueError:
+        raise TextFormatError(f"bad integer {word!r}", tok.line) from None
+
+
+def _parse_body(tok: _Tokenizer, msg: Message, terminator: str | None) -> None:
+    desc = msg.DESCRIPTOR
+    while True:
+        ch = tok.peek()
+        if ch is None:
+            if terminator is None:
+                return
+            raise TextFormatError(f"missing {terminator!r}", tok.line)
+        if terminator is not None and ch == terminator:
+            tok.pos += 1
+            return
+        name = tok.identifier()
+        fd = desc.field_by_name(name)
+        if fd is None:
+            raise TextFormatError(f"{desc.full_name} has no field {name!r}", tok.line)
+        if fd.type is FieldType.MESSAGE:
+            tok.accept(":")  # protobuf tolerates 'field: {' too
+            tok.expect("{")
+            if fd.is_repeated:
+                sub = getattr(msg, fd.name).add()
+            else:
+                sub = getattr(msg, fd.name)
+                msg._values[fd.name] = sub
+            _parse_body(tok, sub, "}")
+            continue
+        tok.expect(":")
+        if fd.is_repeated and tok.peek() == "[":
+            tok.pos += 1  # short-hand list: f: [1, 2, 3]
+            while tok.peek() != "]":
+                getattr(msg, fd.name).append(_parse_scalar(tok, fd))
+            tok.pos += 1
+            continue
+        value = _parse_scalar(tok, fd)
+        if fd.is_repeated:
+            getattr(msg, fd.name).append(value)
+        else:
+            setattr(msg, fd.name, value)
+
+
+def parse_text(cls: type[Message], text: str) -> Message:
+    """Parse text format into a fresh instance of ``cls``."""
+    msg = cls()
+    tok = _Tokenizer(text)
+    _parse_body(tok, msg, None)
+    return msg

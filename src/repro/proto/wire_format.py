@@ -1,0 +1,301 @@
+"""Protocol Buffers wire-format primitives.
+
+This module implements the low-level encoding rules of the protobuf wire
+format (proto3): base-128 varints, ZigZag encoding for signed integers,
+field tags (field number + wire type), and the fixed-width little-endian
+scalar encodings.  It is the foundation both for the reference
+serializer/deserializer in :mod:`repro.proto.serializer` /
+:mod:`repro.proto.deserializer` and for the offloaded arena deserializer in
+:mod:`repro.offload.arena_deserializer`.
+
+Two decoding paths are provided for varints:
+
+* a scalar path (`read_varint`) decoding one value at a time, mirroring the
+  per-element loop a CPU or DPU core runs in the paper's custom
+  deserializer; and
+* a vectorized batch path (`decode_packed_varints`) built on NumPy, used by
+  benchmarks as the "wide" decoding analog.
+
+All multi-byte fixed-width values are little-endian, matching the paper's
+assumption (§IV-A) that both endpoints are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "WireType",
+    "MAX_VARINT_LEN",
+    "encode_varint",
+    "append_varint",
+    "read_varint",
+    "varint_size",
+    "encode_zigzag",
+    "decode_zigzag",
+    "make_tag",
+    "split_tag",
+    "read_tag",
+    "encode_packed_varints",
+    "decode_packed_varints",
+    "WireFormatError",
+    "TruncatedMessageError",
+]
+
+#: Maximum number of bytes a 64-bit varint can occupy.
+MAX_VARINT_LEN = 10
+
+_U64_MASK = (1 << 64) - 1
+
+
+class WireFormatError(ValueError):
+    """Raised when a buffer violates the protobuf wire format."""
+
+
+class TruncatedMessageError(WireFormatError):
+    """Raised when a value extends past the end of the buffer."""
+
+
+class WireType:
+    """Protobuf wire types (proto3 subset; groups are not supported)."""
+
+    VARINT = 0
+    FIXED64 = 1
+    LENGTH_DELIMITED = 2
+    START_GROUP = 3  # rejected on decode
+    END_GROUP = 4  # rejected on decode
+    FIXED32 = 5
+
+    _VALID = frozenset({0, 1, 2, 5})
+
+    @classmethod
+    def is_valid(cls, wire_type: int) -> bool:
+        return wire_type in cls._VALID
+
+
+# ---------------------------------------------------------------------------
+# Varints
+# ---------------------------------------------------------------------------
+
+# Precomputed single-byte encodings: the overwhelmingly common case for
+# tags and small field values (the paper's "Small" message is all of these).
+_ONE_BYTE = [bytes([i]) for i in range(128)]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` as a base-128 varint.
+
+    Negative values are encoded in 64-bit two's complement (always 10
+    bytes), exactly as protobuf encodes negative int32/int64 fields.
+    """
+    value &= _U64_MASK
+    if value < 128:
+        return _ONE_BYTE[value]
+    out = bytearray()
+    while value >= 128:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def append_varint(buf: bytearray, value: int) -> None:
+    """Append the varint encoding of ``value`` to ``buf`` without an
+    intermediate ``bytes`` object (hot path for the serializer)."""
+    value &= _U64_MASK
+    while value >= 128:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def read_varint(buf, pos: int) -> tuple[int, int]:
+    """Decode one varint from ``buf`` starting at ``pos``.
+
+    Returns ``(value, new_pos)``.  Raises :class:`TruncatedMessageError` if
+    the buffer ends mid-varint and :class:`WireFormatError` if the varint is
+    longer than 10 bytes (malformed).
+    """
+    result = 0
+    shift = 0
+    end = len(buf)
+    while True:
+        if pos >= end:
+            raise TruncatedMessageError("varint extends past end of buffer")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if shift == 63 and byte > 1:
+                raise WireFormatError("varint exceeds 64 bits")
+            return result & _U64_MASK, pos
+        shift += 7
+        if shift >= 64:
+            raise WireFormatError("varint longer than 10 bytes")
+
+
+def varint_size(value: int) -> int:
+    """Number of bytes the varint encoding of ``value`` occupies."""
+    value &= _U64_MASK
+    size = 1
+    while value >= 128:
+        value >>= 7
+        size += 1
+    return size
+
+
+# ---------------------------------------------------------------------------
+# ZigZag (sint32 / sint64)
+# ---------------------------------------------------------------------------
+
+
+def encode_zigzag(value: int, bits: int = 64) -> int:
+    """Map a signed integer to an unsigned one with small absolute values
+    mapping to small results (protobuf ``sint32``/``sint64``)."""
+    if bits not in (32, 64):
+        raise ValueError("bits must be 32 or 64")
+    mask = (1 << bits) - 1
+    return ((value << 1) ^ (value >> (bits - 1))) & mask
+
+
+def decode_zigzag(value: int) -> int:
+    """Inverse of :func:`encode_zigzag` (width-independent)."""
+    return (value >> 1) ^ -(value & 1)
+
+
+# ---------------------------------------------------------------------------
+# Tags
+# ---------------------------------------------------------------------------
+
+
+def make_tag(field_number: int, wire_type: int) -> int:
+    """Combine a field number and wire type into a tag value."""
+    if field_number < 1 or field_number > (1 << 29) - 1:
+        raise WireFormatError(f"field number {field_number} out of range")
+    return (field_number << 3) | wire_type
+
+
+def split_tag(tag: int) -> tuple[int, int]:
+    """Split a tag into ``(field_number, wire_type)``."""
+    return tag >> 3, tag & 0x7
+
+
+def read_tag(buf, pos: int) -> tuple[int, int, int]:
+    """Read a tag varint; returns ``(field_number, wire_type, new_pos)``.
+
+    Validates that the field number is nonzero and the wire type is one we
+    decode (groups are rejected, as in proto3).
+    """
+    tag, pos = read_varint(buf, pos)
+    field_number, wire_type = split_tag(tag)
+    if field_number == 0:
+        raise WireFormatError("field number 0 is invalid")
+    if not WireType.is_valid(wire_type):
+        raise WireFormatError(f"unsupported wire type {wire_type}")
+    return field_number, wire_type, pos
+
+
+# ---------------------------------------------------------------------------
+# Fixed-width scalars
+# ---------------------------------------------------------------------------
+
+_FIXED32 = struct.Struct("<I")
+_FIXED64 = struct.Struct("<Q")
+_SFIXED32 = struct.Struct("<i")
+_SFIXED64 = struct.Struct("<q")
+_FLOAT = struct.Struct("<f")
+_DOUBLE = struct.Struct("<d")
+
+
+def read_fixed32(buf, pos: int) -> tuple[int, int]:
+    if pos + 4 > len(buf):
+        raise TruncatedMessageError("fixed32 extends past end of buffer")
+    return _FIXED32.unpack_from(buf, pos)[0], pos + 4
+
+
+def read_fixed64(buf, pos: int) -> tuple[int, int]:
+    if pos + 8 > len(buf):
+        raise TruncatedMessageError("fixed64 extends past end of buffer")
+    return _FIXED64.unpack_from(buf, pos)[0], pos + 8
+
+
+def read_float(buf, pos: int) -> tuple[float, int]:
+    if pos + 4 > len(buf):
+        raise TruncatedMessageError("float extends past end of buffer")
+    return _FLOAT.unpack_from(buf, pos)[0], pos + 4
+
+
+def read_double(buf, pos: int) -> tuple[float, int]:
+    if pos + 8 > len(buf):
+        raise TruncatedMessageError("double extends past end of buffer")
+    return _DOUBLE.unpack_from(buf, pos)[0], pos + 8
+
+
+def encode_fixed32(value: int) -> bytes:
+    return _FIXED32.pack(value & 0xFFFFFFFF)
+
+
+def encode_fixed64(value: int) -> bytes:
+    return _FIXED64.pack(value & _U64_MASK)
+
+
+def encode_float(value: float) -> bytes:
+    return _FLOAT.pack(value)
+
+
+def encode_double(value: float) -> bytes:
+    return _DOUBLE.pack(value)
+
+
+# ---------------------------------------------------------------------------
+# Packed repeated varints (the paper's "x512 Ints" workload)
+# ---------------------------------------------------------------------------
+
+
+def encode_packed_varints(values: Iterable[int]) -> bytes:
+    """Encode an iterable of unsigned integers as a packed varint run
+    (the payload of a packed ``repeated uint32/uint64`` field)."""
+    out = bytearray()
+    for v in values:
+        append_varint(out, v)
+    return bytes(out)
+
+
+def decode_packed_varints(data, count_hint: int | None = None) -> np.ndarray:
+    """Decode a packed varint run into a ``uint64`` NumPy array.
+
+    This is the vectorized analog of the per-element decode loop: byte
+    continuation bits are examined with NumPy array operations and values
+    are assembled group-wise.  Used by benchmarks to contrast scalar vs
+    wide decoding; results are identical to repeated :func:`read_varint`.
+    """
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    cont = (raw & 0x80).astype(bool)
+    if cont[-1]:
+        raise TruncatedMessageError("packed varint run ends mid-varint")
+    # Positions where a varint ends (continuation bit clear).
+    ends = np.flatnonzero(~cont)
+    starts = np.empty_like(ends)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if np.any(lengths > MAX_VARINT_LEN):
+        raise WireFormatError("varint longer than 10 bytes")
+    payload = (raw & 0x7F).astype(np.uint64)
+    values = np.zeros(len(ends), dtype=np.uint64)
+    # Accumulate byte k of every varint that has at least k+1 bytes.
+    max_len = int(lengths.max())
+    for k in range(max_len):
+        sel = lengths > k
+        idx = starts[sel] + k
+        values[sel] |= payload[idx] << np.uint64(7 * k)
+    if count_hint is not None and len(values) != count_hint:
+        raise WireFormatError(
+            f"expected {count_hint} packed elements, decoded {len(values)}"
+        )
+    return values

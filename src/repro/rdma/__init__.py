@@ -1,0 +1,43 @@
+"""Simulated RDMA verbs: PDs, MRs, QPs, CQs, and the fabric.
+
+Substitutes for libibverbs + BlueField-3 DMA hardware (DESIGN.md §2): the
+same objects, ordering guarantees, and failure modes (RNR retries, CQ
+overflow, protection errors), over an in-process fabric that is the only
+channel through which bytes cross between the host's and the DPU's
+simulated memories.
+"""
+
+from .fabric import Fabric
+from .qp import QpState, QueuePair
+from .verbs import (
+    Access,
+    CompletionChannel,
+    CompletionQueue,
+    Opcode,
+    ProtectionDomain,
+    ProtectionError,
+    QueueOverflowError,
+    RegisteredMemory,
+    VerbsError,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+)
+
+__all__ = [
+    "Fabric",
+    "QpState",
+    "QueuePair",
+    "Access",
+    "CompletionChannel",
+    "CompletionQueue",
+    "Opcode",
+    "ProtectionDomain",
+    "ProtectionError",
+    "QueueOverflowError",
+    "RegisteredMemory",
+    "VerbsError",
+    "WcStatus",
+    "WorkCompletion",
+    "WorkRequest",
+]

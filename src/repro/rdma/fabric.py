@@ -1,0 +1,102 @@
+"""The simulated fabric: in-order transport between connected QPs.
+
+On real hardware this is the DMA engine moving bytes between host and DPU
+memory across PCIe (§II-C "in practice, the driver will leverage the
+host's DMA hardware").  The fabric:
+
+* preserves reliable-connection ordering per QP (FIFO transmit queue);
+* copies payload bytes from the requester's registered memory into the
+  responder's registered memory — the only way bytes ever cross sides,
+  keeping the mirrored-buffer illusion honest;
+* retries RNR-hit operations (responder had no receive WQE) up to the
+  QP's ``rnr_retry`` budget, then fails the send with
+  ``RNR_RETRY_EXCEEDED``;
+* accounts transferred bytes per direction, which the PCIe-bandwidth
+  figure (Fig. 8b) reads back.
+
+``auto_flush=True`` (the default) delivers synchronously at post time,
+which is the right model for the functional stack.  Tests that need to
+interleave the two sides set ``auto_flush=False`` and call :meth:`flush`
+or :meth:`step` explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .qp import QueuePair
+from .verbs import Opcode, VerbsError, WcStatus, WorkRequest
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects QP pairs and moves bytes between them."""
+
+    def __init__(self, auto_flush: bool = True) -> None:
+        self.auto_flush = auto_flush
+        self._wire: deque[tuple[QueuePair, WorkRequest, bytes | None, int]] = deque()
+        # -- statistics -------------------------------------------------------
+        self.total_bytes = 0
+        self.total_operations = 0
+        self.rnr_retransmissions = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def connect(self, a: QueuePair, b: QueuePair) -> None:
+        """Bring two INIT QPs to RTS, joined through this fabric."""
+        a.connect(b, self)
+        b.connect(a, self)
+
+    # -- transmission -----------------------------------------------------------
+
+    def transmit(self, sender: QueuePair, wr: WorkRequest) -> None:
+        """Enqueue ``wr`` for delivery; reads the payload bytes *now*
+        (the HCA DMAs from the send buffer at post time — the memory may
+        be reused only after the send completion)."""
+        payload = None
+        if wr.length:
+            payload = bytes(sender.pd.space.read(wr.local_addr, wr.length))
+        self._wire.append((sender, wr, payload, 0))
+        if self.auto_flush:
+            self.flush()
+
+    def step(self) -> bool:
+        """Deliver the oldest in-flight operation.  Returns False when the
+        wire is idle."""
+        if not self._wire:
+            return False
+        sender, wr, payload, attempts = self._wire.popleft()
+        receiver = sender.peer
+        if receiver is None:
+            raise VerbsError("QP is not connected")
+        if wr.opcode in (Opcode.SEND, Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
+            delivered = receiver.deliver(wr, payload)
+            if not delivered:
+                # RNR NAK: responder not ready.  Retry preserving order —
+                # the operation goes back to the head of the wire.
+                self.rnr_retransmissions += 1
+                sender.rnr_events += 1
+                if attempts + 1 > sender.rnr_retry:
+                    sender.complete_send(wr, WcStatus.RNR_RETRY_EXCEEDED)
+                    return True
+                self._wire.appendleft((sender, wr, payload, attempts + 1))
+                return True
+            self.total_bytes += wr.length
+            self.total_operations += 1
+            sender.complete_send(wr, WcStatus.SUCCESS)
+            return True
+        raise VerbsError(f"fabric cannot carry {wr.opcode}")
+
+    def flush(self, max_steps: int = 1_000_000) -> int:
+        """Deliver until the wire drains; returns operations delivered."""
+        steps = 0
+        while self._wire and steps < max_steps:
+            if not self.step():
+                break
+            steps += 1
+        return steps
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._wire)

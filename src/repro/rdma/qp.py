@@ -1,0 +1,178 @@
+"""Reliable-connection queue pairs over the simulated fabric.
+
+A :class:`QueuePair` models an RC (reliable connection) QP: posted sends
+execute in order, are delivered exactly once, and generate completions on
+both sides.  ``RDMA_WRITE_WITH_IMM`` — the paper's workhorse operation
+(§II-A) — writes into remote registered memory *without remote CPU
+involvement* and consumes one receive WQE on the responder to deliver the
+4-byte immediate.
+
+RNR (receiver-not-ready) is modeled faithfully: if the responder has no
+receive WQE posted, the operation retries up to ``rnr_retry`` times
+(counted in ``rnr_events``, the "massively reduces performance" case of
+§IV-C) before the QP breaks.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from .verbs import (
+    CompletionQueue,
+    Opcode,
+    ProtectionDomain,
+    ProtectionError,
+    QueueOverflowError,
+    VerbsError,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+)
+
+__all__ = ["QpState", "QueuePair"]
+
+
+class QpState(enum.Enum):
+    RESET = "reset"
+    INIT = "init"
+    RTS = "rts"  # ready to send (we fold RTR in)
+    ERROR = "error"
+
+
+class QueuePair:
+    """One endpoint of a reliable connection."""
+
+    def __init__(
+        self,
+        pd: ProtectionDomain,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_recv_wr: int = 1024,
+        rnr_retry: int = 7,
+        name: str = "qp",
+    ) -> None:
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_recv_wr = max_recv_wr
+        self.rnr_retry = rnr_retry
+        self.name = name
+        self.state = QpState.INIT
+        self.peer: QueuePair | None = None
+        self.fabric = None  # set by Fabric.connect
+        self._recv_queue: deque[WorkRequest] = deque()
+        # -- statistics ------------------------------------------------------
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.sends_posted = 0
+        self.rnr_events = 0
+
+    # -- connection management ----------------------------------------------
+
+    def _require_state(self, *states: QpState) -> None:
+        if self.state not in states:
+            raise VerbsError(f"{self.name}: invalid in state {self.state.value}")
+
+    def connect(self, peer: "QueuePair", fabric) -> None:
+        self._require_state(QpState.INIT)
+        self.peer = peer
+        self.fabric = fabric
+        self.state = QpState.RTS
+
+    def to_error(self) -> None:
+        """Transition to error: flush outstanding receives."""
+        self.state = QpState.ERROR
+        while self._recv_queue:
+            wr = self._recv_queue.popleft()
+            self.recv_cq.push(
+                WorkCompletion(wr.wr_id, Opcode.RECV, WcStatus.WR_FLUSH_ERROR)
+            )
+
+    # -- posting --------------------------------------------------------------
+
+    def post_recv(self, wr_id: int) -> None:
+        """Post a receive WQE (consumed by inbound SEND or WRITE_WITH_IMM)."""
+        self._require_state(QpState.INIT, QpState.RTS)
+        if len(self._recv_queue) >= self.max_recv_wr:
+            raise QueueOverflowError(f"{self.name}: receive queue full")
+        self._recv_queue.append(WorkRequest(wr_id, Opcode.RECV))
+
+    def recv_outstanding(self) -> int:
+        return len(self._recv_queue)
+
+    def post_send(self, wr: WorkRequest) -> None:
+        """Post to the send queue; the fabric transmits in order."""
+        self._require_state(QpState.RTS)
+        if wr.opcode not in (
+            Opcode.SEND,
+            Opcode.RDMA_WRITE,
+            Opcode.RDMA_WRITE_WITH_IMM,
+        ):
+            raise VerbsError(f"{self.name}: cannot post {wr.opcode}")
+        try:
+            self.pd.check_local(wr.local_addr, wr.length)
+        except ProtectionError:
+            self.send_cq.push(
+                WorkCompletion(wr.wr_id, wr.opcode, WcStatus.LOCAL_PROTECTION_ERROR)
+            )
+            self.to_error()
+            raise
+        self.sends_posted += 1
+        self.fabric.transmit(self, wr)
+
+    # -- fabric-side delivery hooks -------------------------------------------
+
+    def _consume_recv_wqe(self) -> WorkRequest | None:
+        if not self._recv_queue:
+            return None
+        return self._recv_queue.popleft()
+
+    def deliver(self, wr: WorkRequest, payload: bytes | None) -> bool:
+        """Called by the fabric on the *responder* QP.  Returns False on
+        RNR (no receive WQE for an operation that needs one)."""
+        if self.state is not QpState.RTS:
+            raise VerbsError(f"{self.name}: delivery in state {self.state.value}")
+        if wr.opcode is Opcode.SEND:
+            rwr = self._consume_recv_wqe()
+            if rwr is None:
+                return False
+            # SEND payload lands wherever the application's receive buffer
+            # is; our simulation stores it on the WC for simplicity of the
+            # bootstrap path (ADT transfer), keeping data-path writes pure.
+            wc = WorkCompletion(rwr.wr_id, Opcode.RECV, byte_len=wr.length)
+            wc.payload = payload  # type: ignore[attr-defined]
+            self.bytes_received += wr.length
+            self.recv_cq.push(wc)
+            return True
+        if wr.opcode is Opcode.RDMA_WRITE_WITH_IMM:
+            rwr = self._consume_recv_wqe()
+            if rwr is None:
+                return False
+            mr = self.pd.find_remote_writable(wr.remote_addr, max(wr.length, 1))
+            if payload:
+                mr.region.write(wr.remote_addr, payload)
+            self.bytes_received += wr.length
+            self.recv_cq.push(
+                WorkCompletion(
+                    rwr.wr_id,
+                    Opcode.RECV_RDMA_WITH_IMM,
+                    byte_len=wr.length,
+                    imm_data=wr.imm_data,
+                )
+            )
+            return True
+        if wr.opcode is Opcode.RDMA_WRITE:
+            mr = self.pd.find_remote_writable(wr.remote_addr, max(wr.length, 1))
+            if payload:
+                mr.region.write(wr.remote_addr, payload)
+            self.bytes_received += wr.length
+            return True
+        raise VerbsError(f"{self.name}: cannot deliver {wr.opcode}")
+
+    def complete_send(self, wr: WorkRequest, status: WcStatus) -> None:
+        """Called by the fabric on the requester once delivery resolves."""
+        self.bytes_sent += wr.length if status is WcStatus.SUCCESS else 0
+        self.send_cq.push(WorkCompletion(wr.wr_id, wr.opcode, status, wr.length))
+        if status is not WcStatus.SUCCESS:
+            self.to_error()

@@ -1,0 +1,212 @@
+"""Simulated RDMA verbs objects: the libibverbs analog.
+
+Models the resources the paper's protocol is built from (§II-A, §III-C):
+protection domains, registered memory regions with access rights and keys,
+work requests/completions, completion queues with finite capacity, and
+completion channels for sleep-based polling.
+
+Failure semantics matter more than speed here: queue overflows, missing
+receive WQEs (RNR), and protection violations are the hazards the paper's
+credit-based congestion control and block recycling exist to prevent, so
+the simulation makes them loud, observable events rather than silently
+absorbing them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.memory import AddressSpace, MemoryRegion
+
+__all__ = [
+    "VerbsError",
+    "ProtectionError",
+    "QueueOverflowError",
+    "Access",
+    "Opcode",
+    "WcStatus",
+    "ProtectionDomain",
+    "RegisteredMemory",
+    "WorkRequest",
+    "WorkCompletion",
+    "CompletionQueue",
+    "CompletionChannel",
+]
+
+
+class VerbsError(RuntimeError):
+    """Base class for simulated verbs failures."""
+
+
+class ProtectionError(VerbsError):
+    """Access outside a registered region or without the needed rights."""
+
+
+class QueueOverflowError(VerbsError):
+    """A CQ or receive queue overflowed — the catastrophic event the
+    paper's credit system prevents (§IV-C)."""
+
+
+class Access(enum.Flag):
+    LOCAL_READ = enum.auto()  # implicit in real verbs; explicit here
+    LOCAL_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_WRITE = enum.auto()
+
+
+class Opcode(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma_write"
+    RDMA_WRITE_WITH_IMM = "rdma_write_with_imm"
+    #: responder-side completion of a WRITE_WITH_IMM (ibv's
+    #: IBV_WC_RECV_RDMA_WITH_IMM) — distinct from the requester's send
+    #: completion, which reuses RDMA_WRITE_WITH_IMM.
+    RECV_RDMA_WITH_IMM = "recv_rdma_with_imm"
+    RDMA_READ = "rdma_read"
+
+
+class WcStatus(enum.Enum):
+    SUCCESS = "success"
+    LOCAL_PROTECTION_ERROR = "local_protection_error"
+    REMOTE_ACCESS_ERROR = "remote_access_error"
+    RNR_RETRY_EXCEEDED = "rnr_retry_exceeded"
+    WR_FLUSH_ERROR = "wr_flush_error"
+
+
+_key_counter = itertools.count(0x1000)
+
+
+class ProtectionDomain:
+    """Groups MRs and QPs that may work together (§II-A)."""
+
+    def __init__(self, space: AddressSpace, name: str = "pd") -> None:
+        self.space = space
+        self.name = name
+        self._regions: list[RegisteredMemory] = []
+
+    def register_memory(
+        self, region: MemoryRegion, access: Access = Access.LOCAL_WRITE
+    ) -> "RegisteredMemory":
+        """Register (pin) ``region`` for RDMA with the given access."""
+        mr = RegisteredMemory(self, region, access, next(_key_counter), next(_key_counter))
+        self._regions.append(mr)
+        return mr
+
+    def deregister(self, mr: "RegisteredMemory") -> None:
+        self._regions.remove(mr)
+
+    def find_remote_writable(self, addr: int, length: int) -> "RegisteredMemory":
+        """The MR a remote WRITE to [addr, addr+length) lands in."""
+        for mr in self._regions:
+            if mr.region.contains(addr, length):
+                if Access.REMOTE_WRITE not in mr.access:
+                    raise ProtectionError(
+                        f"{self.name}: MR {mr.region.name} not REMOTE_WRITE"
+                    )
+                return mr
+        raise ProtectionError(
+            f"{self.name}: no MR covers remote write [{addr:#x}, {addr + length:#x})"
+        )
+
+    def check_local(self, addr: int, length: int) -> None:
+        for mr in self._regions:
+            if mr.region.contains(addr, length):
+                return
+        raise ProtectionError(
+            f"{self.name}: no MR covers local access [{addr:#x}, {addr + length:#x})"
+        )
+
+
+@dataclass
+class RegisteredMemory:
+    """A pinned, registered memory region with local/remote keys."""
+
+    pd: ProtectionDomain
+    region: MemoryRegion
+    access: Access
+    lkey: int
+    rkey: int
+
+
+@dataclass
+class WorkRequest:
+    """A posted send- or receive-queue element."""
+
+    wr_id: int
+    opcode: Opcode
+    local_addr: int = 0
+    length: int = 0
+    remote_addr: int = 0
+    imm_data: int | None = None
+
+
+@dataclass
+class WorkCompletion:
+    """A completion-queue entry."""
+
+    wr_id: int
+    opcode: Opcode
+    status: WcStatus = WcStatus.SUCCESS
+    byte_len: int = 0
+    imm_data: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS
+
+
+@dataclass
+class CompletionQueue:
+    """Finite-capacity CQ.  Overflow raises — in real RDMA it silently
+    corrupts the connection, which is strictly worse."""
+
+    capacity: int
+    name: str = "cq"
+    _entries: deque = field(default_factory=deque)
+    channel: "CompletionChannel | None" = None
+
+    def push(self, wc: WorkCompletion) -> None:
+        if len(self._entries) >= self.capacity:
+            raise QueueOverflowError(
+                f"{self.name}: CQ overflow at {self.capacity} entries "
+                "(credit accounting failed to bound in-flight work)"
+            )
+        self._entries.append(wc)
+        if self.channel is not None:
+            self.channel.notify(self)
+
+    def poll(self, max_entries: int = 16) -> list[WorkCompletion]:
+        out = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CompletionChannel:
+    """Event channel for sleep-based completion waiting.
+
+    The paper uses ``poll()`` on completion channels instead of busy
+    polling to avoid pinning cores at 100% under low load (§III-C).  The
+    channel records which CQs became ready; ``get_events`` drains them.
+    """
+
+    def __init__(self) -> None:
+        self._ready: deque[CompletionQueue] = deque()
+
+    def notify(self, cq: CompletionQueue) -> None:
+        self._ready.append(cq)
+
+    def get_events(self) -> list[CompletionQueue]:
+        out = list(self._ready)
+        self._ready.clear()
+        return out
+
+    def has_events(self) -> bool:
+        return bool(self._ready)

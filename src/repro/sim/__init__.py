@@ -1,0 +1,59 @@
+"""Performance simulation: cost model, DES engine, datapath rig.
+
+Regenerates the paper's quantitative results (Figures 7–8, §VI) from the
+functional implementation's operation census plus calibrated hardware
+constants; see DESIGN.md §2 for the substitution argument.
+"""
+
+from .cache import CACHE_LINE, LlcModel
+from .clock import EventQueue
+from .costmodel import (
+    DEFAULT_COST_MODEL,
+    DEFAULT_DATAPATH_COSTS,
+    Core,
+    CostModel,
+    DatapathCosts,
+)
+from .datapath import (
+    DatapathResult,
+    DatapathSimulator,
+    Scenario,
+    SimOptions,
+    WorkloadProfile,
+    run_cell,
+)
+from .environment import PAPER_ENVIRONMENT, Environment, MachineSpec, render_table1
+from .resources import CorePool, Link
+from .sweep import (
+    sweep_block_size,
+    sweep_credits,
+    sweep_dpu_threads,
+    sweep_environment,
+)
+
+__all__ = [
+    "CACHE_LINE",
+    "LlcModel",
+    "EventQueue",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_DATAPATH_COSTS",
+    "Core",
+    "CostModel",
+    "DatapathCosts",
+    "DatapathResult",
+    "DatapathSimulator",
+    "Scenario",
+    "SimOptions",
+    "WorkloadProfile",
+    "run_cell",
+    "PAPER_ENVIRONMENT",
+    "Environment",
+    "MachineSpec",
+    "render_table1",
+    "CorePool",
+    "Link",
+    "sweep_block_size",
+    "sweep_credits",
+    "sweep_dpu_threads",
+    "sweep_environment",
+]

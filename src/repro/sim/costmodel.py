@@ -1,0 +1,150 @@
+"""Calibrated CPU/DPU cost model.
+
+The functional stack runs in Python, so wall-clock time tells us nothing
+about Xeon-6430-vs-Cortex-A78 behaviour.  Instead, the *operation census*
+collected by the real deserializer
+(:class:`~repro.offload.arena_deserializer.DeserializeStats`) is priced in
+nanoseconds using constants calibrated to the paper's own measurements:
+
+========================  ==========================  =====================
+quantity                  value                       source
+========================  ==========================  =====================
+varint decode, host       2.75 ns / element           Fig. 7 (slope, ints)
+char copy+validate, host  42.5 ns / 1024 elements     Fig. 7 (slope, chars)
+per-message base, host    30 ns                       Fig. 7 (intercept)
+DPU / host ratio, ints    1.89×                       §VI-B
+DPU / host ratio, chars   2.51×                       §VI-B
+DPU / host ratio, other   2.0×                        §VI-A ("two DPU cores
+                                                      match one CPU core")
+========================  ==========================  =====================
+
+Datapath-side constants (per-message protocol handling, per-block
+overheads, per-byte block processing) are calibrated so the Table-I
+configuration reproduces the paper's headline datapath numbers — ≈9×10⁷
+small-message RPS, ≈180 Gbps peak PCIe, 1.8×/8×/1.53× host-CPU-usage
+reductions; EXPERIMENTS.md records the paper-vs-model deltas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.offload.arena_deserializer import DeserializeStats
+
+__all__ = [
+    "Core",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DatapathCosts",
+    "DEFAULT_DATAPATH_COSTS",
+]
+
+
+class Core(enum.Enum):
+    """Which silicon executes the work."""
+
+    HOST_X86 = "host-x86"  # Xeon Gold 6430 class
+    DPU_ARM = "dpu-arm"  # Cortex-A78 (BlueField-3) class
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deserialization cost constants (host core = 1×)."""
+
+    # Host-core unit costs, nanoseconds.
+    varint_ns: float = 2.75  # per varint element decoded
+    char_ns: float = 42.5 / 1024  # per byte copied + UTF-8 validated
+    fixed_ns: float = 0.8  # per fixed-width field/element
+    message_base_ns: float = 30.0  # per (sub)message: dispatch + memcpy
+    memcpy_ns_per_byte: float = 0.03  # bulk stores beyond strings
+
+    # DPU multipliers per operation class (§VI-B).
+    dpu_varint_factor: float = 1.89
+    dpu_char_factor: float = 2.51  # no wide SIMD validation on the DPU
+    dpu_generic_factor: float = 2.0
+
+    def deserialize_ns(self, stats: DeserializeStats, core: Core) -> float:
+        """Price one census on one core type."""
+        if core is Core.HOST_X86:
+            fv = fc = fg = 1.0
+        else:
+            fv, fc, fg = (
+                self.dpu_varint_factor,
+                self.dpu_char_factor,
+                self.dpu_generic_factor,
+            )
+        return (
+            fv * self.varint_ns * stats.varints_decoded
+            + fc * self.char_ns * stats.string_bytes_copied
+            + fg * self.fixed_ns * stats.fixed_fields
+            + fg * self.message_base_ns * stats.messages
+            + fg * self.memcpy_ns_per_byte * stats.bytes_memcpy
+        )
+
+    def int_array_ns(self, elements: int, core: Core) -> float:
+        """Closed form for the Fig. 7 int-array curve."""
+        f = 1.0 if core is Core.HOST_X86 else self.dpu_varint_factor
+        g = 1.0 if core is Core.HOST_X86 else self.dpu_generic_factor
+        return g * self.message_base_ns + f * self.varint_ns * elements
+
+    def char_array_ns(self, elements: int, core: Core) -> float:
+        """Closed form for the Fig. 7 char-array curve."""
+        f = 1.0 if core is Core.HOST_X86 else self.dpu_char_factor
+        g = 1.0 if core is Core.HOST_X86 else self.dpu_generic_factor
+        return g * self.message_base_ns + f * self.char_ns * elements
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class DatapathCosts:
+    """Per-message/per-block datapath costs outside deserialization.
+
+    Calibration targets (Table-I config):
+
+    * host protocol handling ≈ 89 ns/small message at saturation →
+      8 host threads sustain ≈ 9×10⁷ RPS in the baseline;
+    * DPU protocol+termination ≈ 178 ns/small message → 16 DPU threads
+      match the host (the 2:1 core equivalence);
+    * per-byte block processing makes big payloads cost something on the
+      host even when offloaded (block parsing, cache traffic), which is
+      what bounds the chars scenario's CPU reduction at ≈1.53×.
+    """
+
+    #: host-side RPC-over-RDMA server work per message (poll, dispatch,
+    #: response enqueue) — present in BOTH scenarios.
+    host_proto_msg_ns: float = 50.0
+    #: host-side xRPC termination per message (connection handling,
+    #: framing) — baseline scenario only; offloading moves it to the DPU.
+    host_xrpc_msg_ns: float = 28.0
+    #: DPU-side work per message (xRPC termination + protocol client).
+    dpu_proto_msg_ns: float = 120.0
+    #: per-block costs (seal, post, completion, ack bookkeeping).
+    host_block_ns: float = 250.0
+    dpu_block_ns: float = 500.0
+    #: per-byte of payload handled (block walk / cache traffic).
+    host_byte_ns: float = 0.027
+    dpu_byte_ns: float = 0.055
+    #: response handling per message on each side.
+    host_response_msg_ns: float = 12.0
+    dpu_response_msg_ns: float = 25.0
+
+    def scaled(self, host_factor: float = 1.0, dpu_factor: float = 1.0) -> "DatapathCosts":
+        """Uniformly scale one side's costs (ablation knobs)."""
+        return replace(
+            self,
+            host_proto_msg_ns=self.host_proto_msg_ns * host_factor,
+            host_xrpc_msg_ns=self.host_xrpc_msg_ns * host_factor,
+            host_block_ns=self.host_block_ns * host_factor,
+            host_byte_ns=self.host_byte_ns * host_factor,
+            host_response_msg_ns=self.host_response_msg_ns * host_factor,
+            dpu_proto_msg_ns=self.dpu_proto_msg_ns * dpu_factor,
+            dpu_block_ns=self.dpu_block_ns * dpu_factor,
+            dpu_byte_ns=self.dpu_byte_ns * dpu_factor,
+            dpu_response_msg_ns=self.dpu_response_msg_ns * dpu_factor,
+        )
+
+
+DEFAULT_DATAPATH_COSTS = DatapathCosts()

@@ -1,0 +1,57 @@
+"""xRPC: the gRPC-like front-end framework and the offload bridges.
+
+The substrate the paper offloads: simulated TCP transport, gRPC-style
+framing and unary calls, generated stubs and servicer dispatch, plus the
+two halves that move the server onto the DPU — the
+:class:`OffloadedXrpcServer` front end and the host compatibility layer
+(:func:`register_offloaded_servicer`).
+"""
+
+from .channel import RpcError, XrpcChannel
+from .dpu_frontend import OffloadedXrpcServer, register_offloaded_servicer
+from .framing import (
+    Frame,
+    FrameDecoder,
+    FrameType,
+    FramingError,
+    StatusCode,
+    encode_request,
+    encode_response,
+)
+from .server import ServerStats, XrpcServer
+from .service import (
+    MethodBinding,
+    ServiceError,
+    assign_method_ids,
+    build_dispatch_table,
+    make_stub_class,
+    method_path,
+)
+from .transport import ConnectionClosed, Listener, Network, SimSocket, TransportError
+
+__all__ = [
+    "RpcError",
+    "XrpcChannel",
+    "OffloadedXrpcServer",
+    "register_offloaded_servicer",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "FramingError",
+    "StatusCode",
+    "encode_request",
+    "encode_response",
+    "ServerStats",
+    "XrpcServer",
+    "MethodBinding",
+    "ServiceError",
+    "assign_method_ids",
+    "build_dispatch_table",
+    "make_stub_class",
+    "method_path",
+    "ConnectionClosed",
+    "Listener",
+    "Network",
+    "SimSocket",
+    "TransportError",
+]

@@ -1,0 +1,107 @@
+"""xRPC client channel.
+
+The client side of the xRPC substrate: frames unary requests, matches
+responses to calls by call id, and fires continuations.  From the xRPC
+client's perspective nothing changes when the server moves to the DPU —
+only the target address does (§III-A: "The only configuration change is
+to modify the xRPC server address").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.proto import Message, parse
+
+from .framing import FrameDecoder, FrameType, StatusCode, encode_request
+from .transport import Network, SimSocket
+
+__all__ = ["RpcError", "XrpcChannel"]
+
+
+class RpcError(RuntimeError):
+    """A call completed with a non-OK status."""
+
+    def __init__(self, status: int, detail: str = "") -> None:
+        super().__init__(f"rpc failed with status {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class XrpcChannel:
+    """One client connection to an xRPC server address."""
+
+    def __init__(self, network: Network, address: str, name: str = "xrpc-client") -> None:
+        self.address = address
+        self.socket: SimSocket = network.connect(address, name)
+        self._decoder = FrameDecoder()
+        self._call_ids = itertools.count(1, 2)  # odd ids, like HTTP/2 client streams
+        # call_id -> (response class, callback)
+        self._pending: dict[int, tuple[type[Message], Callable]] = {}
+        #: hook the caller uses to advance the rest of the simulated world
+        #: while waiting synchronously (the server must run somewhere).
+        self.drive: Callable[[], None] | None = None
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def call(
+        self,
+        method: str,
+        request: Message,
+        response_cls: type[Message],
+        callback: Callable[[Message | None, int], None],
+    ) -> int:
+        """Start a unary call; ``callback(response, status)`` fires on
+        completion (response is None unless status == OK)."""
+        call_id = next(self._call_ids)
+        self._pending[call_id] = (response_cls, callback)
+        self.socket.send(encode_request(call_id, method, request.SerializeToString()))
+        return call_id
+
+    def call_sync(self, method: str, request: Message, response_cls: type[Message],
+                  max_iters: int = 100_000) -> Message:
+        """Synchronous unary call.  Requires :attr:`drive` so the server
+        (and the DPU/host datapath behind it) can make progress."""
+        if self.drive is None:
+            raise RuntimeError("call_sync needs channel.drive to advance the server")
+        result: list = []
+
+        def done(response: Message | None, status: int) -> None:
+            result.append((response, status))
+
+        self.call(method, request, response_cls, done)
+        for _ in range(max_iters):
+            self.drive()
+            self.poll()
+            if result:
+                response, status = result[0]
+                if status != StatusCode.OK:
+                    raise RpcError(status, repr(response))
+                return response
+        raise TimeoutError(f"no response to {method} after {max_iters} iterations")
+
+    def poll(self) -> int:
+        """Process inbound frames; returns completed-call count."""
+        data = self.socket.recv(1 << 20)
+        if data:
+            self._decoder.feed(data)
+        completed = 0
+        for frame in self._decoder.frames():
+            if frame.frame_type is not FrameType.RESPONSE:
+                continue  # a server would not send requests; ignore
+            entry = self._pending.pop(frame.call_id, None)
+            if entry is None:
+                continue  # response to a cancelled/unknown call
+            response_cls, callback = entry
+            if frame.status == StatusCode.OK:
+                callback(parse(response_cls, frame.message), StatusCode.OK)
+            else:
+                callback(None, frame.status)
+            completed += 1
+        return completed
+
+    def close(self) -> None:
+        self.socket.close()

@@ -1,0 +1,135 @@
+"""The DPU front end and the host compatibility layer (paper §III-A, §V-D).
+
+``OffloadedXrpcServer`` is the xRPC server that now runs *on the DPU*: it
+terminates client connections, and for every unary request looks up the
+procedure ID and hands the serialized payload to the
+:class:`~repro.offload.engine.DpuEngine`, which deserializes it into the
+outgoing protocol block.  When the host's response comes back (already
+serialized — response serialization stays on the host in this prototype),
+the front end wraps it in an xRPC response frame and forwards it to the
+client.  Clients cannot tell the difference; they only changed the server
+address.
+
+``register_offloaded_servicer`` is the host-side compatibility layer: an
+application servicer written for the normal xRPC server runs unmodified —
+its methods receive the request object (here the zero-copy
+:class:`~repro.offload.materialize.CppMessageView`, which duck-types field
+access exactly like a parsed message) and a ``None`` context ("we use a
+null pointer for simplicity"), and return a response Message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import Flags, IncomingRequest
+from repro.offload.engine import DpuEngine, HostEngine
+from repro.proto.descriptor import ServiceDescriptor
+
+from .framing import FrameDecoder, FrameType, StatusCode, encode_response
+from .service import assign_method_ids, build_dispatch_table, method_path
+from .transport import Listener, Network, SimSocket
+
+__all__ = ["OffloadedXrpcServer", "register_offloaded_servicer"]
+
+
+@dataclass
+class _Connection:
+    socket: SimSocket
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+
+
+class OffloadedXrpcServer:
+    """xRPC termination on the DPU, bridged to RPC over RDMA."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        dpu: DpuEngine,
+        service: ServiceDescriptor,
+    ) -> None:
+        self.address = address
+        self.listener: Listener = network.listen(address)
+        self.dpu = dpu
+        self._method_ids = assign_method_ids(service)
+        self._connections: list[_Connection] = []
+        self.requests_forwarded = 0
+        self.responses_returned = 0
+
+    def poll(self) -> int:
+        """One event-loop pass: accept, convert xRPC→RPC over RDMA,
+        advance the protocol (responses fire continuations that write
+        back to the right client socket)."""
+        while True:
+            sock = self.listener.accept()
+            if sock is None:
+                break
+            self._connections.append(_Connection(sock))
+        forwarded = 0
+        for conn in self._connections:
+            data = conn.socket.recv(1 << 20)
+            if data:
+                conn.decoder.feed(data)
+            for frame in conn.decoder.frames():
+                if frame.frame_type is FrameType.REQUEST:
+                    self._forward(conn, frame.call_id, frame.method, frame.message)
+                    forwarded += 1
+        self.dpu.progress()
+        self._connections = [c for c in self._connections if not c.socket.eof()]
+        return forwarded
+
+    def _forward(self, conn: _Connection, call_id: int, method: str, payload: bytes) -> None:
+        method_id = self._method_ids.get(method)
+        if method_id is None:
+            conn.socket.send(encode_response(call_id, StatusCode.UNIMPLEMENTED, b""))
+            return
+        self.requests_forwarded += 1
+
+        def on_response(view: memoryview, flags: int) -> None:
+            # The host's response is already serialized protobuf; the DPU
+            # only reframes it for the xRPC client (§III-A).
+            self.responses_returned += 1
+            status = StatusCode.INTERNAL if flags & Flags.ERROR else StatusCode.OK
+            conn.socket.send(encode_response(call_id, status, bytes(view)))
+
+        try:
+            self.dpu.call(method_id, payload, on_response)
+        except Exception:  # noqa: BLE001 — malformed request payloads
+            conn.socket.send(encode_response(call_id, StatusCode.INVALID_ARGUMENT, b""))
+
+
+def register_offloaded_servicer(
+    host: HostEngine,
+    service: ServiceDescriptor,
+    servicer: object,
+    offload_responses: bool = False,
+) -> None:
+    """Host side of the compatibility layer: plug an ordinary servicer
+    into the offload engine.  Its methods run on already-deserialized
+    objects; no request parsing happens on the host.
+
+    With ``offload_responses=True``, response *serialization* moves to
+    the DPU as well: the servicer's response Messages cross the PCIe as
+    C++ objects and the DPU front end serializes them before framing
+    (§III-A: "serialization can be offloaded with similar techniques").
+    """
+    table = build_dispatch_table(service, servicer)
+    ids = assign_method_ids(service)
+    for m in service.methods:
+        path = method_path(service, m)
+        binding = table[path]
+
+        def make_callback(binding=binding):
+            def callback(view, request: IncomingRequest):
+                return binding.handler(view, None)
+
+            return callback
+
+        host.register_method(
+            ids[path],
+            m.input_type.full_name,
+            make_callback(),
+            name=path,
+            output_type=m.output_type.full_name if offload_responses else None,
+        )

@@ -1,0 +1,133 @@
+"""xRPC wire framing.
+
+gRPC proper rides on HTTP/2; what the offload architecture needs from it
+is (a) length-prefixed protobuf messages — gRPC's 5-byte message prefix —
+and (b) multiplexed unary calls with a method path and a status.  We keep
+gRPC's message prefix verbatim (compressed flag + u32 big-endian length)
+and replace the HTTP/2 stream machinery with an explicit frame header, a
+simplification documented in DESIGN.md.
+
+Frame layout::
+
+    u8   frame_type        # REQUEST / RESPONSE
+    u32  call_id           # client-chosen stream id (odd, increasing)
+    u8   status            # gRPC status code (0 = OK); responses only
+    u16  method_len        # requests only
+    ...  method path       # "/pkg.Service/Method"
+    u8   compressed_flag   # gRPC message prefix
+    u32  message_len       # big-endian, as in gRPC
+    ...  message bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "FrameType",
+    "StatusCode",
+    "Frame",
+    "FramingError",
+    "encode_request",
+    "encode_response",
+    "FrameDecoder",
+]
+
+
+class FramingError(RuntimeError):
+    """Malformed frame."""
+
+
+class FrameType:
+    REQUEST = 1
+    RESPONSE = 2
+
+
+class StatusCode:
+    """The gRPC status codes the layer uses."""
+
+    OK = 0
+    UNKNOWN = 2
+    INVALID_ARGUMENT = 3
+    NOT_FOUND = 5
+    UNIMPLEMENTED = 12
+    INTERNAL = 13
+
+
+@dataclass(frozen=True)
+class Frame:
+    frame_type: int
+    call_id: int
+    status: int
+    method: str
+    message: bytes
+
+
+def _message_prefix(message: bytes) -> bytes:
+    # gRPC's 5-byte prefix: compressed flag, then u32 length, big-endian.
+    return struct.pack(">BI", 0, len(message))
+
+
+def encode_request(call_id: int, method: str, message: bytes) -> bytes:
+    m = method.encode("utf-8")
+    return (
+        struct.pack("<BIBH", FrameType.REQUEST, call_id, 0, len(m))
+        + m
+        + _message_prefix(message)
+        + message
+    )
+
+
+def encode_response(call_id: int, status: int, message: bytes) -> bytes:
+    return (
+        struct.pack("<BIBH", FrameType.RESPONSE, call_id, status, 0)
+        + _message_prefix(message)
+        + message
+    )
+
+
+_HEADER = struct.Struct("<BIBH")
+_PREFIX = struct.Struct(">BI")
+
+
+class FrameDecoder:
+    """Incremental decoder over a byte stream (handles short reads)."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def frames(self):
+        """Yield every complete frame currently buffered."""
+        while True:
+            frame = self._try_decode()
+            if frame is None:
+                return
+            yield frame
+
+    def _try_decode(self) -> Frame | None:
+        buf = self._buf
+        if len(buf) < _HEADER.size:
+            return None
+        frame_type, call_id, status, method_len = _HEADER.unpack_from(buf, 0)
+        if frame_type not in (FrameType.REQUEST, FrameType.RESPONSE):
+            raise FramingError(f"unknown frame type {frame_type}")
+        pos = _HEADER.size
+        if len(buf) < pos + method_len + _PREFIX.size:
+            return None
+        method = bytes(buf[pos : pos + method_len]).decode("utf-8")
+        pos += method_len
+        compressed, msg_len = _PREFIX.unpack_from(buf, pos)
+        if compressed not in (0, 1):
+            raise FramingError(f"bad compressed flag {compressed}")
+        if compressed:
+            raise FramingError("compressed messages are not supported")
+        pos += _PREFIX.size
+        if len(buf) < pos + msg_len:
+            return None
+        message = bytes(buf[pos : pos + msg_len])
+        del buf[: pos + msg_len]
+        return Frame(frame_type, call_id, status, method, message)

@@ -1,0 +1,114 @@
+"""The baseline (non-offloaded) xRPC server.
+
+This is the traditional deployment the paper compares against: the host
+terminates client connections itself and its CPU performs framing,
+**protobuf deserialization**, business-logic dispatch, and response
+serialization.  The deserialization census is recorded so the datapath
+benchmarks can charge the host CPU for exactly the work the DPU absorbs
+in the offloaded configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.proto import Message, MessageFactory, WireFormatError, parse, serialize
+from repro.proto.descriptor import ServiceDescriptor
+
+from .framing import FrameDecoder, FrameType, StatusCode, encode_response
+from .service import MethodBinding, build_dispatch_table
+from .transport import Listener, Network, SimSocket
+
+__all__ = ["XrpcServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+
+
+@dataclass
+class _Connection:
+    socket: SimSocket
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+
+
+class XrpcServer:
+    """Single-threaded, poll-driven unary-RPC server."""
+
+    def __init__(self, network: Network, address: str, factory: MessageFactory) -> None:
+        self.address = address
+        self.listener: Listener = network.listen(address)
+        self.factory = factory
+        self._methods: dict[str, MethodBinding] = {}
+        self._connections: list[_Connection] = []
+        self.stats = ServerStats()
+
+    def add_service(self, service: ServiceDescriptor, servicer: object) -> None:
+        """Register a servicer (the generated-code
+        ``add_XServicer_to_server`` analog)."""
+        table = build_dispatch_table(service, servicer)
+        overlap = table.keys() & self._methods.keys()
+        if overlap:
+            raise ValueError(f"methods already registered: {sorted(overlap)}")
+        self._methods.update(table)
+
+    # -- event loop -----------------------------------------------------------
+
+    def poll(self) -> int:
+        """Accept connections and serve buffered requests; returns the
+        number of requests handled this pass."""
+        while True:
+            sock = self.listener.accept()
+            if sock is None:
+                break
+            self._connections.append(_Connection(sock))
+        handled = 0
+        for conn in self._connections:
+            data = conn.socket.recv(1 << 20)
+            if data:
+                conn.decoder.feed(data)
+            for frame in conn.decoder.frames():
+                if frame.frame_type is FrameType.REQUEST:
+                    handled += 1
+                    self._serve(conn, frame.call_id, frame.method, frame.message)
+        self._connections = [c for c in self._connections if not c.socket.eof()]
+        return handled
+
+    def _serve(self, conn: _Connection, call_id: int, method: str, payload: bytes) -> None:
+        self.stats.requests += 1
+        self.stats.request_bytes += len(payload)
+        binding = self._methods.get(method)
+        if binding is None:
+            self._respond(conn, call_id, StatusCode.UNIMPLEMENTED, b"")
+            return
+        request_cls = self.factory.get_class(binding.method.input_type)
+        try:
+            # The host-CPU deserialization the offload eliminates:
+            request = parse(request_cls, payload)
+        except WireFormatError:
+            self._respond(conn, call_id, StatusCode.INVALID_ARGUMENT, b"")
+            return
+        try:
+            response = binding.handler(request, None)
+        except Exception:  # noqa: BLE001 — servicer faults become INTERNAL
+            self._respond(conn, call_id, StatusCode.INTERNAL, b"")
+            return
+        if not isinstance(response, Message) or (
+            response.DESCRIPTOR.full_name != binding.method.output_type.full_name
+        ):
+            self._respond(conn, call_id, StatusCode.INTERNAL, b"")
+            return
+        self._respond(conn, call_id, StatusCode.OK, serialize(response))
+
+    def _respond(self, conn: _Connection, call_id: int, status: int, message: bytes) -> None:
+        if status == StatusCode.OK:
+            self.stats.responses += 1
+        else:
+            self.stats.errors += 1
+        self.stats.response_bytes += len(message)
+        conn.socket.send(encode_response(call_id, status, message))

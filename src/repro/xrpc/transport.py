@@ -1,0 +1,120 @@
+"""Simulated TCP transport for the xRPC substrate.
+
+The paper's DPU terminates the clients' TCP connections ("often TCP/IP",
+§III-A) and multiplexes them onto the host link.  This module provides the
+minimal byte-stream machinery for that: a :class:`Network` registry of
+listening addresses, connection establishment, and in-order reliable byte
+streams with partial-read semantics (so framing code must handle short
+reads, as over real sockets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["TransportError", "ConnectionClosed", "SimSocket", "Listener", "Network"]
+
+
+class TransportError(RuntimeError):
+    """Connection-level failure."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed the stream."""
+
+
+class SimSocket:
+    """One direction-pair of byte streams between two endpoints."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rx = bytearray()
+        self.peer: "SimSocket | None" = None
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    @classmethod
+    def pair(cls, name_a: str = "a", name_b: str = "b") -> tuple["SimSocket", "SimSocket"]:
+        a, b = cls(name_a), cls(name_b)
+        a.peer, b.peer = b, a
+        return a, b
+
+    # -- byte stream ------------------------------------------------------------
+
+    def send(self, data: bytes) -> int:
+        if self._closed or self.peer is None:
+            raise ConnectionClosed(f"{self.name}: send on closed socket")
+        if self.peer._closed:
+            raise ConnectionClosed(f"{self.name}: peer closed")
+        self.peer._rx += data
+        self.peer.bytes_received += len(data)
+        self.bytes_sent += len(data)
+        return len(data)
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        """Non-blocking read of up to ``max_bytes``; empty result means no
+        data *currently* available (distinguish closure with
+        :meth:`eof`)."""
+        if max_bytes <= 0:
+            return b""
+        n = min(max_bytes, len(self._rx))
+        out = bytes(self._rx[:n])
+        del self._rx[:n]
+        return out
+
+    def pending(self) -> int:
+        return len(self._rx)
+
+    def eof(self) -> bool:
+        """True when the peer closed and all buffered bytes are drained."""
+        return (self.peer is None or self.peer._closed) and not self._rx
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class Listener:
+    """A listening address: accepts queued connection attempts."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self._backlog: deque[SimSocket] = deque()
+
+    def _enqueue(self, server_side: SimSocket) -> None:
+        self._backlog.append(server_side)
+
+    def accept(self) -> SimSocket | None:
+        """Pop one pending connection, or None."""
+        return self._backlog.popleft() if self._backlog else None
+
+
+class Network:
+    """Address registry — the in-process internet."""
+
+    def __init__(self) -> None:
+        self._listeners: dict[str, Listener] = {}
+
+    def listen(self, address: str) -> Listener:
+        if address in self._listeners:
+            raise TransportError(f"address {address!r} already in use")
+        listener = Listener(address)
+        self._listeners[address] = listener
+        return listener
+
+    def connect(self, address: str, client_name: str = "client") -> SimSocket:
+        listener = self._listeners.get(address)
+        if listener is None:
+            raise TransportError(f"connection refused: {address!r}")
+        client_side, server_side = SimSocket.pair(client_name, f"{address}#srv")
+        listener._enqueue(server_side)
+        return client_side
+
+    def close(self, address: str) -> None:
+        self._listeners.pop(address, None)

@@ -1,0 +1,148 @@
+"""Tests for primitive types and std::string layouts (incl. SSO)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abi import (
+    AbiConfig,
+    AbiError,
+    LibcxxString,
+    LibstdcxxString,
+    PRIMITIVES,
+    REPEATED_HEADER,
+    StdLib,
+    string_layout_for,
+)
+from repro.memory import AddressSpace, MemoryRegion
+
+BASE = 0x100000
+
+
+@pytest.fixture
+def space():
+    s = AddressSpace()
+    s.map(MemoryRegion(BASE, 1 << 16, "mem"))
+    return s
+
+
+class TestPrimitives:
+    def test_lp64_sizes(self):
+        assert PRIMITIVES["bool"].size == 1
+        assert PRIMITIVES["int32"].size == 4
+        assert PRIMITIVES["uint64"].size == 8
+        assert PRIMITIVES["double"].size == 8
+        assert PRIMITIVES["pointer"].size == 8
+
+    def test_natural_alignment(self):
+        for prim in PRIMITIVES.values():
+            assert prim.align == prim.size
+
+    def test_pack_unpack_roundtrip(self):
+        p = PRIMITIVES["int32"]
+        assert p.unpack(p.pack(-12345)) == -12345
+        d = PRIMITIVES["double"]
+        assert d.unpack(d.pack(2.5)) == 2.5
+
+    def test_little_endian(self):
+        assert PRIMITIVES["uint32"].pack(1) == b"\x01\x00\x00\x00"
+
+
+@pytest.mark.parametrize("layout_cls", [LibstdcxxString, LibcxxString])
+class TestStringLayouts:
+    def test_sso_inline(self, space, layout_cls):
+        layout = layout_cls()
+        data = b"short"
+        layout.write(space, BASE, data, None)
+        assert layout.is_sso(space, BASE)
+        assert layout.read(space, BASE) == data
+        assert layout.heap_bytes_needed(len(data)) == 0
+
+    def test_sso_boundary(self, space, layout_cls):
+        layout = layout_cls()
+        at_cap = b"x" * layout.sso_capacity
+        layout.write(space, BASE, at_cap, None)
+        assert layout.is_sso(space, BASE)
+        assert layout.read(space, BASE) == at_cap
+
+    def test_long_string_out_of_line(self, space, layout_cls):
+        layout = layout_cls()
+        data = b"y" * (layout.sso_capacity + 1)
+        data_addr = BASE + 0x100
+        layout.write(space, BASE, data, data_addr)
+        assert not layout.is_sso(space, BASE)
+        assert layout.read(space, BASE) == data
+        # Character data (plus NUL) actually lives at data_addr.
+        assert space.read(data_addr, len(data) + 1) == data + b"\x00"
+        assert layout.heap_bytes_needed(len(data)) == len(data) + 1
+
+    def test_long_string_requires_data_addr(self, space, layout_cls):
+        layout = layout_cls()
+        with pytest.raises(AbiError):
+            layout.write(space, BASE, b"z" * 100, None)
+
+    def test_empty_string(self, space, layout_cls):
+        layout = layout_cls()
+        layout.write(space, BASE, b"", None)
+        assert layout.read(space, BASE) == b""
+        assert layout.is_sso(space, BASE)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.binary(max_size=200))
+    def test_roundtrip_any_length(self, layout_cls, data):
+        space = AddressSpace()
+        space.map(MemoryRegion(BASE, 1 << 12, "mem"))
+        layout = layout_cls()
+        layout.write(space, BASE, data, BASE + 0x400)
+        assert layout.read(space, BASE) == data
+
+
+class TestLayoutSpecifics:
+    def test_libstdcxx_is_32_bytes(self):
+        assert LibstdcxxString().size == 32
+        assert LibstdcxxString().sso_capacity == 15
+
+    def test_libcxx_is_24_bytes(self):
+        assert LibcxxString().size == 24
+        assert LibcxxString().sso_capacity == 22
+
+    def test_libstdcxx_sso_discriminator_is_self_pointer(self, space):
+        layout = LibstdcxxString()
+        layout.write(space, BASE, b"hi", None)
+        assert space.read_u64(BASE) == BASE + 16  # data -> own sso buffer
+        assert space.read_u64(BASE + 8) == 2
+
+    def test_libcxx_sso_flag_in_first_bit(self, space):
+        layout = LibcxxString()
+        layout.write(space, BASE, b"hi", None)
+        assert space.read(BASE, 1)[0] & 1 == 0  # short form
+        layout.write(space, BASE + 0x40, b"q" * 30, BASE + 0x200)
+        assert space.read(BASE + 0x40, 1)[0] & 1 == 1  # long form
+
+    def test_corrupt_sso_size_detected(self, space):
+        layout = LibstdcxxString()
+        layout.write(space, BASE, b"hi", None)
+        space.write_u64(BASE + 8, 99)  # size > sso capacity but ptr says sso
+        with pytest.raises(AbiError):
+            layout.read(space, BASE)
+
+    def test_string_layout_for_config(self):
+        assert isinstance(
+            string_layout_for(AbiConfig(stdlib=StdLib.LIBSTDCXX)), LibstdcxxString
+        )
+        assert isinstance(
+            string_layout_for(AbiConfig(stdlib=StdLib.LIBCXX)), LibcxxString
+        )
+
+
+class TestRepeatedHeader:
+    def test_roundtrip(self, space):
+        REPEATED_HEADER.write(space, BASE, BASE + 0x1000, 42)
+        elems, size, cap = REPEATED_HEADER.read(space, BASE)
+        assert (elems, size, cap) == (BASE + 0x1000, 42, 42)
+
+    def test_sixteen_bytes(self):
+        assert REPEATED_HEADER.size == 16
+        assert REPEATED_HEADER.align == 8

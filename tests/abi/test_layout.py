@@ -1,0 +1,191 @@
+"""Tests for Itanium-style message layout computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abi import AbiConfig, Arch, Compiler, LayoutCache, StdLib, check_compatibility
+from repro.memory import AddressSpace, MemoryRegion
+from repro.proto import compile_schema
+
+BASE = 0x200000
+
+
+def layout_of(proto_body: str, type_name: str = "M", abi: AbiConfig | None = None):
+    schema = compile_schema(f'syntax = "proto3"; {proto_body}')
+    cache = LayoutCache(abi or AbiConfig())
+    return cache.layout(schema.pool.message(type_name))
+
+
+class TestLayoutRules:
+    def test_vptr_first(self):
+        lay = layout_of("message M { int32 a = 1; }")
+        assert lay.VPTR_OFFSET == 0
+        assert lay.hasbits_offset == 8
+
+    def test_scalar_packing(self):
+        # vptr 8 | hasbits 4 | cached 4 | a:int32 4 | b:bool 1 | pad | ...
+        lay = layout_of("message M { int32 a = 1; bool b = 2; int64 c = 3; }")
+        assert lay.offsetof("a") == 16
+        assert lay.offsetof("b") == 20
+        assert lay.offsetof("c") == 24  # aligned up from 21
+        assert lay.sizeof == 32
+
+    def test_sizeof_multiple_of_alignof(self):
+        lay = layout_of("message M { int64 a = 1; bool b = 2; }")
+        assert lay.sizeof % lay.alignof == 0
+
+    def test_members_in_field_number_order(self):
+        lay = layout_of("message M { int32 late = 9; int32 early = 1; }")
+        assert lay.offsetof("early") < lay.offsetof("late")
+
+    def test_string_member_size(self):
+        lay = layout_of("message M { string s = 1; }")
+        assert lay.slot("s").size == 32  # libstdc++ std::string
+        lay2 = layout_of(
+            "message M { string s = 1; }", abi=AbiConfig(stdlib=StdLib.LIBCXX)
+        )
+        assert lay2.slot("s").size == 24
+
+    def test_message_member_is_pointer(self):
+        lay = layout_of("message Sub { int32 v = 1; } message M { Sub sub = 1; }")
+        assert lay.slot("sub").size == 8
+
+    def test_repeated_member_is_header(self):
+        lay = layout_of("message M { repeated uint32 xs = 1; }")
+        assert lay.slot("xs").size == 16
+
+    def test_many_fields_grow_hasbits(self):
+        body = "".join(f"int32 f{i} = {i+1};" for i in range(40))
+        lay = layout_of(f"message M {{ {body} }}")
+        assert lay.has_bit_words == 2
+        assert lay.cached_size_offset == 8 + 8
+        assert lay.offsetof("f0") == 20
+
+    def test_fields_do_not_overlap(self):
+        lay = layout_of(
+            "message M { bool a = 1; string b = 2; bool c = 3; double d = 4; "
+            "repeated int32 e = 5; bool f = 6; }"
+        )
+        spans = sorted((s.offset, s.offset + s.size) for s in lay.slots)
+        assert spans[0][0] >= 16  # after vptr+hasbits+cached_size
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert spans[-1][1] <= lay.sizeof
+
+    def test_alignment_respected(self):
+        lay = layout_of("message M { bool a = 1; double d = 2; int32 i = 3; int64 l = 4; }")
+        for slot in lay.slots:
+            assert slot.offset % slot.align == 0
+
+
+class TestHasBitsAndVptr:
+    @pytest.fixture
+    def env(self):
+        space = AddressSpace()
+        space.map(MemoryRegion(BASE, 4096))
+        lay = layout_of("message M { int32 a = 1; string s = 2; bool b = 3; }")
+        return space, lay
+
+    def test_has_bits(self, env):
+        space, lay = env
+        assert not lay.get_has_bit(space, BASE, 0)
+        lay.set_has_bit(space, BASE, 0)
+        lay.set_has_bit(space, BASE, 2)
+        assert lay.get_has_bit(space, BASE, 0)
+        assert not lay.get_has_bit(space, BASE, 1)
+        assert lay.get_has_bit(space, BASE, 2)
+
+    def test_vptr_roundtrip(self, env):
+        space, lay = env
+        lay.write_vptr(space, BASE, 0xDEAD0000)
+        assert lay.read_vptr(space, BASE) == 0xDEAD0000
+
+
+class TestCompatibility:
+    SCHEMA = """
+    message Inner { string tag = 1; }
+    message M { uint64 k = 1; Inner inner = 2; repeated int32 xs = 3; }
+    """
+
+    def _desc(self):
+        schema = compile_schema(f'syntax = "proto3"; {self.SCHEMA}')
+        return schema.pool.message("M")
+
+    def test_dpu_host_pairing_compatible(self):
+        """The paper's deployment: AArch64/gcc/libstdc++ DPU against
+        x86-64/gcc/libstdc++ host — Itanium layouts match."""
+        report = check_compatibility(
+            self._desc(),
+            AbiConfig(arch=Arch.AARCH64, compiler=Compiler.GCC),
+            AbiConfig(arch=Arch.X86_64, compiler=Compiler.GCC),
+        )
+        assert report.compatible
+        assert report.types_checked == 2
+
+    def test_gcc_clang_compatible(self):
+        report = check_compatibility(
+            self._desc(),
+            AbiConfig(compiler=Compiler.CLANG),
+            AbiConfig(compiler=Compiler.GCC),
+        )
+        assert report.compatible
+
+    def test_stdlib_mismatch_detected(self):
+        report = check_compatibility(
+            self._desc(),
+            AbiConfig(stdlib=StdLib.LIBCXX),
+            AbiConfig(stdlib=StdLib.LIBSTDCXX),
+        )
+        assert not report.compatible
+        kinds = {i.kind for i in report.incompatibilities}
+        # Different string sizes shift offsets AND change sizeof.
+        assert "string-layout" in kinds
+        assert "sizeof" in kinds
+        with pytest.raises(RuntimeError, match="not binary-compatible"):
+            report.raise_if_incompatible()
+
+    def test_abi_flags_mismatch_detected(self):
+        report = check_compatibility(
+            self._desc(),
+            AbiConfig(abi_flags=frozenset({"-fpack-struct"})),
+            AbiConfig(),
+        )
+        assert not report.compatible
+        assert any(i.kind == "flags" for i in report.incompatibilities)
+
+    def test_report_raise_noop_when_compatible(self):
+        report = check_compatibility(self._desc(), AbiConfig(), AbiConfig())
+        report.raise_if_incompatible()  # must not raise
+
+
+NAMES = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+TYPES = st.sampled_from(
+    ["bool", "int32", "uint64", "double", "string", "bytes", "float"]
+)
+
+
+class TestLayoutProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(names=NAMES, data=st.data())
+    def test_random_schemas_layout_invariants(self, names, data):
+        fields = []
+        for i, n in enumerate(names):
+            t = data.draw(TYPES)
+            rep = data.draw(st.booleans())
+            fields.append(f"{'repeated ' if rep else ''}{t} {n} = {i + 1};")
+        lay = layout_of(f"message M {{ {' '.join(fields)} }}")
+        assert lay.sizeof % lay.alignof == 0
+        spans = sorted((s.offset, s.offset + s.size) for s in lay.slots)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        for slot in lay.slots:
+            assert slot.offset % slot.align == 0
+            assert slot.offset + slot.size <= lay.sizeof

@@ -1,0 +1,133 @@
+"""Tests for the background-RPC executors, including real threads."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ProtocolConfig, Response, create_channel
+from repro.core.executor import DeferredExecutor, InlineExecutor, WorkerPool
+from repro.core.wire import Flags
+
+CFG = ProtocolConfig(
+    block_size=2 * 1024,
+    block_alignment=1024,
+    credits=16,
+    send_buffer_size=64 * 1024,
+    recv_buffer_size=64 * 1024,
+    concurrency=128,
+)
+
+
+class TestExecutors:
+    def test_inline_runs_immediately(self):
+        ran = []
+        InlineExecutor()(lambda: ran.append(1))
+        assert ran == [1]
+
+    def test_deferred_runs_on_demand(self):
+        ex = DeferredExecutor()
+        ran = []
+        ex(lambda: ran.append(1))
+        ex(lambda: ran.append(2))
+        assert ran == []
+        assert ex.run_one()
+        assert ran == [1]
+        assert ex.run_all() == 1
+        assert ran == [1, 2]
+        assert not ex.run_one()
+
+    def test_worker_pool_executes(self):
+        pool = WorkerPool(workers=2)
+        try:
+            ran = []
+            lock = threading.Lock()
+            for i in range(20):
+                pool(lambda i=i: (lock.acquire(), ran.append(i), lock.release()))
+            pool.join_idle()
+            assert sorted(ran) == list(range(20))
+        finally:
+            pool.shutdown()
+
+    def test_worker_pool_survives_exceptions(self):
+        pool = WorkerPool(workers=1)
+        try:
+            ran = []
+            pool(lambda: 1 / 0)
+            pool(lambda: ran.append("ok"))
+            pool.join_idle()
+            assert ran == ["ok"]
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_rejects_new_work(self):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool(lambda: None)
+        pool.shutdown()  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+
+class TestBackgroundRpcWithThreads:
+    def test_background_rpcs_complete_via_worker_pool(self):
+        """§III-D end to end with a real thread pool: slow handlers run
+        off the poller thread; responses flow once workers finish."""
+        pool = WorkerPool(workers=4)
+        try:
+            ch = create_channel(CFG, CFG, background_executor=pool)
+            started = threading.Event()
+
+            def slow(req):
+                started.set()
+                time.sleep(0.01)
+                return Response.from_bytes(req.payload_bytes() + b"-done")
+
+            ch.server.register(1, slow)
+            out = []
+            for i in range(8):
+                ch.client.enqueue_bytes(
+                    1, f"job{i}".encode(), lambda v, f, i=i: out.append((i, bytes(v))),
+                    flags=Flags.BACKGROUND,
+                )
+            deadline = time.time() + 5
+            while len(out) < 8 and time.time() < deadline:
+                ch.client.progress()
+                ch.server.progress()
+            assert sorted(out) == [(i, f"job{i}-done".encode()) for i in range(8)]
+        finally:
+            pool.shutdown()
+
+    def test_out_of_order_completion(self):
+        """Background RPCs may finish out of order — the request-ID
+        machinery must route every response to the right continuation
+        (§IV: 'RPCs can be completed out-of-order on the server side')."""
+        ex = DeferredExecutor()
+        ch = create_channel(CFG, CFG, background_executor=ex)
+        ch.server.register(1, lambda req: Response.from_bytes(req.payload_bytes()))
+        out = []
+        for i in range(4):
+            ch.client.enqueue_bytes(
+                1, bytes([i]), lambda v, f, i=i: out.append((i, bytes(v))),
+                flags=Flags.BACKGROUND,
+            )
+        for _ in range(5):
+            ch.client.progress()
+            ch.server.progress()
+        assert out == []
+        assert len(ex.pending) == 4
+        # Finish in reverse order.
+        for fn in list(reversed(ex.pending)):
+            fn()
+        ex.pending.clear()
+        for _ in range(10):
+            ch.client.progress()
+            ch.server.progress()
+        assert sorted(out) == [(i, bytes([i])) for i in range(4)]
+        # Responses actually arrived reversed.
+        assert [i for i, _ in out] == [3, 2, 1, 0]

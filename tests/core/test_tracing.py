@@ -1,0 +1,74 @@
+"""Tests for the block dissector and hexdump tooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tracing import describe_flags, dissect_block, hexdump
+from repro.core.wire import BlockWriter, Flags, Preamble
+from repro.memory import AddressSpace, MemoryRegion
+
+BASE = 0x9000_0000
+
+
+@pytest.fixture
+def space():
+    s = AddressSpace()
+    s.map(MemoryRegion(BASE, 1 << 16))
+    return s
+
+
+class TestHexdump:
+    def test_format(self):
+        out = hexdump(b"hello\x00world!", base_addr=0x1000)
+        assert "0x0000001000" in out
+        assert "68 65 6c 6c 6f" in out
+        assert "|hello.world!|" in out
+
+    def test_multiline(self):
+        out = hexdump(bytes(range(40)))
+        assert len(out.splitlines()) == 3
+
+    def test_empty(self):
+        assert hexdump(b"") == ""
+
+
+class TestDescribeFlags:
+    def test_none(self):
+        assert describe_flags(0) == "-"
+
+    def test_known(self):
+        assert describe_flags(Flags.ERROR | Flags.LARGE) == "ERROR|LARGE"
+
+    def test_unknown_bits(self):
+        assert "unknown" in describe_flags(1 << 9)
+
+
+class TestDissect:
+    def test_well_formed_block(self, space):
+        w = BlockWriter(space, BASE, 4096)
+        _, p = w.begin_message(5)
+        space.write(p, b"hello")
+        w.commit_message(5, method_or_id=7)
+        _, p = w.begin_message(100)
+        space.write(p, b"B" * 100)
+        w.commit_message(100, method_or_id=3, flags=Flags.ERROR)
+        w.seal(ack_blocks=2)
+
+        out = dissect_block(space, BASE, 4096)
+        assert "messages=2 acks=2" in out
+        assert "id/method=7" in out
+        assert b"hello".hex() in out
+        assert "flags=ERROR" in out
+        assert "…" in out  # long payload previewed
+
+    def test_malformed_block(self, space):
+        Preamble(5, 0, 1 << 30).pack_into(space, BASE)
+        out = dissect_block(space, BASE, 4096)
+        assert "MALFORMED" in out
+        # Falls back to a hexdump of the head.
+        assert f"{BASE:#x}" in out
+
+    def test_never_raises_on_garbage(self, space):
+        space.write(BASE, bytes(range(64)))
+        dissect_block(space, BASE, 4096)  # must not raise

@@ -1,0 +1,136 @@
+"""Differential testing: the two deployments must be observationally
+identical.
+
+For any request message, a client talking to the baseline server (host
+terminates + deserializes) and a client talking to the offloaded server
+(DPU terminates + deserializes, host sees objects) must receive the same
+response — including for the bidirectionally offloaded variant where the
+response also crosses as an object.  This is the compatibility-layer
+contract (§III-A/§V-D) stated as a property.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import create_channel
+from repro.offload.engine import DpuEngine, HostEngine
+from repro.proto import compile_schema, serialize
+from repro.xrpc import (
+    Network,
+    OffloadedXrpcServer,
+    XrpcChannel,
+    XrpcServer,
+    make_stub_class,
+    register_offloaded_servicer,
+)
+from tests.conftest import KITCHEN_SINK_PROTO
+from tests.proto.test_codec_roundtrip import everything_strategy
+
+SERVICE_SRC = KITCHEN_SINK_PROTO + """
+message Digest {
+  uint64 field_count = 1;
+  uint64 numeric_sum = 2;
+  string echo_string = 3;
+  repeated uint32 echoed = 4;
+}
+
+service Probe {
+  rpc Inspect (Everything) returns (Digest);
+}
+"""
+
+
+def make_servicer(schema):
+    Digest = schema["test.Digest"]
+
+    class ProbeServicer:
+        """Reads a representative spread of field kinds — works on parsed
+        messages and zero-copy views alike."""
+
+        def Inspect(self, request, context):
+            numeric = (
+                request.f_uint32
+                + request.f_fixed32
+                + (request.f_sint32 & 0xFFFFFFFF)
+                + sum(request.r_uint32)
+                + len(request.f_bytes)
+                + (1 if request.f_bool else 0)
+                # Unset submessage accessors return defaults on BOTH
+                # representations (parsed message and zero-copy view).
+                + request.f_leaf.id
+            )
+            field_count = sum(
+                1 for leaf in request.r_leaf if leaf.label
+            ) + len(request.r_string)
+            return Digest(
+                field_count=field_count,
+                numeric_sum=numeric & ((1 << 64) - 1),
+                echo_string=request.f_string,
+                echoed=list(request.r_uint32)[:16],
+            )
+
+    return ProbeServicer()
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    schema = compile_schema(SERVICE_SRC)
+    svc = schema.service("test.Probe")
+    Stub = make_stub_class(svc, schema.factory)
+
+    # Baseline.
+    net_a = Network()
+    baseline = XrpcServer(net_a, "h:1", schema.factory)
+    baseline.add_service(svc, make_servicer(schema))
+    chan_a = XrpcChannel(net_a, "h:1")
+    chan_a.drive = baseline.poll
+
+    def offloaded_deployment(offload_responses: bool, address: str):
+        rdma = create_channel()
+        host = HostEngine(rdma, schema)
+        register_offloaded_servicer(
+            host, svc, make_servicer(schema), offload_responses=offload_responses
+        )
+        dpu = DpuEngine(rdma)
+        host.send_bootstrap()
+        dpu.receive_bootstrap()
+        net = Network()
+        front = OffloadedXrpcServer(net, address, dpu, svc)
+        chan = XrpcChannel(net, address)
+        chan.drive = lambda: (front.poll(), host.progress())
+        return chan
+
+    chan_b = offloaded_deployment(False, "dpu:1")
+    chan_c = offloaded_deployment(True, "dpu:2")
+    return schema, Stub(chan_a), Stub(chan_b), Stub(chan_c)
+
+
+class TestDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_three_deployments_agree(self, deployments, data):
+        schema, baseline, offloaded, bidirectional = deployments
+        cls = schema["test.Everything"]
+        request = data.draw(everything_strategy(cls))
+        a = baseline.Inspect(request)
+        b = offloaded.Inspect(request)
+        c = bidirectional.Inspect(request)
+        assert a == b == c
+
+    def test_worked_example(self, deployments):
+        schema, baseline, offloaded, bidirectional = deployments
+        cls = schema["test.Everything"]
+        request = cls(
+            f_uint32=10, f_bool=True, f_string="différential",
+            r_uint32=[1, 2, 3], r_string=["a", "b"], f_bytes=b"\x01\x02",
+        )
+        request.f_leaf.id = 5
+        leaf = request.r_leaf.add()
+        leaf.label = "counted"
+        a = baseline.Inspect(request)
+        assert a.echo_string == "différential"
+        assert list(a.echoed) == [1, 2, 3]
+        assert a == offloaded.Inspect(request) == bidirectional.Inspect(request)

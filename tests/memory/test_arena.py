@@ -1,0 +1,65 @@
+"""Tests for bump-pointer arenas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import AddressSpace, Arena, ArenaExhausted, MemoryRegion
+
+
+@pytest.fixture
+def space():
+    s = AddressSpace()
+    s.map(MemoryRegion(0x10000, 4096, "buf"))
+    return s
+
+
+class TestArena:
+    def test_sequential_allocation(self, space):
+        a = Arena(space, 0x10000, 1024)
+        p1 = a.allocate(16)
+        p2 = a.allocate(16)
+        assert p1 == 0x10000
+        assert p2 == 0x10010
+        assert a.used == 32
+
+    def test_default_eight_byte_alignment(self, space):
+        a = Arena(space, 0x10000, 1024)
+        a.allocate(3)
+        p = a.allocate(8)
+        assert p % 8 == 0
+
+    def test_custom_alignment(self, space):
+        a = Arena(space, 0x10001, 2048)  # deliberately misaligned base
+        p = a.allocate(10, alignment=64)
+        assert p % 64 == 0
+
+    def test_exhaustion(self, space):
+        a = Arena(space, 0x10000, 64)
+        a.allocate(60)
+        with pytest.raises(ArenaExhausted):
+            a.allocate(8)
+
+    def test_allocate_bytes_writes(self, space):
+        a = Arena(space, 0x10000, 256)
+        addr = a.allocate_bytes(b"hello")
+        assert space.read(addr, 5) == b"hello"
+
+    def test_zero_size_allocation(self, space):
+        a = Arena(space, 0x10000, 64)
+        p = a.allocate(0)
+        assert p == 0x10000
+        assert a.used == 0
+
+    def test_reset_recycles(self, space):
+        a = Arena(space, 0x10000, 64)
+        a.allocate(48)
+        a.reset()
+        assert a.used == 0
+        assert a.allocate(48) == 0x10000
+
+    def test_remaining_accounting(self, space):
+        a = Arena(space, 0x10000, 100)
+        a.allocate(10)
+        assert a.remaining == 90
+        assert a.used == 10

@@ -1,0 +1,155 @@
+"""Unit and property tests for the VMA-style offset allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.memory import AllocationError, OffsetAllocator
+
+
+class TestBasics:
+    def test_simple_alloc_free(self):
+        a = OffsetAllocator(1024)
+        off = a.allocate(100)
+        assert 0 <= off and off + 100 <= 1024
+        assert a.bytes_live >= 100
+        a.free(off)
+        assert a.is_empty()
+        assert a.bytes_free == 1024
+
+    def test_alignment(self):
+        a = OffsetAllocator(8192)
+        a.allocate(3)  # misalign the cursor
+        off = a.allocate(100, alignment=1024)
+        assert off % 1024 == 0
+
+    def test_exhaustion(self):
+        a = OffsetAllocator(128)
+        a.allocate(128)
+        with pytest.raises(AllocationError):
+            a.allocate(1)
+
+    def test_exhaustion_recovers_after_free(self):
+        a = OffsetAllocator(128)
+        off = a.allocate(128)
+        a.free(off)
+        assert a.allocate(128) == 0
+
+    def test_out_of_order_free(self):
+        """The property ring buffers lack: freeing the *older* allocation
+        while a newer one lives, then reusing its space."""
+        a = OffsetAllocator(256)
+        first = a.allocate(128)
+        second = a.allocate(128)
+        a.free(first)  # older block acknowledged first
+        third = a.allocate(128)
+        assert third == first
+        a.free(second)
+        a.free(third)
+        assert a.is_empty()
+
+    def test_double_free_rejected(self):
+        a = OffsetAllocator(64)
+        off = a.allocate(16)
+        a.free(off)
+        with pytest.raises(AllocationError):
+            a.free(off)
+
+    def test_free_unknown_offset_rejected(self):
+        a = OffsetAllocator(64)
+        a.allocate(16)
+        with pytest.raises(AllocationError):
+            a.free(7)
+
+    def test_coalescing(self):
+        a = OffsetAllocator(300)
+        offs = [a.allocate(100) for _ in range(3)]
+        for off in offs:
+            a.free(off)
+        # After freeing everything the range must be one span again.
+        assert a.allocate(300) == 0
+
+    def test_invalid_args(self):
+        a = OffsetAllocator(64)
+        with pytest.raises(ValueError):
+            a.allocate(0)
+        with pytest.raises(ValueError):
+            a.allocate(8, alignment=3)
+        with pytest.raises(ValueError):
+            OffsetAllocator(0)
+
+    def test_reset(self):
+        a = OffsetAllocator(64)
+        a.allocate(10)
+        a.reset()
+        assert a.is_empty() and a.bytes_free == 64
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Stateful property test: conservation, non-overlap, alignment."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.capacity = 4096
+        self.alloc = OffsetAllocator(self.capacity)
+        self.live: dict[int, int] = {}  # offset -> size requested
+
+    @rule(
+        size=st.integers(min_value=1, max_value=512),
+        align=st.sampled_from([1, 2, 4, 8, 16, 64, 1024]),
+    )
+    def do_allocate(self, size, align):
+        try:
+            off = self.alloc.allocate(size, align)
+        except AllocationError:
+            return
+        assert off % align == 0
+        assert off + size <= self.capacity
+        self.live[off] = size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def do_free(self, data):
+        off = data.draw(st.sampled_from(sorted(self.live)))
+        self.alloc.free(off)
+        del self.live[off]
+
+    @invariant()
+    def live_allocations_disjoint(self):
+        spans = sorted((off, off + size) for off, size in self.live.items())
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, "live allocations overlap"
+
+    @invariant()
+    def accounting_conserved(self):
+        assert self.alloc.bytes_free + self.alloc.bytes_live == self.capacity
+        assert self.alloc.live_count == len(self.live)
+
+    @invariant()
+    def empty_means_pristine(self):
+        if not self.live:
+            assert self.alloc.is_empty()
+            assert self.alloc.bytes_free == self.capacity
+
+
+TestAllocatorStateful = AllocatorMachine.TestCase
+TestAllocatorStateful.settings = settings(max_examples=60, stateful_step_count=60, deadline=None)
+
+
+class TestPropertyFullRecycle:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(1, 200), min_size=1, max_size=40),
+        seed=st.randoms(use_true_random=False),
+    )
+    def test_any_free_order_returns_to_empty(self, sizes, seed):
+        a = OffsetAllocator(65536)
+        offs = [a.allocate(s, 8) for s in sizes]
+        seed.shuffle(offs)
+        for off in offs:
+            a.free(off)
+        assert a.is_empty()
+        assert a.allocate(65536) == 0

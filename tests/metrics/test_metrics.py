@@ -1,0 +1,194 @@
+"""Tests for the Prometheus-style metrics and the monitoring pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    MonitorError,
+    Scraper,
+    StabilityMonitor,
+    TimeSeries,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("reqs_total")
+        c.inc()
+        c.inc(4)
+        assert c.samples()[0].value == 5
+
+    def test_negative_rejected(self):
+        c = Counter("reqs_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_labels(self):
+        c = Counter("reqs_total", label_names=("method",))
+        c.labels("Add").inc(2)
+        c.labels("Mul").inc(3)
+        rendered = {s.render() for s in c.samples()}
+        assert 'reqs_total{method="Add"} 2.0' in rendered
+        assert 'reqs_total{method="Mul"} 3.0' in rendered
+
+    def test_labelled_requires_labels_call(self):
+        c = Counter("reqs_total", label_names=("m",))
+        with pytest.raises(MetricError):
+            c.inc()
+
+    def test_label_arity_checked(self):
+        c = Counter("reqs_total", label_names=("a", "b"))
+        with pytest.raises(MetricError):
+            c.labels("only-one")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("credits")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.samples()[0].value == 8
+
+
+class TestHistogram:
+    def test_buckets_cumulative(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        samples = {s.labels[-1][1]: s.value for s in h.samples() if s.name == "lat_bucket"}
+        assert samples["0.001"] == 1
+        assert samples["0.01"] == 3
+        assert samples["0.1"] == 4
+        assert samples["+Inf"] == 5
+
+    def test_sum_count(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        h.observe(2.0)
+        by_name = {s.name: s.value for s in h.samples()}
+        assert by_name["lat_sum"] == 3.0
+        assert by_name["lat_count"] == 2
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricError):
+            Histogram("lat", buckets=(0.1, 0.01))
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(MetricError):
+            reg.counter("x_total")
+
+    def test_expose_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a_total", "things")
+        c.inc()
+        text = reg.expose()
+        assert "# HELP a_total things" in text
+        assert "a_total 1.0" in text
+
+    def test_invalid_name(self):
+        with pytest.raises(MetricError):
+            Counter("bad name!")
+
+
+class TestTimeSeries:
+    def test_instant_rate_last_two_points(self):
+        """§VI: 'We look at the last two data points of each metric to
+        obtain the per-second increase rate.'"""
+        ts = TimeSeries("reqs")
+        ts.observe(0.0, 0)
+        ts.observe(1.0, 100)
+        ts.observe(2.0, 350)
+        assert ts.instant_rate() == 250
+
+    def test_needs_two_points(self):
+        ts = TimeSeries("x")
+        ts.observe(0.0, 1)
+        with pytest.raises(MonitorError):
+            ts.instant_rate()
+
+    def test_monotonic_time_enforced(self):
+        ts = TimeSeries("x")
+        ts.observe(1.0, 1)
+        with pytest.raises(MonitorError):
+            ts.observe(1.0, 2)
+
+    def test_rates(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 0), (1, 10), (2, 30)]:
+            ts.observe(float(t), v)
+        assert ts.rates() == [10, 20]
+
+
+class TestScraper:
+    def test_scrape_builds_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reqs_total")
+        scraper = Scraper(reg)
+        c.inc(5)
+        scraper.scrape(1.0)
+        c.inc(10)
+        scraper.scrape(2.0)
+        assert scraper.get("reqs_total").instant_rate() == 10
+
+    def test_labelled_series_separate(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reqs_total", label_names=("m",))
+        c.labels("a").inc()
+        scraper = Scraper(reg)
+        scraper.scrape(1.0)
+        assert 'reqs_total{m="a"}' in scraper.series
+
+    def test_unknown_series(self):
+        scraper = Scraper(MetricsRegistry())
+        with pytest.raises(MonitorError):
+            scraper.get("nope")
+
+
+class TestStabilityMonitor:
+    def _series(self, rates):
+        ts = TimeSeries("r")
+        total = 0.0
+        ts.observe(0.0, 0.0)
+        for i, r in enumerate(rates):
+            total += r
+            ts.observe(float(i + 1), total)
+        return ts
+
+    def test_stable_within_one_percent(self):
+        """§VI: results collected once the rate is stable within 1%."""
+        mon = StabilityMonitor(window=3, tolerance=0.01)
+        ts = self._series([50, 80, 100, 100.2, 99.9, 100.1])
+        assert mon.is_stable(ts)
+        assert mon.stable_rate(ts) == pytest.approx(100.1)
+
+    def test_ramp_up_not_stable(self):
+        mon = StabilityMonitor(window=3, tolerance=0.01)
+        assert not mon.is_stable(self._series([10, 20, 40, 80]))
+
+    def test_insufficient_samples(self):
+        mon = StabilityMonitor(window=3)
+        assert not mon.is_stable(self._series([100]))
+
+    def test_stable_rate_raises_when_unstable(self):
+        mon = StabilityMonitor(window=3)
+        with pytest.raises(MonitorError):
+            mon.stable_rate(self._series([1, 100, 1]))
+
+    def test_zero_rate_is_stable(self):
+        mon = StabilityMonitor(window=2)
+        assert mon.is_stable(self._series([0, 0, 0]))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            StabilityMonitor(window=1)

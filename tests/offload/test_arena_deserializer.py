@@ -1,0 +1,318 @@
+"""Tests for the arena deserializer: the offloaded path must agree with
+the reference deserializer on every input, and the objects it builds must
+be byte-structurally valid (vptr, SSO, alignment, pointers in-arena)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abi import AbiConfig, StdLib
+from repro.memory import AddressSpace, Arena, MemoryRegion
+from repro.offload import (
+    ArenaDeserializer,
+    DeserializeError,
+    TypeUniverse,
+    decode_adt,
+    encode_adt,
+    read_message,
+    verify_object,
+)
+from repro.offload.materialize import CppMessageView
+from repro.proto import compile_schema, parse, serialize
+from repro.proto.wire_format import encode_varint, make_tag
+from tests.conftest import KITCHEN_SINK_PROTO, build_everything
+from tests.proto.test_codec_roundtrip import everything_strategy
+
+ARENA_BASE = 0x5000_0000
+ARENA_SIZE = 1 << 20
+
+
+def make_env(proto_src: str, root: str, abi: AbiConfig | None = None):
+    """(schema, universe, deserializer, arena factory) for one schema.
+
+    The arena lives in the same address space as the universe's globals —
+    in the real deployment both are reachable from the host (block payload
+    via mirrored RBuf, globals locally), which is what lets default SSO
+    pointers into globals resolve."""
+    schema = compile_schema(proto_src)
+    space = AddressSpace("host")
+    space.map(MemoryRegion(ARENA_BASE, ARENA_SIZE, "arena"))
+    universe = TypeUniverse(space, abi)
+    adt = universe.build_adt([schema.pool.message(root)])
+    # Round-trip the ADT through its binary codec — the DPU only ever sees
+    # the decoded copy.
+    deser = ArenaDeserializer(decode_adt(encode_adt(adt)))
+    return schema, space, universe, deser
+
+
+@pytest.fixture(scope="module")
+def kitchen_env():
+    # Module-scoped: safe under hypothesis because each example writes a
+    # fresh arena at ARENA_BASE and the universe/ADT are immutable.
+    return make_env(KITCHEN_SINK_PROTO, "test.Everything")
+
+
+def offload_roundtrip(schema, space, universe, deser, msg, type_name):
+    """serialize -> arena deserialize -> host materialize."""
+    wire = serialize(msg)
+    arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+    est = deser.estimate_size(deser.adt.index_of(type_name), wire)
+    addr = deser.deserialize_by_name(type_name, wire, arena)
+    assert arena.used <= est, "estimate must be an upper bound"
+    return read_message(universe, schema.factory, type_name, addr), addr, arena
+
+
+class TestAgainstReference:
+    def test_everything_roundtrip(self, kitchen_env):
+        schema, space, universe, deser = kitchen_env
+        cls = schema["test.Everything"]
+        msg = build_everything(cls)
+        out, _, _ = offload_roundtrip(schema, space, universe, deser, msg, "test.Everything")
+        assert out == msg
+
+    def test_empty_message(self, kitchen_env):
+        schema, space, universe, deser = kitchen_env
+        cls = schema["test.Everything"]
+        out, _, _ = offload_roundtrip(schema, space, universe, deser, cls(), "test.Everything")
+        assert out == cls()
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_random_messages_agree_with_reference(self, kitchen_env, data):
+        """THE core invariant: for any valid wire input, the offloaded
+        deserializer and the reference deserializer produce the same
+        logical message."""
+        schema, space, universe, deser = kitchen_env
+        cls = schema["test.Everything"]
+        msg = data.draw(everything_strategy(cls))
+        wire = serialize(msg)
+        reference = parse(cls, wire)
+        offloaded, _, _ = offload_roundtrip(schema, space, universe, deser, msg, "test.Everything")
+        assert offloaded == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tags=st.lists(st.text(max_size=30), min_size=1, max_size=10),
+        nums=st.lists(st.integers(0, (1 << 64) - 1), max_size=30),
+    )
+    def test_recursive_trees(self, tags, nums):
+        schema, space, universe, deser = make_env(
+            'syntax="proto3"; message N { string tag = 1; repeated uint64 nums = 2; repeated N kids = 3; }',
+            "N",
+        )
+        cls = schema["N"]
+        root = cls()
+        cur = root
+        for t in tags:
+            cur.tag = t
+            cur.nums.extend(nums)
+            cur = cur.kids.add()
+        out, _, _ = offload_roundtrip(schema, space, universe, deser, root, "N")
+        assert out == root
+
+
+class TestWireCompatBehaviours:
+    @pytest.fixture
+    def env(self):
+        return make_env(
+            'syntax="proto3"; message M { int32 a = 1; repeated uint32 r = 2; '
+            "string s = 3; Sub sub = 4; } "
+            "message Sub { repeated int32 xs = 1; string t = 2; }",
+            "M",
+        )
+
+    def _offload_parse(self, env, wire):
+        schema, space, universe, deser = env
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        addr = deser.deserialize_by_name("M", wire, arena)
+        return read_message(universe, schema.factory, "M", addr)
+
+    def test_unknown_fields_skipped(self, env):
+        schema = env[0]
+        M = schema["M"]
+        wire = serialize(M(a=5)) + encode_varint(make_tag(9, 0)) + b"\x07"
+        assert self._offload_parse(env, wire).a == 5
+
+    def test_last_one_wins(self, env):
+        schema = env[0]
+        M = schema["M"]
+        wire = serialize(M(a=1, s="first")) + serialize(M(a=2, s="second"))
+        out = self._offload_parse(env, wire)
+        assert out.a == 2
+        assert out.s == "second"
+
+    def test_split_submessage_merges_including_repeated(self, env):
+        schema = env[0]
+        M, Sub = schema["M"], schema["Sub"]
+        m1, m2 = M(), M()
+        m1.sub.xs.extend([1, 2])
+        m1.sub.t = "keep"
+        m2.sub.xs.extend([3])
+        wire = serialize(m1) + serialize(m2)
+        out = self._offload_parse(env, wire)
+        assert list(out.sub.xs) == [1, 2, 3]
+        assert out.sub.t == "keep"
+
+    def test_unpacked_repeated_accepted(self, env):
+        wire = (
+            encode_varint(make_tag(2, 0)) + b"\x07"
+            + encode_varint(make_tag(2, 0)) + b"\x08"
+        )
+        assert list(self._offload_parse(env, wire).r) == [7, 8]
+
+    def test_invalid_utf8_rejected(self, env):
+        wire = encode_varint(make_tag(3, 2)) + b"\x02\xff\xfe"
+        with pytest.raises(Exception) as exc_info:
+            self._offload_parse(env, wire)
+        assert "UTF-8" in str(exc_info.value) or "utf" in str(exc_info.value).lower()
+
+    def test_truncated_raises(self, env):
+        wire = encode_varint(make_tag(4, 2)) + b"\x10\x08"
+        with pytest.raises(DeserializeError):
+            self._offload_parse(env, wire)
+
+    def test_wrong_wire_type_raises(self, env):
+        wire = encode_varint(make_tag(3, 0)) + b"\x01"  # string as varint
+        with pytest.raises(DeserializeError):
+            self._offload_parse(env, wire)
+
+
+class TestObjectStructure:
+    """Byte-level properties of the constructed objects."""
+
+    SRC = (
+        'syntax="proto3"; message M { string short_s = 1; string long_s = 2; '
+        "repeated uint32 xs = 3; Sub sub = 4; int64 v = 5; } "
+        "message Sub { int32 q = 1; }"
+    )
+
+    def _build(self, msg_kwargs, abi=None):
+        schema, space, universe, deser = make_env(self.SRC, "M", abi)
+        M = schema["M"]
+        msg = M(**msg_kwargs)
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        addr = deser.deserialize_by_name("M", serialize(msg), arena)
+        layout = universe.layouts.layout(schema.pool.message("M"))
+        return schema, space, universe, layout, addr, arena
+
+    def test_vptr_written_by_default_memcpy(self):
+        schema, space, universe, layout, addr, _ = self._build({})
+        verify_object(universe, layout, addr)  # must not raise
+
+    def test_root_at_arena_start_aligned(self):
+        _, _, _, layout, addr, _ = self._build({"v": 1})
+        assert addr == ARENA_BASE
+        assert addr % layout.alignof == 0
+
+    def test_short_string_is_sso_no_heap(self):
+        schema, space, universe, layout, addr, arena = self._build({"short_s": "hi"})
+        slot = layout.slot("short_s")
+        assert layout.string_layout.is_sso(space, addr + slot.offset)
+        # Arena holds just the object (plus nothing for the string data).
+        assert arena.used == layout.sizeof
+
+    def test_long_string_data_inside_arena(self):
+        schema, space, universe, layout, addr, arena = self._build(
+            {"long_s": "x" * 100}
+        )
+        slot = layout.slot("long_s")
+        assert not layout.string_layout.is_sso(space, addr + slot.offset)
+        data_ptr = space.read_u64(addr + slot.offset)
+        assert ARENA_BASE <= data_ptr < ARENA_BASE + arena.used
+        # NUL-terminated like a real std::string.
+        assert space.read(data_ptr + 100, 1) == b"\x00"
+
+    def test_unset_string_points_into_host_globals(self):
+        """After the default-instance memcpy, an unset string's data
+        pointer references the *default instance's* SSO buffer in host
+        globals — a valid host address (the protobuf global-default
+        idiom, §V-B)."""
+        schema, space, universe, layout, addr, _ = self._build({"v": 3})
+        slot = layout.slot("short_s")
+        data_ptr = space.read_u64(addr + slot.offset)
+        assert universe.globals.contains(data_ptr)
+        # And it still reads as the empty string through the host space.
+        assert layout.string_layout.read(space, addr + slot.offset) == b""
+
+    def test_repeated_elements_inside_arena(self):
+        schema, space, universe, layout, addr, arena = self._build({"xs": [5, 6, 7]})
+        from repro.abi import REPEATED_HEADER
+
+        elems, count, cap = REPEATED_HEADER.read(space, addr + layout.offsetof("xs"))
+        assert count == 3
+        assert ARENA_BASE <= elems < ARENA_BASE + arena.used
+        assert elems % 8 == 0
+
+    def test_submessage_pointer_inside_arena_with_vptr(self):
+        schema, space, universe, layout, addr, arena = self._build({})
+        # build with sub present
+        schema, space, universe, deser = make_env(self.SRC, "M")
+        M = schema["M"]
+        m = M()
+        m.sub.q = 9
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        addr = deser.deserialize_by_name("M", serialize(m), arena)
+        layout = universe.layouts.layout(schema.pool.message("M"))
+        sub_ptr = space.read_u64(addr + layout.offsetof("sub"))
+        assert ARENA_BASE <= sub_ptr < ARENA_BASE + arena.used
+        sub_layout = universe.layouts.layout(schema.pool.message("Sub"))
+        verify_object(universe, sub_layout, sub_ptr)
+        assert space.read_u32(sub_ptr + sub_layout.offsetof("q")) == 9
+
+    def test_has_bits_set_only_for_present_fields(self):
+        schema, space, universe, layout, addr, _ = self._build({"v": 1})
+        assert layout.get_has_bit(space, addr, layout.slot("v").has_bit)
+        assert not layout.get_has_bit(space, addr, layout.slot("short_s").has_bit)
+
+    def test_libcxx_strings_crafted_when_host_uses_libcxx(self):
+        """§V-C: the DPU adapts its string crafting to the host's stdlib
+        as announced in the ADT."""
+        abi = AbiConfig(stdlib=StdLib.LIBCXX)
+        schema, space, universe, layout, addr, _ = self._build(
+            {"short_s": "tiny", "long_s": "L" * 60}, abi=abi
+        )
+        assert layout.string_layout.size == 24
+        assert layout.string_layout.read(space, addr + layout.offsetof("short_s")) == b"tiny"
+        assert layout.string_layout.read(space, addr + layout.offsetof("long_s")) == b"L" * 60
+
+
+class TestEstimation:
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_estimate_is_always_an_upper_bound(self, kitchen_env, data):
+        schema, space, universe, deser = kitchen_env
+        cls = schema["test.Everything"]
+        msg = data.draw(everything_strategy(cls))
+        wire = serialize(msg)
+        idx = deser.adt.index_of("test.Everything")
+        est = deser.estimate_size(idx, wire)
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        deser.deserialize(idx, wire, arena)
+        assert arena.used <= est
+
+
+class TestStatsCensus:
+    def test_varint_census(self):
+        schema, space, universe, deser = make_env(
+            'syntax="proto3"; message A { repeated uint32 v = 1; }', "A"
+        )
+        msg = schema["A"](v=list(range(100)))
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        deser.stats.reset()
+        deser.deserialize_by_name("A", serialize(msg), arena)
+        assert deser.stats.varints_decoded == 100
+        assert deser.stats.array_elements == 100
+        assert deser.stats.messages == 1
+
+    def test_utf8_census(self):
+        schema, space, universe, deser = make_env(
+            'syntax="proto3"; message A { string s = 1; bytes b = 2; }', "A"
+        )
+        msg = schema["A"](s="abcd", b=b"123")
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        deser.stats.reset()
+        deser.deserialize_by_name("A", serialize(msg), arena)
+        assert deser.stats.utf8_bytes_validated == 4  # bytes fields skip it
+        assert deser.stats.string_bytes_copied == 7

@@ -1,0 +1,137 @@
+"""Tests for the DPU/host offload engines and the bootstrap handshake."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abi import AbiConfig, StdLib
+from repro.offload import create_offload_pair
+from repro.offload.engine import MethodSpec, decode_bootstrap, encode_bootstrap
+from repro.proto import compile_schema, parse
+
+SCHEMA_SRC = """
+syntax = "proto3";
+package app;
+message Query { string term = 1; uint32 limit = 2; repeated uint32 shard_ids = 3; }
+message Result { repeated string hits = 1; uint32 total = 2; }
+message StatsReq { repeated uint64 samples = 1; }
+message StatsRsp { double mean = 1; }
+"""
+
+
+@pytest.fixture
+def schema():
+    return compile_schema(SCHEMA_SRC)
+
+
+def make_pair(schema):
+    Result, StatsRsp = schema["app.Result"], schema["app.StatsRsp"]
+    calls = []
+
+    def search(view, request):
+        calls.append(("search", view.term, view.limit, view.shard_ids))
+        return Result(hits=[f"hit-{view.term}-{i}" for i in range(view.limit)], total=view.limit)
+
+    def stats(view, request):
+        samples = view.samples
+        calls.append(("stats", len(samples)))
+        mean = sum(samples) / len(samples) if samples else 0.0
+        return StatsRsp(mean=mean)
+
+    pair = create_offload_pair(
+        schema, [(1, "app.Query", search), (2, "app.StatsReq", stats)]
+    )
+    return pair, calls
+
+
+class TestBootstrapHandshake:
+    def test_bootstrap_installs_adt_and_methods(self, schema):
+        pair, _ = make_pair(schema)
+        assert pair.dpu.adt is not None
+        assert set(pair.dpu.method_table) == {1, 2}
+        entry = pair.dpu.adt.entry(pair.dpu.method_table[1])
+        assert entry.full_name == "app.Query"
+
+    def test_bootstrap_blob_roundtrip(self, schema):
+        pair, _ = make_pair(schema)
+        blob = pair.host.bootstrap_bytes()
+        adt, table, names, outputs = decode_bootstrap(blob)
+        assert adt.entries[table[2]].full_name == "app.StatsReq"
+        assert names[1] == "m1"
+        assert outputs == {}  # no response-offloaded methods here
+
+    def test_incompatible_abis_rejected_at_startup(self, schema):
+        def cb(view, request):
+            return b""
+
+        with pytest.raises(RuntimeError, match="not binary-compatible"):
+            create_offload_pair(
+                schema,
+                [(1, "app.Query", cb)],
+                dpu_abi=AbiConfig(stdlib=StdLib.LIBCXX),
+                host_abi=AbiConfig(stdlib=StdLib.LIBSTDCXX),
+            )
+
+    def test_call_before_bootstrap_rejected(self, schema):
+        from repro.core import create_channel
+        from repro.offload import DpuEngine
+        from repro.offload.adt import AdtError
+
+        dpu = DpuEngine(create_channel())
+        with pytest.raises(AdtError, match="bootstrap"):
+            dpu.call(1, b"", lambda v, f: None)
+
+
+class TestOffloadedCalls:
+    def test_unary_call_roundtrip(self, schema):
+        pair, calls = make_pair(schema)
+        Query, Result = schema["app.Query"], schema["app.Result"]
+        responses = []
+        pair.dpu.call_message(
+            1, Query(term="abc", limit=3, shard_ids=[1, 2]),
+            lambda v, f: responses.append(parse(Result, bytes(v))),
+        )
+        pair.run_until_idle()
+        assert calls == [("search", "abc", 3, [1, 2])]
+        assert responses[0].total == 3
+        assert responses[0].hits == ["hit-abc-0", "hit-abc-1", "hit-abc-2"]
+
+    def test_methods_dispatch_independently(self, schema):
+        pair, calls = make_pair(schema)
+        Query, StatsReq, StatsRsp = (
+            schema["app.Query"], schema["app.StatsReq"], schema["app.StatsRsp"]
+        )
+        out = {}
+        pair.dpu.call_message(2, StatsReq(samples=[2, 4, 6]),
+                              lambda v, f: out.setdefault("stats", parse(StatsRsp, bytes(v))))
+        pair.dpu.call_message(1, Query(term="q", limit=1),
+                              lambda v, f: out.setdefault("search", bytes(v)))
+        pair.run_until_idle()
+        assert out["stats"].mean == 4.0
+        assert ("search", "q", 1, []) in calls
+
+    def test_many_pipelined_calls(self, schema):
+        pair, calls = make_pair(schema)
+        Query = schema["app.Query"]
+        n_done = []
+        for i in range(500):
+            pair.dpu.call_message(1, Query(term=f"t{i}", limit=1),
+                                  lambda v, f: n_done.append(1))
+        pair.run_until_idle()
+        assert len(n_done) == 500
+        assert len(calls) == 500
+
+    def test_unknown_method_raises_on_dpu(self, schema):
+        pair, _ = make_pair(schema)
+        from repro.offload.adt import AdtError
+
+        with pytest.raises(AdtError, match="not in the offload table"):
+            pair.dpu.call(42, b"", lambda v, f: None)
+
+    def test_deserialize_stats_accumulate(self, schema):
+        pair, _ = make_pair(schema)
+        StatsReq = schema["app.StatsReq"]
+        pair.dpu.call_message(2, StatsReq(samples=list(range(64))), lambda v, f: None)
+        pair.run_until_idle()
+        assert pair.dpu.stats.varints_decoded >= 64
+        assert pair.dpu.stats.messages == 1

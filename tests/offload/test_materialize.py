@@ -1,0 +1,154 @@
+"""Tests for host-side materialization: CppMessageView and read_message."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abi import AbiError
+from repro.memory import AddressSpace, Arena, MemoryRegion
+from repro.offload import (
+    ArenaDeserializer,
+    CppMessageView,
+    TypeUniverse,
+    read_message,
+    verify_object,
+)
+from repro.proto import compile_schema, serialize
+
+ARENA_BASE = 0x0800_0000
+ARENA_SIZE = 1 << 18
+
+SRC = """
+syntax = "proto3";
+package mv;
+message Leaf { string tag = 1; }
+message M {
+  uint32 a = 1;
+  string s = 2;
+  Leaf leaf = 3;
+  repeated int64 xs = 4;
+  repeated Leaf leaves = 5;
+  bytes blob = 6;
+  bool flag = 7;
+  double d = 8;
+}
+"""
+
+
+@pytest.fixture
+def built():
+    schema = compile_schema(SRC)
+    space = AddressSpace()
+    space.map(MemoryRegion(ARENA_BASE, ARENA_SIZE, "arena"))
+    universe = TypeUniverse(space)
+    adt = universe.build_adt([schema.pool.message("mv.M")])
+    deser = ArenaDeserializer(adt)
+    M = schema["mv.M"]
+    msg = M(a=7, s="view me", xs=[-1, 5], blob=b"\x01\x02", flag=True, d=2.5)
+    msg.leaf.tag = "child"
+    l1 = msg.leaves.add()
+    l1.tag = "first"
+    arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+    addr = deser.deserialize_by_name("mv.M", serialize(msg), arena)
+    layout = universe.layouts.layout(schema.pool.message("mv.M"))
+    return schema, space, universe, layout, addr, msg
+
+
+class TestCppMessageView:
+    def test_scalar_access(self, built):
+        schema, space, universe, layout, addr, msg = built
+        view = CppMessageView(universe, layout, addr)
+        assert view.a == 7
+        assert view.flag is True
+        assert view.d == 2.5
+
+    def test_string_and_bytes(self, built):
+        _, _, universe, layout, addr, msg = built
+        view = CppMessageView(universe, layout, addr)
+        assert view.s == "view me"
+        assert view.blob == b"\x01\x02"
+
+    def test_nested_view(self, built):
+        _, _, universe, layout, addr, msg = built
+        view = CppMessageView(universe, layout, addr)
+        assert view.leaf.tag == "child"
+        assert view.leaf.type_name == "mv.Leaf"
+
+    def test_repeated(self, built):
+        _, _, universe, layout, addr, msg = built
+        view = CppMessageView(universe, layout, addr)
+        assert view.xs == [-1, 5]
+        assert [leaf.tag for leaf in view.leaves] == ["first"]
+
+    def test_unset_submessage_returns_default_instance_view(self, built):
+        """C++ semantics: unset submessage accessors return the global
+        default instance, never null — so servicers can chain accesses
+        exactly as with parsed messages."""
+        schema, space, universe, layout, addr, _ = built
+        deser = ArenaDeserializer(universe.build_adt([schema.pool.message("mv.M")]))
+        arena = Arena(space, ARENA_BASE + (1 << 17), 1 << 16)
+        empty_addr = deser.deserialize_by_name("mv.M", b"", arena)
+        view = CppMessageView(universe, layout, empty_addr)
+        assert view.leaf is not None
+        assert view.leaf.tag == ""  # all defaults
+        assert view.leaf.address == universe.default_instance(
+            schema.pool.message("mv.Leaf")
+        )
+        assert not view.has_field("leaf")  # presence still reports unset
+        assert view.xs == []
+
+    def test_has_field(self, built):
+        _, _, universe, layout, addr, _ = built
+        view = CppMessageView(universe, layout, addr)
+        assert view.has_field("a")
+        assert view.has_field("s")
+
+    def test_unknown_field(self, built):
+        _, _, universe, layout, addr, _ = built
+        view = CppMessageView(universe, layout, addr)
+        with pytest.raises(AbiError):
+            view.zzz
+
+    def test_address_and_repr(self, built):
+        _, _, universe, layout, addr, _ = built
+        view = CppMessageView(universe, layout, addr)
+        assert view.address == addr
+        assert "mv.M" in repr(view)
+
+    def test_fields_enumeration(self, built):
+        _, _, universe, layout, addr, _ = built
+        view = CppMessageView(universe, layout, addr)
+        assert set(view.fields()) == {"a", "s", "leaf", "xs", "leaves", "blob", "flag", "d"}
+
+
+class TestVerifyObject:
+    def test_valid_passes(self, built):
+        _, _, universe, layout, addr, _ = built
+        verify_object(universe, layout, addr)
+
+    def test_corrupt_vptr_rejected(self, built):
+        _, space, universe, layout, addr, _ = built
+        space.write_u64(addr, 0x1234)
+        with pytest.raises(AbiError, match="vptr"):
+            verify_object(universe, layout, addr)
+
+    def test_wrong_type_rejected(self, built):
+        schema, space, universe, layout, addr, _ = built
+        leaf_layout = universe.layouts.layout(schema.pool.message("mv.Leaf"))
+        with pytest.raises(AbiError, match="vptr"):
+            CppMessageView(universe, leaf_layout, addr)  # M object as Leaf
+
+
+class TestReadMessage:
+    def test_equals_original(self, built):
+        schema, _, universe, _, addr, msg = built
+        out = read_message(universe, schema.factory, "mv.M", addr)
+        assert out == msg
+
+    def test_empty_object(self, built):
+        schema, space, universe, layout, _, _ = built
+        deser = ArenaDeserializer(universe.build_adt([schema.pool.message("mv.M")]))
+        arena = Arena(space, ARENA_BASE + (1 << 17), 1 << 16)
+        addr = deser.deserialize_by_name("mv.M", b"", arena)
+        out = read_message(universe, schema.factory, "mv.M", addr)
+        assert out == schema["mv.M"]()

@@ -1,0 +1,127 @@
+"""Tests for oneof exclusivity in the offloaded path.
+
+On the wire, two members of a oneof may appear in sequence (hostile or
+merged input).  The dynamic API enforces last-one-wins; the object form
+must agree — the deserializer clears sibling slots when a member is set.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import AddressSpace, Arena, MemoryRegion
+from repro.offload import ArenaDeserializer, TypeUniverse, decode_adt, encode_adt, read_message
+from repro.proto import compile_schema, parse, serialize
+from repro.proto.wire_format import encode_varint, make_tag
+
+SRC = """
+syntax = "proto3";
+package oo;
+message Sub { uint32 v = 1; }
+message M {
+  uint32 plain = 1;
+  oneof pick {
+    string s = 2;
+    uint64 u = 3;
+    Sub sub = 4;
+    string s2 = 5;
+  }
+}
+"""
+
+ARENA_BASE = 0x0A00_0000
+
+
+@pytest.fixture(scope="module")
+def env():
+    schema = compile_schema(SRC)
+    space = AddressSpace()
+    space.map(MemoryRegion(ARENA_BASE, 1 << 18))
+    universe = TypeUniverse(space)
+    adt = decode_adt(encode_adt(universe.build_adt([schema.pool.message("oo.M")])))
+    return schema, space, universe, adt
+
+
+def offload_parse(env, wire):
+    schema, space, universe, adt = env
+    deser = ArenaDeserializer(adt)
+    arena = Arena(space, ARENA_BASE, 1 << 18)
+    addr = deser.deserialize_by_name("oo.M", wire, arena)
+    return read_message(universe, schema.factory, "oo.M", addr)
+
+
+class TestOneofAdt:
+    def test_groups_encoded(self, env):
+        _, _, _, adt = env
+        entry = adt.entry_by_name("oo.M")
+        groups = {f.name: f.oneof_group for f in entry.fields}
+        assert groups["plain"] == -1
+        assert groups["s"] == groups["u"] == groups["sub"] == groups["s2"] >= 0
+
+
+class TestExclusivity:
+    def _wire_two_members(self, schema):
+        """field 2 (string) then field 3 (varint) — both oneof members."""
+        return (
+            encode_varint(make_tag(2, 2)) + b"\x05first"
+            + encode_varint(make_tag(3, 0)) + encode_varint(99)
+        )
+
+    def test_last_one_wins_matches_reference(self, env):
+        schema = env[0]
+        wire = self._wire_two_members(schema)
+        reference = parse(schema["oo.M"], wire)
+        offloaded = offload_parse(env, wire)
+        assert reference.WhichOneof("pick") == "u"
+        assert offloaded == reference
+        assert offloaded.u == 99
+        assert offloaded.s == ""  # cleared
+
+    def test_string_then_string(self, env):
+        schema = env[0]
+        wire = (
+            encode_varint(make_tag(2, 2)) + b"\x03aaa"
+            + encode_varint(make_tag(5, 2)) + b"\x03bbb"
+        )
+        offloaded = offload_parse(env, wire)
+        assert offloaded == parse(schema["oo.M"], wire)
+        assert offloaded.s2 == "bbb"
+        assert offloaded.s == ""
+
+    def test_submessage_member_cleared(self, env):
+        schema = env[0]
+        sub_wire = serialize(schema["oo.Sub"](v=7))
+        wire = (
+            encode_varint(make_tag(4, 2)) + bytes([len(sub_wire)]) + sub_wire
+            + encode_varint(make_tag(3, 0)) + encode_varint(5)
+        )
+        offloaded = offload_parse(env, wire)
+        reference = parse(schema["oo.M"], wire)
+        assert offloaded == reference
+        assert offloaded.u == 5
+        assert not offloaded.HasField("sub")
+
+    def test_plain_field_untouched(self, env):
+        schema = env[0]
+        M = schema["oo.M"]
+        wire = serialize(M(plain=42, u=1)) + encode_varint(make_tag(2, 2)) + b"\x02zz"
+        offloaded = offload_parse(env, wire)
+        assert offloaded.plain == 42
+        assert offloaded.s == "zz"
+        assert offloaded.u == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        order=st.lists(st.sampled_from([2, 3, 5]), min_size=1, max_size=6),
+    )
+    def test_random_member_sequences_agree(self, env, order):
+        schema = env[0]
+        wire = b""
+        for number in order:
+            if number == 3:
+                wire += encode_varint(make_tag(3, 0)) + encode_varint(number)
+            else:
+                wire += encode_varint(make_tag(number, 2)) + b"\x02ab"
+        assert offload_parse(env, wire) == parse(schema["oo.M"], wire)

@@ -1,0 +1,226 @@
+"""Serializer/deserializer round-trip, golden bytes, and wire-compat tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proto import DecodeError, compile_schema, parse, serialize
+from repro.proto.wire_format import encode_varint, make_tag
+from tests.conftest import build_everything
+
+
+class TestGoldenBytes:
+    """Byte-for-byte comparison against encodings protoc would produce
+    (hand-derived from the protobuf encoding spec)."""
+
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return compile_schema(
+            """
+            syntax = "proto3";
+            message T {
+              int32 a = 1;
+              string b = 2;
+              repeated int32 c = 4;
+              sint32 d = 5;
+              fixed32 e = 6;
+            }
+            """
+        )
+
+    def test_varint_field(self, schema):
+        assert serialize(schema["T"](a=150)) == b"\x08\x96\x01"
+
+    def test_string_field(self, schema):
+        assert serialize(schema["T"](b="testing")) == b"\x12\x07testing"
+
+    def test_packed_repeated(self, schema):
+        # field 4, packed: tag 0x22, len 6, varints 3,270,86942.
+        assert serialize(schema["T"](c=[3, 270, 86942])) == b"\x22\x06\x03\x8e\x02\x9e\xa7\x05"
+
+    def test_negative_int32_ten_bytes(self, schema):
+        assert serialize(schema["T"](a=-2)) == b"\x08" + b"\xfe" + b"\xff" * 8 + b"\x01"
+
+    def test_sint32(self, schema):
+        assert serialize(schema["T"](d=-2)) == b"\x28\x03"
+
+    def test_fixed32_little_endian(self, schema):
+        assert serialize(schema["T"](e=1)) == b"\x35\x01\x00\x00\x00"
+
+    def test_empty_message(self, schema):
+        assert serialize(schema["T"]()) == b""
+
+    def test_field_order_ascending(self, schema):
+        data = serialize(schema["T"](d=1, a=1))
+        assert data == b"\x08\x01\x28\x02"
+
+
+class TestRoundTripFixed:
+    def test_everything_roundtrip(self, everything_cls):
+        msg = build_everything(everything_cls)
+        assert parse(everything_cls, serialize(msg)) == msg
+
+    def test_serialized_size_matches(self, everything_cls):
+        msg = build_everything(everything_cls)
+        assert msg.ByteSize() == len(serialize(msg))
+
+    def test_deep_nesting(self, node_cls):
+        root = node_cls(key=1)
+        cur = root
+        for i in range(2, 60):
+            cur = cur.children.add()
+            cur.key = i
+            cur.leaf.id = i
+        assert parse(node_cls, serialize(root)) == root
+
+    def test_empty_submessage_presence_survives(self, node_cls):
+        n = node_cls()
+        n.leaf  # autovivify: presence bit set, no content
+        data = serialize(n)
+        assert data == b"\x12\x00"
+        again = parse(node_cls, data)
+        assert again.HasField("leaf")
+
+
+class TestWireCompat:
+    """Decoder behaviours required for protobuf wire compatibility."""
+
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return compile_schema(
+            """
+            syntax = "proto3";
+            message M {
+              int32 a = 1;
+              repeated uint32 r = 2;
+              string s = 3;
+            }
+            message Sub { M m = 1; }
+            """
+        )
+
+    def test_unknown_fields_skipped(self, schema):
+        M = schema["M"]
+        # field 9 varint, field 10 length-delimited, field 11 fixed64,
+        # field 12 fixed32 — all unknown.
+        data = (
+            serialize(M(a=5))
+            + encode_varint(make_tag(9, 0)) + b"\x05"
+            + encode_varint(make_tag(10, 2)) + b"\x03abc"
+            + encode_varint(make_tag(11, 1)) + b"\x00" * 8
+            + encode_varint(make_tag(12, 5)) + b"\x00" * 4
+        )
+        assert parse(M, data).a == 5
+
+    def test_last_one_wins(self, schema):
+        M = schema["M"]
+        data = serialize(M(a=1)) + serialize(M(a=2))
+        assert parse(M, data).a == 2
+
+    def test_repeated_concatenation_merges(self, schema):
+        M = schema["M"]
+        data = serialize(M(r=[1, 2])) + serialize(M(r=[3]))
+        assert list(parse(M, data).r) == [1, 2, 3]
+
+    def test_unpacked_encoding_accepted_for_packed_field(self, schema):
+        M = schema["M"]
+        # Two unpacked varint occurrences of field 2.
+        tag = encode_varint(make_tag(2, 0))
+        data = tag + b"\x07" + tag + b"\x08"
+        assert list(parse(M, data).r) == [7, 8]
+
+    def test_submessage_merge(self, schema):
+        Sub, M = schema["Sub"], schema["M"]
+        a = Sub()
+        a.m.a = 1
+        b = Sub()
+        b.m.s = "x"
+        merged = parse(Sub, serialize(a) + serialize(b))
+        assert merged.m.a == 1
+        assert merged.m.s == "x"
+
+    def test_truncated_submessage_raises(self, schema):
+        Sub = schema["Sub"]
+        data = encode_varint(make_tag(1, 2)) + b"\x05\x08"
+        with pytest.raises(DecodeError):
+            parse(Sub, data)
+
+    def test_wrong_wire_type_raises(self, schema):
+        M = schema["M"]
+        data = encode_varint(make_tag(3, 0)) + b"\x01"  # string field as varint
+        with pytest.raises(DecodeError):
+            parse(M, data)
+
+    def test_invalid_utf8_string_raises(self, schema):
+        M = schema["M"]
+        data = encode_varint(make_tag(3, 2)) + b"\x02\xff\xfe"
+        with pytest.raises(DecodeError):
+            parse(M, data)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trips over random message values
+# ---------------------------------------------------------------------------
+
+_TEXT = st.text(max_size=40)
+_SMALL_INT = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def everything_strategy(cls):
+    """Random populated Everything messages."""
+
+    def build(kw):
+        return cls(**kw)
+
+    return st.fixed_dictionaries(
+        {},
+        optional={
+            "f_double": st.floats(allow_nan=False),
+            "f_float": st.just(0.5),
+            "f_int32": st.integers(-(1 << 31), (1 << 31) - 1),
+            "f_int64": st.integers(-(1 << 63), (1 << 63) - 1),
+            "f_uint32": _SMALL_INT,
+            "f_uint64": st.integers(0, (1 << 64) - 1),
+            "f_sint32": st.integers(-(1 << 31), (1 << 31) - 1),
+            "f_sint64": st.integers(-(1 << 63), (1 << 63) - 1),
+            "f_fixed32": _SMALL_INT,
+            "f_fixed64": st.integers(0, (1 << 64) - 1),
+            "f_sfixed32": st.integers(-(1 << 31), (1 << 31) - 1),
+            "f_sfixed64": st.integers(-(1 << 63), (1 << 63) - 1),
+            "f_bool": st.booleans(),
+            "f_string": _TEXT,
+            "f_bytes": st.binary(max_size=40),
+            "f_color": st.integers(0, 2),
+            "r_uint32": st.lists(_SMALL_INT, max_size=20),
+            "r_string": st.lists(_TEXT, max_size=8),
+            "r_sint64": st.lists(st.integers(-(1 << 63), (1 << 63) - 1), max_size=10),
+            "r_double": st.lists(st.floats(allow_nan=False), max_size=10),
+        },
+    ).map(build)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_random_everything(self, data, everything_cls):
+        msg = data.draw(everything_strategy(everything_cls))
+        wire = serialize(msg)
+        assert parse(everything_cls, wire) == msg
+        # Serialization is deterministic.
+        assert serialize(parse(everything_cls, wire)) == wire
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=12),
+        labels=st.lists(st.text(max_size=10), min_size=1, max_size=12),
+    )
+    def test_random_trees(self, keys, labels, node_cls):
+        root = node_cls()
+        cur = root
+        for k, lab in zip(keys, labels):
+            cur.key = k
+            cur.leaf.label = lab
+            cur = cur.children.add()
+        assert parse(node_cls, serialize(root)) == root

@@ -1,0 +1,138 @@
+"""Tests for the proto3 canonical JSON mapping."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proto.json_format import (
+    JsonFormatError,
+    message_to_dict,
+    message_to_json,
+    parse_dict,
+    parse_json,
+    to_camel,
+)
+from tests.conftest import build_everything
+from tests.proto.test_codec_roundtrip import everything_strategy
+
+
+class TestCamelCase:
+    @pytest.mark.parametrize(
+        "snake,camel",
+        [("f_int32", "fInt32"), ("a", "a"), ("foo_bar_baz", "fooBarBaz"), ("x__y", "xY")],
+    )
+    def test_mapping(self, snake, camel):
+        assert to_camel(snake) == camel
+
+
+class TestPrinting:
+    def test_field_names_camelcased(self, everything_cls):
+        d = message_to_dict(everything_cls(f_int32=3))
+        assert d == {"fInt32": 3}
+
+    def test_int64_as_string(self, everything_cls):
+        d = message_to_dict(everything_cls(f_int64=-(1 << 40), f_uint64=1 << 60))
+        assert d["fInt64"] == str(-(1 << 40))
+        assert d["fUint64"] == str(1 << 60)
+
+    def test_int32_as_number(self, everything_cls):
+        assert message_to_dict(everything_cls(f_int32=-7))["fInt32"] == -7
+
+    def test_bytes_base64(self, everything_cls):
+        d = message_to_dict(everything_cls(f_bytes=b"\x00\xff"))
+        assert d["fBytes"] == "AP8="
+
+    def test_nonfinite_floats_as_strings(self, everything_cls):
+        d = message_to_dict(
+            everything_cls(f_double=float("nan"), r_double=[float("inf"), float("-inf")])
+        )
+        assert d["fDouble"] == "NaN"
+        assert d["rDouble"] == ["Infinity", "-Infinity"]
+
+    def test_enum_by_name(self, everything_cls):
+        assert message_to_dict(everything_cls(f_color=2))["fColor"] == "BLUE"
+
+    def test_nested_and_repeated(self, node_cls):
+        n = node_cls(key=1)
+        child = n.children.add()
+        child.key = 2
+        d = message_to_dict(n)
+        assert d == {"key": "1", "children": [{"key": "2"}]}
+
+    def test_unset_omitted_by_default(self, everything_cls):
+        assert message_to_dict(everything_cls()) == {}
+
+    def test_always_print_emits_defaults(self, leaf_cls):
+        d = message_to_dict(leaf_cls(), always_print=True)
+        assert d == {"id": 0, "label": ""}
+
+    def test_json_string_valid(self, everything_cls):
+        msg = build_everything(everything_cls)
+        json.loads(message_to_json(msg))  # must be valid JSON
+
+
+class TestParsing:
+    def test_both_name_styles_accepted(self, everything_cls):
+        assert parse_dict(everything_cls, {"fInt32": 5}).f_int32 == 5
+        assert parse_dict(everything_cls, {"f_int32": 5}).f_int32 == 5
+
+    def test_int64_strings(self, everything_cls):
+        m = parse_dict(everything_cls, {"fUint64": "123456789012345"})
+        assert m.f_uint64 == 123456789012345
+
+    def test_null_means_default(self, everything_cls):
+        m = parse_dict(everything_cls, {"fInt32": None})
+        assert m.f_int32 == 0
+        assert not m.HasField("f_int32")
+
+    def test_unknown_field_policy(self, everything_cls):
+        with pytest.raises(JsonFormatError, match="unknown field"):
+            parse_dict(everything_cls, {"bogus": 1})
+        m = parse_dict(everything_cls, {"bogus": 1, "fInt32": 2}, ignore_unknown=True)
+        assert m.f_int32 == 2
+
+    def test_type_errors(self, everything_cls):
+        for bad in (
+            {"fInt32": True},
+            {"fInt32": 1.5},
+            {"fInt32": "xyz"},
+            {"fBool": 1},
+            {"fString": 5},
+            {"fBytes": "!!!not-base64!!!"},
+            {"fDouble": "fast"},
+            {"rUint32": 5},
+            {"fColor": "MAGENTA"},
+        ):
+            with pytest.raises(JsonFormatError):
+                parse_dict(everything_cls, bad)
+
+    def test_enum_number_accepted(self, everything_cls):
+        assert parse_dict(everything_cls, {"fColor": 1}).f_color == 1
+
+    def test_urlsafe_base64_accepted(self, everything_cls):
+        m = parse_dict(everything_cls, {"fBytes": "-_8"})
+        assert m.f_bytes == b"\xfb\xff"
+
+    def test_invalid_json_text(self, everything_cls):
+        with pytest.raises(JsonFormatError, match="invalid JSON"):
+            parse_json(everything_cls, "{nope")
+
+
+class TestRoundTrip:
+    def test_full_message(self, everything_cls):
+        msg = build_everything(everything_cls)
+        again = parse_json(everything_cls, message_to_json(msg))
+        assert again == msg
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_random_messages(self, data, everything_cls):
+        msg = data.draw(everything_strategy(everything_cls))
+        again = parse_json(everything_cls, message_to_json(msg))
+        # Float32 fields survive because the strategy uses exact halves.
+        assert again == msg

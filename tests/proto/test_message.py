@@ -1,0 +1,183 @@
+"""Tests for the dynamic message classes (generated-code analog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proto import FieldValueError, compile_schema
+from tests.conftest import build_everything
+
+
+class TestFieldAccess:
+    def test_defaults(self, everything_cls):
+        m = everything_cls()
+        assert m.f_int32 == 0
+        assert m.f_string == ""
+        assert m.f_bytes == b""
+        assert m.f_bool is False
+        assert m.f_double == 0.0
+        assert list(m.r_uint32) == []
+
+    def test_set_get(self, everything_cls):
+        m = everything_cls()
+        m.f_int32 = -5
+        m.f_string = "x"
+        assert m.f_int32 == -5
+        assert m.f_string == "x"
+
+    def test_kwargs_constructor(self, everything_cls):
+        m = everything_cls(f_int32=3, r_uint32=[1, 2])
+        assert m.f_int32 == 3
+        assert list(m.r_uint32) == [1, 2]
+
+    def test_unknown_field_rejected(self, everything_cls):
+        with pytest.raises(AttributeError):
+            everything_cls().nope = 1
+        with pytest.raises(FieldValueError):
+            everything_cls(nope=1)
+
+    def test_submessage_autovivify(self, node_cls):
+        n = node_cls()
+        n.leaf.id = 3
+        assert n.leaf.id == 3
+        assert n.HasField("leaf")
+
+
+class TestTypeChecking:
+    def test_int_range_enforced(self, everything_cls):
+        m = everything_cls()
+        with pytest.raises(FieldValueError):
+            m.f_int32 = 1 << 31
+        with pytest.raises(FieldValueError):
+            m.f_uint32 = -1
+        with pytest.raises(FieldValueError):
+            m.f_uint64 = 1 << 64
+        m.f_uint64 = (1 << 64) - 1  # max ok
+
+    def test_string_vs_bytes(self, everything_cls):
+        m = everything_cls()
+        with pytest.raises(FieldValueError):
+            m.f_string = b"raw"
+        with pytest.raises(FieldValueError):
+            m.f_bytes = "text"
+
+    def test_bool_not_int(self, everything_cls):
+        m = everything_cls()
+        with pytest.raises(FieldValueError):
+            m.f_bool = 1
+        with pytest.raises(FieldValueError):
+            m.f_int32 = True
+
+    def test_float_accepts_int(self, everything_cls):
+        m = everything_cls()
+        m.f_double = 3
+        assert m.f_double == 3.0
+        assert isinstance(m.f_double, float)
+
+    def test_repeated_validates_elements(self, everything_cls):
+        m = everything_cls()
+        m.r_uint32.append(5)
+        with pytest.raises(FieldValueError):
+            m.r_uint32.append(-1)
+        with pytest.raises(FieldValueError):
+            m.r_uint32.extend([1, "x"])
+        with pytest.raises(FieldValueError):
+            m.r_uint32[0] = "x"
+
+    def test_repeated_message_add(self, node_cls, leaf_cls):
+        n = node_cls()
+        child = n.children.add()
+        child.key = 9
+        assert n.children[0].key == 9
+        with pytest.raises(FieldValueError):
+            n.children.append(leaf_cls())  # wrong type
+
+    def test_submessage_type_checked(self, everything_cls, node_cls):
+        m = everything_cls()
+        with pytest.raises(FieldValueError):
+            m.f_leaf = node_cls()
+
+
+class TestPresence:
+    def test_hasfield_scalar_proto3(self, everything_cls):
+        m = everything_cls()
+        assert not m.HasField("f_int32")
+        m.f_int32 = 0  # default: still "absent" in proto3 terms
+        assert not m.HasField("f_int32")
+        m.f_int32 = 1
+        assert m.HasField("f_int32")
+
+    def test_hasfield_repeated_rejected(self, everything_cls):
+        with pytest.raises(FieldValueError):
+            everything_cls().HasField("r_uint32")
+
+    def test_clearfield(self, everything_cls):
+        m = everything_cls(f_int32=5)
+        m.ClearField("f_int32")
+        assert m.f_int32 == 0
+
+    def test_listfields_sorted_and_filtered(self, everything_cls):
+        m = everything_cls(f_uint32=1, f_int32=0)  # int32 default => omitted
+        fields = [fd.name for fd, _ in m.ListFields()]
+        assert fields == ["f_uint32"]
+
+    def test_listfields_order(self, everything_cls):
+        m = everything_cls(f_bool=True, f_double=1.0)
+        names = [fd.name for fd, _ in m.ListFields()]
+        assert names == ["f_double", "f_bool"]  # ascending field number
+
+
+class TestOneof:
+    def test_oneof_exclusive(self, everything_cls):
+        m = everything_cls()
+        m.choice_s = "a"
+        assert m.WhichOneof("choice") == "choice_s"
+        m.choice_u = 3
+        assert m.WhichOneof("choice") == "choice_u"
+        assert m.choice_s == ""  # cleared back to default
+
+    def test_which_oneof_none(self, everything_cls):
+        assert everything_cls().WhichOneof("choice") is None
+
+    def test_unknown_oneof(self, everything_cls):
+        with pytest.raises(FieldValueError):
+            everything_cls().WhichOneof("nope")
+
+
+class TestEqualityAndCopy:
+    def test_equality_ignores_explicit_defaults(self, everything_cls):
+        a = everything_cls()
+        b = everything_cls(f_int32=0)
+        assert a == b
+
+    def test_equality_full(self, everything_cls):
+        a = build_everything(everything_cls)
+        b = build_everything(everything_cls)
+        assert a == b
+        b.f_uint32 += 1
+        assert a != b
+
+    def test_copyfrom(self, everything_cls):
+        a = build_everything(everything_cls)
+        b = everything_cls()
+        b.CopyFrom(a)
+        assert a == b
+
+    def test_cross_type_inequality(self, everything_cls, leaf_cls):
+        assert everything_cls() != leaf_cls()
+
+    def test_repr_mentions_set_fields(self, leaf_cls):
+        leaf = leaf_cls(id=4, label="hi")
+        r = repr(leaf)
+        assert "id=4" in r and "label='hi'" in r
+
+
+class TestNanEquality:
+    def test_nan_fields_compare_equal(self):
+        schema = compile_schema(
+            'syntax = "proto3"; message F { double d = 1; repeated double rd = 2; }'
+        )
+        F = schema["F"]
+        a = F(d=float("nan"), rd=[float("nan"), 1.0])
+        b = F(d=float("nan"), rd=[float("nan"), 1.0])
+        assert a == b

@@ -1,0 +1,228 @@
+"""Tests for the proto3 DSL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proto import (
+    DescriptorError,
+    FieldLabel,
+    FieldType,
+    ProtoParseError,
+    compile_proto,
+    compile_schema,
+    parse_proto,
+)
+
+
+class TestBasicParsing:
+    def test_minimal_message(self):
+        fd, pool = compile_proto(
+            'syntax = "proto3"; message M { int32 x = 1; }'
+        )
+        m = pool.message("M")
+        assert m.name == "M"
+        assert m.fields[0].type is FieldType.INT32
+        assert m.fields[0].number == 1
+
+    def test_package_qualifies_names(self):
+        _, pool = compile_proto(
+            'syntax = "proto3"; package a.b; message M { int32 x = 1; }'
+        )
+        assert pool.message("a.b.M").full_name == "a.b.M"
+
+    def test_comments_ignored(self):
+        src = """
+        // line comment
+        syntax = "proto3";
+        /* block
+           comment */
+        message M { int32 x = 1; // trailing
+        }
+        """
+        fd, pool = compile_proto(src)
+        assert pool.message("M").fields[0].name == "x"
+
+    def test_repeated_and_optional_labels(self):
+        _, pool = compile_proto(
+            'syntax = "proto3"; message M { repeated int32 xs = 1; optional int32 y = 2; }'
+        )
+        m = pool.message("M")
+        assert m.field_by_name("xs").label is FieldLabel.REPEATED
+        assert m.field_by_name("y").label is FieldLabel.SINGULAR
+
+    def test_all_scalar_types(self):
+        types = [
+            "double", "float", "int32", "int64", "uint32", "uint64",
+            "sint32", "sint64", "fixed32", "fixed64", "sfixed32",
+            "sfixed64", "bool", "string", "bytes",
+        ]
+        body = "".join(f"{t} f{i} = {i+1};\n" for i, t in enumerate(types))
+        _, pool = compile_proto(f'syntax = "proto3"; message M {{ {body} }}')
+        m = pool.message("M")
+        for i, t in enumerate(types):
+            assert m.field_by_name(f"f{i}").type.value == t
+
+    def test_field_options_packed_false(self):
+        _, pool = compile_proto(
+            'syntax = "proto3"; message M { repeated int32 xs = 1 [packed = false]; }'
+        )
+        fd = pool.message("M").field_by_name("xs")
+        assert getattr(fd, "force_unpacked", False) is True
+
+    def test_reserved_skipped(self):
+        _, pool = compile_proto(
+            'syntax = "proto3"; message M { reserved 2, 15, 9 to 11; reserved "foo"; int32 x = 1; }'
+        )
+        assert pool.message("M").field_by_name("x") is not None
+
+
+class TestNestingAndResolution:
+    def test_nested_message(self):
+        src = """
+        syntax = "proto3";
+        package p;
+        message Outer {
+          message Inner { int32 v = 1; }
+          Inner inner = 1;
+        }
+        """
+        _, pool = compile_proto(src)
+        outer = pool.message("p.Outer")
+        inner = pool.message("p.Outer.Inner")
+        assert outer.field_by_name("inner").message_type is inner
+
+    def test_forward_reference(self):
+        src = """
+        syntax = "proto3";
+        message A { B b = 1; }
+        message B { int32 v = 1; }
+        """
+        _, pool = compile_proto(src)
+        assert pool.message("A").field_by_name("b").message_type is pool.message("B")
+
+    def test_self_reference(self):
+        src = 'syntax = "proto3"; message Tree { repeated Tree kids = 1; }'
+        _, pool = compile_proto(src)
+        tree = pool.message("Tree")
+        assert tree.field_by_name("kids").message_type is tree
+
+    def test_enum_resolution(self):
+        src = """
+        syntax = "proto3";
+        enum E { E_ZERO = 0; E_ONE = 1; }
+        message M { E e = 1; }
+        """
+        _, pool = compile_proto(src)
+        fd = pool.message("M").field_by_name("e")
+        assert fd.type is FieldType.ENUM
+        assert fd.enum_type.value_by_name("E_ONE").number == 1
+
+    def test_fully_qualified_reference(self):
+        src = """
+        syntax = "proto3";
+        package p.q;
+        message M { .p.q.N n = 1; }
+        message N { int32 v = 1; }
+        """
+        _, pool = compile_proto(src)
+        assert pool.message("p.q.M").field_by_name("n").message_type.full_name == "p.q.N"
+
+    def test_unresolved_type_raises(self):
+        with pytest.raises(DescriptorError, match="unresolved"):
+            compile_proto('syntax = "proto3"; message M { Missing x = 1; }')
+
+    def test_transitive_messages(self):
+        src = """
+        syntax = "proto3";
+        message A { B b = 1; }
+        message B { C c = 1; A back = 2; }
+        message C { int32 v = 1; }
+        """
+        _, pool = compile_proto(src)
+        names = {m.full_name for m in pool.message("A").transitive_messages()}
+        assert names == {"A", "B", "C"}
+
+
+class TestServices:
+    def test_service_parsing(self):
+        src = """
+        syntax = "proto3";
+        package svc;
+        message Req { int32 a = 1; }
+        message Rsp { int32 b = 1; }
+        service Math {
+          rpc Add (Req) returns (Rsp);
+          rpc Sub (Req) returns (Rsp) {}
+        }
+        """
+        _, pool = compile_proto(src)
+        svc = pool.service("svc.Math")
+        assert [m.name for m in svc.methods] == ["Add", "Sub"]
+        assert svc.method_by_name("Add").input_type.full_name == "svc.Req"
+        assert svc.method_by_name("Add").output_type.full_name == "svc.Rsp"
+
+    def test_streaming_rejected(self):
+        src = """
+        syntax = "proto3";
+        message R { int32 a = 1; }
+        service S { rpc F (stream R) returns (R); }
+        """
+        with pytest.raises(ProtoParseError, match="streaming"):
+            parse_proto(src)
+
+
+class TestErrors:
+    def test_proto2_rejected(self):
+        with pytest.raises(ProtoParseError, match="proto3"):
+            parse_proto('syntax = "proto2"; message M { required int32 x = 1; }')
+
+    def test_map_rejected_with_guidance(self):
+        with pytest.raises(ProtoParseError, match="map"):
+            parse_proto('syntax = "proto3"; message M { map<string, int32> m = 1; }')
+
+    def test_duplicate_field_number(self):
+        with pytest.raises(DescriptorError, match="duplicate field number"):
+            compile_proto('syntax = "proto3"; message M { int32 a = 1; int32 b = 1; }')
+
+    def test_reserved_range_field_number(self):
+        with pytest.raises(DescriptorError, match="reserved"):
+            compile_proto('syntax = "proto3"; message M { int32 a = 19001; }')
+
+    def test_enum_must_start_at_zero(self):
+        with pytest.raises(DescriptorError, match="zero"):
+            compile_proto('syntax = "proto3"; enum E { ONE = 1; }')
+
+    def test_unterminated_message(self):
+        with pytest.raises(ProtoParseError):
+            parse_proto('syntax = "proto3"; message M { int32 x = 1;')
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_proto('syntax = "proto3";\nmessage M {\n  int32 x 1;\n}')
+        except ProtoParseError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected ProtoParseError")
+
+    def test_duplicate_message_across_sources(self):
+        schema = compile_schema('syntax = "proto3"; message M { int32 x = 1; }')
+        with pytest.raises(DescriptorError, match="duplicate message"):
+            schema.add('syntax = "proto3"; message M { int32 y = 1; }')
+
+
+class TestOneof:
+    def test_oneof_membership(self):
+        src = """
+        syntax = "proto3";
+        message M {
+          oneof pick { string s = 1; uint32 u = 2; }
+          int32 other = 3;
+        }
+        """
+        _, pool = compile_proto(src)
+        m = pool.message("M")
+        assert m.oneofs == ["pick"]
+        assert m.field_by_name("s").containing_oneof == "pick"
+        assert m.field_by_name("u").containing_oneof == "pick"
+        assert m.field_by_name("other").containing_oneof is None

@@ -1,0 +1,115 @@
+"""Tests for the protobuf text format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proto import compile_schema
+from repro.proto.text_format import TextFormatError, message_to_string, parse_text
+from tests.conftest import build_everything
+from tests.proto.test_codec_roundtrip import everything_strategy
+
+
+class TestPrinting:
+    def test_scalars(self, leaf_cls):
+        text = message_to_string(leaf_cls(id=5, label="hi"))
+        assert text == 'id: 5\nlabel: "hi"'
+
+    def test_nested_message(self, node_cls):
+        n = node_cls(key=1)
+        n.leaf.label = "x"
+        text = message_to_string(n)
+        assert "key: 1" in text
+        assert 'leaf {\n  label: "x"\n}' in text
+
+    def test_repeated_fields_repeat_the_line(self, everything_cls):
+        m = everything_cls(r_uint32=[1, 2, 3])
+        assert message_to_string(m) == "r_uint32: 1\nr_uint32: 2\nr_uint32: 3"
+
+    def test_string_escapes(self, leaf_cls):
+        text = message_to_string(leaf_cls(label='a"b\n\t\\'))
+        assert text == r'label: "a\"b\n\t\\"'
+
+    def test_bytes_printed_as_octal_escapes(self, everything_cls):
+        m = everything_cls(f_bytes=b"\x00ab\xff")
+        assert message_to_string(m) == r'f_bytes: "\000ab\377"'
+
+    def test_bool_and_floats(self, everything_cls):
+        m = everything_cls(f_bool=True, f_double=float("inf"))
+        text = message_to_string(m)
+        assert "f_bool: true" in text
+        assert "f_double: inf" in text
+
+    def test_enum_by_name(self, everything_cls):
+        m = everything_cls(f_color=2)
+        assert "f_color: BLUE" in message_to_string(m)
+
+    def test_empty_message(self, everything_cls):
+        assert message_to_string(everything_cls()) == ""
+
+
+class TestParsing:
+    def test_scalars(self, leaf_cls):
+        m = parse_text(leaf_cls, 'id: 42 label: "yes"')
+        assert m.id == 42
+        assert m.label == "yes"
+
+    def test_nested(self, node_cls):
+        m = parse_text(node_cls, 'key: 9 leaf { id: 1 label: "deep" }')
+        assert m.leaf.label == "deep"
+
+    def test_repeated_lines_and_shorthand(self, everything_cls):
+        m = parse_text(everything_cls, "r_uint32: 1 r_uint32: 2")
+        assert list(m.r_uint32) == [1, 2]
+        m2 = parse_text(everything_cls, "r_uint32: [3, 4, 5]")
+        assert list(m2.r_uint32) == [3, 4, 5]
+
+    def test_enum_by_name_or_number(self, everything_cls):
+        assert parse_text(everything_cls, "f_color: BLUE").f_color == 2
+        assert parse_text(everything_cls, "f_color: 1").f_color == 1
+
+    def test_comments_ignored(self, leaf_cls):
+        m = parse_text(leaf_cls, "# header\nid: 1 # trailing\n")
+        assert m.id == 1
+
+    def test_negative_and_hex_ints(self, everything_cls):
+        m = parse_text(everything_cls, "f_int32: -5 f_uint32: 0x10")
+        assert m.f_int32 == -5
+        assert m.f_uint32 == 16
+
+    def test_message_colon_brace_tolerated(self, node_cls):
+        m = parse_text(node_cls, "leaf: { id: 3 }")
+        assert m.leaf.id == 3
+
+    def test_errors(self, leaf_cls, node_cls):
+        with pytest.raises(TextFormatError, match="no field"):
+            parse_text(leaf_cls, "nope: 1")
+        with pytest.raises(TextFormatError, match="expected"):
+            parse_text(leaf_cls, "id 5")
+        with pytest.raises(TextFormatError, match="unterminated"):
+            parse_text(leaf_cls, 'label: "open')
+        with pytest.raises(TextFormatError, match="missing"):
+            parse_text(node_cls, "leaf { id: 1")
+        with pytest.raises(TextFormatError, match="bad integer"):
+            parse_text(leaf_cls, "id: pizza")
+
+
+class TestRoundTrip:
+    def test_full_message(self, everything_cls):
+        msg = build_everything(everything_cls)
+        assert parse_text(everything_cls, message_to_string(msg)) == msg
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_random_messages(self, data, everything_cls):
+        msg = data.draw(everything_strategy(everything_cls))
+        text = message_to_string(msg)
+        assert parse_text(everything_cls, text) == msg
+
+    @settings(max_examples=60, deadline=None)
+    @given(label=st.text(max_size=50), blob=st.binary(max_size=50))
+    def test_adversarial_strings(self, label, blob, everything_cls):
+        msg = everything_cls(f_string=label, f_bytes=blob)
+        assert parse_text(everything_cls, message_to_string(msg)) == msg

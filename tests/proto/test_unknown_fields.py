@@ -1,0 +1,114 @@
+"""Tests for unknown-field preservation (protobuf >= 3.5 semantics) and
+the documented divergence of the offloaded path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proto import compile_schema, parse, serialize
+from repro.proto.wire_format import encode_varint, make_tag
+
+V1 = """
+syntax = "proto3";
+package evo;
+message Thing { uint32 id = 1; }
+"""
+
+V2 = """
+syntax = "proto3";
+package evo;
+message Thing { uint32 id = 1; string note = 2; repeated uint32 extra = 3; }
+"""
+
+
+@pytest.fixture
+def classes():
+    old = compile_schema(V1)["evo.Thing"]
+    new = compile_schema(V2)["evo.Thing"]
+    return old, new
+
+
+class TestPreservation:
+    def test_unknown_fields_survive_reserialization(self, classes):
+        """A v1 middlebox must not drop fields a v2 producer set — the
+        schema-evolution contract."""
+        old, new = classes
+        original = new(id=5, note="keep me", extra=[7, 8])
+        wire = serialize(original)
+        relayed = serialize(parse(old, wire))  # through the old schema
+        final = parse(new, relayed)
+        assert final.note == "keep me"
+        assert list(final.extra) == [7, 8]
+        assert final.id == 5
+
+    def test_unknown_bytes_exposed(self, classes):
+        old, new = classes
+        wire = serialize(new(id=1, note="x"))
+        msg = parse(old, wire)
+        assert msg.UnknownFields() != b""
+        assert b"x" in msg.UnknownFields()
+
+    def test_discard_unknown_fields(self, classes):
+        old, new = classes
+        msg = parse(old, serialize(new(id=1, note="drop me")))
+        msg.DiscardUnknownFields()
+        assert msg.UnknownFields() == b""
+        assert b"drop me" not in serialize(msg)
+
+    def test_clear_drops_unknown(self, classes):
+        old, new = classes
+        msg = parse(old, serialize(new(note="z")))
+        msg.Clear()
+        assert msg.UnknownFields() == b""
+
+    def test_byte_size_includes_unknown(self, classes):
+        old, new = classes
+        msg = parse(old, serialize(new(id=1, note="abc")))
+        assert msg.ByteSize() == len(serialize(msg))
+
+    def test_equality_ignores_unknown(self, classes):
+        old, new = classes
+        with_unknown = parse(old, serialize(new(id=1, note="u")))
+        without = old(id=1)
+        assert with_unknown == without
+
+    def test_nested_unknown_preserved(self):
+        outer_v1 = compile_schema(
+            'syntax="proto3"; message O { I i = 1; } message I { uint32 a = 1; }'
+        )
+        outer_v2 = compile_schema(
+            'syntax="proto3"; message O { I i = 1; } '
+            'message I { uint32 a = 1; string b = 2; }'
+        )
+        original = outer_v2["O"]()
+        original.i.a = 1
+        original.i.b = "inner-unknown"
+        relayed = serialize(parse(outer_v1["O"], serialize(original)))
+        final = parse(outer_v2["O"], relayed)
+        assert final.i.b == "inner-unknown"
+
+
+class TestOffloadDivergence:
+    def test_offloaded_path_drops_unknown_fields(self, classes):
+        """Documented divergence: the DPU deserializes into a fixed C++
+        layout — there is no slot for unknown fields, so they do not
+        survive the offloaded path (they ARE skipped safely)."""
+        from repro.memory import AddressSpace, Arena, MemoryRegion
+        from repro.offload import ArenaDeserializer, TypeUniverse
+        from repro.offload.view import serialize_object
+
+        old_schema = compile_schema(V1)
+        new_cls = compile_schema(V2)["evo.Thing"]
+        wire = serialize(new_cls(id=9, note="lost in offload"))
+
+        space = AddressSpace()
+        space.map(MemoryRegion(0x10_0000, 1 << 16))
+        universe = TypeUniverse(space)
+        adt = universe.build_adt([old_schema.pool.message("evo.Thing")])
+        deser = ArenaDeserializer(adt)
+        arena = Arena(space, 0x10_0000, 1 << 16)
+        addr = deser.deserialize_by_name("evo.Thing", wire, arena)
+        rewire = serialize_object(adt, adt.index_of("evo.Thing"), space, addr)
+        reparsed = parse(new_cls, rewire)
+        assert reparsed.id == 9
+        assert reparsed.note == ""  # gone — the C++ object had no slot

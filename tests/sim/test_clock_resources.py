@@ -1,0 +1,121 @@
+"""Tests for the DES engine and the resource models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import CorePool, EventQueue, Link
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(2.0, lambda: log.append("b"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(3.0, lambda: log.append("c"))
+        q.run_until(10.0)
+        assert log == ["a", "b", "c"]
+        assert q.now == 10.0
+
+    def test_ties_break_in_schedule_order(self):
+        q = EventQueue()
+        log = []
+        for name in "xyz":
+            q.schedule(1.0, lambda n=name: log.append(n))
+        q.run_until(1.0)
+        assert log == ["x", "y", "z"]
+
+    def test_run_until_stops_at_boundary(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(2.5, lambda: log.append(2))
+        q.run_until(2.0)
+        assert log == [1]
+        q.run_until(3.0)
+        assert log == [1, 2]
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            q.schedule(1.0, lambda: log.append("second"))
+
+        q.schedule(1.0, first)
+        q.run_until(5.0)
+        assert log == ["second"]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1, lambda: None)
+
+    def test_at_absolute(self):
+        q = EventQueue()
+        hit = []
+        q.at(4.0, lambda: hit.append(q.now))
+        q.run_until(5.0)
+        assert hit == [4.0]
+
+
+class TestCorePool:
+    def test_parallel_cores(self):
+        pool = CorePool("p", 2)
+        t1 = pool.submit(0.0, 1.0)
+        t2 = pool.submit(0.0, 1.0)
+        t3 = pool.submit(0.0, 1.0)  # queues behind one of the two
+        assert t1 == 1.0 and t2 == 1.0
+        assert t3 == 2.0
+
+    def test_utilization(self):
+        pool = CorePool("p", 4)
+        pool.submit(0.0, 2.0)
+        pool.submit(0.0, 2.0)
+        assert pool.utilization(2.0) == pytest.approx(2.0)  # 2 of 4 cores busy
+
+    def test_least_loaded_dispatch(self):
+        pool = CorePool("p", 2)
+        pool.submit(0.0, 5.0)
+        done = pool.submit(0.0, 1.0)
+        assert done == 1.0  # went to the idle core
+
+    def test_backlog(self):
+        pool = CorePool("p", 1)
+        pool.submit(0.0, 3.0)
+        assert pool.backlog(1.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorePool("p", 0)
+        with pytest.raises(ValueError):
+            CorePool("p", 1).submit(0.0, -1.0)
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = Link("l", gbps=8.0, latency_s=0.0)  # 1 GB/s
+        done = link.transfer(0.0, 10**9)
+        assert done == pytest.approx(1.0)
+
+    def test_serialization(self):
+        link = Link("l", gbps=8.0, latency_s=0.0)
+        link.transfer(0.0, 10**9)
+        done = link.transfer(0.0, 10**9)
+        assert done == pytest.approx(2.0)
+
+    def test_latency_added(self):
+        link = Link("l", gbps=8.0, latency_s=0.5)
+        assert link.transfer(0.0, 0) == pytest.approx(0.5)
+
+    def test_throughput_accounting(self):
+        link = Link("l", gbps=80.0)
+        link.transfer(0.0, 10**9)
+        assert link.throughput_gbps(1.0) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("l", gbps=0)
+        with pytest.raises(ValueError):
+            Link("l", gbps=1).transfer(0.0, -1)

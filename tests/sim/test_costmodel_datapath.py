@@ -1,0 +1,236 @@
+"""Tests for the cost model and the datapath simulator: the paper's
+quantitative claims must hold as *shapes* (who wins, by what factor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.offload import DeserializeStats
+from repro.sim import (
+    DEFAULT_COST_MODEL,
+    Core,
+    DatapathSimulator,
+    LlcModel,
+    PAPER_ENVIRONMENT,
+    Scenario,
+    SimOptions,
+    WorkloadProfile,
+    render_table1,
+    run_cell,
+)
+from repro.workloads import SMALL, X512_INTS, X8000_CHARS
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {
+        "small": WorkloadProfile.measure(SMALL),
+        "ints": WorkloadProfile.measure(X512_INTS),
+        "chars": WorkloadProfile.measure(X8000_CHARS),
+    }
+
+
+@pytest.fixture(scope="module")
+def results(profiles):
+    out = {}
+    for key, profile in profiles.items():
+        for scenario in Scenario:
+            out[key, scenario] = DatapathSimulator(profile, scenario).run()
+    return out
+
+
+class TestCostModel:
+    def test_dpu_slower_by_paper_factors(self):
+        m = DEFAULT_COST_MODEL
+        n = 4096
+        ints_ratio = m.int_array_ns(n, Core.DPU_ARM) / m.int_array_ns(n, Core.HOST_X86)
+        chars_ratio = m.char_array_ns(n * 8, Core.DPU_ARM) / m.char_array_ns(
+            n * 8, Core.HOST_X86
+        )
+        assert ints_ratio == pytest.approx(1.89, rel=0.05)
+        assert chars_ratio == pytest.approx(2.51, rel=0.05)
+
+    def test_fig7_slopes(self):
+        """CPU slopes: 2.75 ns/int element, 42.5 ns per 1024 chars."""
+        m = DEFAULT_COST_MODEL
+        d_int = m.int_array_ns(2048, Core.HOST_X86) - m.int_array_ns(1024, Core.HOST_X86)
+        assert d_int == pytest.approx(2.75 * 1024)
+        d_chr = m.char_array_ns(2048, Core.HOST_X86) - m.char_array_ns(1024, Core.HOST_X86)
+        assert d_chr == pytest.approx(42.5)
+
+    def test_chars_cheaper_than_ints_per_element(self):
+        """Fig. 7: same element count, chars deserialize much faster."""
+        m = DEFAULT_COST_MODEL
+        assert m.char_array_ns(1024, Core.HOST_X86) < m.int_array_ns(1024, Core.HOST_X86)
+
+    def test_census_pricing_monotonic(self):
+        m = DEFAULT_COST_MODEL
+        small = DeserializeStats(messages=1, varints_decoded=4)
+        big = DeserializeStats(messages=1, varints_decoded=400)
+        for core in Core:
+            assert m.deserialize_ns(big, core) > m.deserialize_ns(small, core)
+
+
+class TestWorkloadProfiles:
+    def test_small_15_to_40_bytes(self, profiles):
+        p = profiles["small"]
+        assert p.serialized_size == 15
+        assert p.object_size == 40
+        assert p.compression_ratio == pytest.approx(40 / 15)
+
+    def test_ints_compression_near_2x(self, profiles):
+        assert profiles["ints"].compression_ratio == pytest.approx(2.1, rel=0.15)
+
+    def test_chars_almost_uncompressed(self, profiles):
+        p = profiles["chars"]
+        assert p.serialized_size == 8003
+        assert p.compression_ratio == pytest.approx(1.01, rel=0.02)
+
+    def test_census_comes_from_real_deserializer(self, profiles):
+        assert profiles["ints"].stats.varints_decoded == 512
+        assert profiles["chars"].stats.utf8_bytes_validated == 8000
+
+
+class TestFig8Shapes:
+    def test_rps_dpu_matches_cpu(self, results):
+        """Fig. 8a: offloading keeps similar request throughput."""
+        for key in ("small", "ints", "chars"):
+            dpu = results[key, Scenario.DPU_OFFLOAD].requests_per_second
+            cpu = results[key, Scenario.CPU_BASELINE].requests_per_second
+            assert 0.75 <= dpu / cpu <= 1.35, f"{key}: {dpu / cpu}"
+
+    def test_small_rps_order_of_magnitude(self, results):
+        """§VI-C.2: the small scenario reaches ~9e7 requests/second."""
+        rps = results["small", Scenario.DPU_OFFLOAD].requests_per_second
+        assert 4e7 <= rps <= 1.5e8
+
+    def test_bandwidth_inflated_by_offload(self, results):
+        """Fig. 8b: deserialized objects cost more PCIe bytes — except
+        for chars, where inflation is ~1.01x."""
+        small_ratio = (
+            results["small", Scenario.DPU_OFFLOAD].bandwidth_gbps
+            / results["small", Scenario.CPU_BASELINE].bandwidth_gbps
+        )
+        assert small_ratio > 1.5
+        chars_ratio = (
+            results["chars", Scenario.DPU_OFFLOAD].bandwidth_gbps
+            / results["chars", Scenario.CPU_BASELINE].bandwidth_gbps
+        )
+        assert chars_ratio == pytest.approx(1.0, abs=0.2)
+
+    def test_chars_bandwidth_near_180gbps(self, results):
+        """§VI-C.3: the chars scenario 'goes up to 180 Gbps'."""
+        bw = results["chars", Scenario.DPU_OFFLOAD].bandwidth_gbps
+        assert 150 <= bw <= 210
+
+    def test_cpu_usage_reductions(self, results):
+        """Fig. 8c: host CPU usage reductions ≈1.8× (Small), ≈8× (ints),
+        ≈1.53× (chars)."""
+
+        def reduction(key):
+            return (
+                results[key, Scenario.CPU_BASELINE].host_cores_used
+                / results[key, Scenario.DPU_OFFLOAD].host_cores_used
+            )
+
+        assert reduction("small") == pytest.approx(1.8, rel=0.25)
+        assert reduction("ints") == pytest.approx(8.0, rel=0.25)
+        assert reduction("chars") == pytest.approx(1.53, rel=0.30)
+
+    def test_seven_cores_freed_on_ints(self, results):
+        """§VI-C.4/§VIII: 'Seven host cores are freed.'"""
+        freed = (
+            results["ints", Scenario.CPU_BASELINE].host_cores_used
+            - results["ints", Scenario.DPU_OFFLOAD].host_cores_used
+        )
+        assert freed == pytest.approx(7.0, abs=1.0)
+
+    def test_all_cells_reach_stability(self, results):
+        """§VI: the monitor waits for the rate to stabilize within 1%."""
+        for result in results.values():
+            assert result.stable
+
+    def test_credits_never_exhausted_in_paper_config(self, results):
+        """§VI-A: 'The credits should also never reach zero.'"""
+        for result in results.values():
+            assert result.credit_stalls == 0
+
+    def test_llc_misses_near_zero(self, results):
+        """§VI-C.5: almost zero LLC misses in all cases."""
+        for result in results.values():
+            assert result.llc_misses_per_second == 0.0
+
+
+class TestAblations:
+    def test_busy_poll_raises_throughput_and_pins_cores(self, profiles):
+        """§III-C: busy polling ≈ +10% throughput at 100% CPU."""
+        base = DatapathSimulator(profiles["small"], Scenario.DPU_OFFLOAD).run()
+        busy = DatapathSimulator(
+            profiles["small"], Scenario.DPU_OFFLOAD, SimOptions(busy_poll=True)
+        ).run()
+        gain = busy.requests_per_second / base.requests_per_second
+        assert 1.02 <= gain <= 1.15
+        assert busy.host_cores_used == PAPER_ENVIRONMENT.server_config.threads
+
+    def test_system_allocator_slower_with_misses(self, profiles):
+        """§VI-A: TCMalloc ≈ +15% throughput over the system allocator;
+        general-purpose heaps also reintroduce LLC misses."""
+        base = DatapathSimulator(profiles["small"], Scenario.CPU_BASELINE).run()
+        slow = DatapathSimulator(
+            profiles["small"], Scenario.CPU_BASELINE, SimOptions(system_allocator=True)
+        ).run()
+        gain = base.requests_per_second / slow.requests_per_second
+        assert 1.05 <= gain <= 1.25
+        assert slow.llc_misses_per_second > 0
+
+    def test_no_lto_slower(self, profiles):
+        """§VI-A: -flto ≈ +10% (aggressive inlining of the deserializer's
+        many small functions)."""
+        base = DatapathSimulator(profiles["ints"], Scenario.CPU_BASELINE).run()
+        slow = DatapathSimulator(
+            profiles["ints"], Scenario.CPU_BASELINE, SimOptions(lto=False)
+        ).run()
+        gain = base.requests_per_second / slow.requests_per_second
+        assert 1.03 <= gain <= 1.15
+
+    def test_block_size_sweep_peaks_near_8kib(self, profiles):
+        """§VI-A: 'The optimal minimal block size for the highest
+        throughput is around 8 KiB.'"""
+        from dataclasses import replace
+        from repro.core.config import ProtocolConfig
+
+        rates = {}
+        for kib in (1, 8, 64):
+            env = PAPER_ENVIRONMENT
+            cfg_c = replace(env.client_config, block_size=kib * 1024)
+            cfg_s = replace(env.server_config, block_size=kib * 1024)
+            env2 = replace(env, client_config=cfg_c, server_config=cfg_s)
+            r = DatapathSimulator(
+                profiles["small"], Scenario.DPU_OFFLOAD, SimOptions(environment=env2)
+            ).run()
+            rates[kib] = r.requests_per_second
+        assert rates[8] > rates[1]  # batching amortizes per-block costs
+
+
+class TestTable1:
+    def test_render_contains_paper_values(self):
+        text = render_table1()
+        for needle in (
+            "BlueField-3", "PowerEdge R760", "Cortex-A78AE", "x16", "x64",
+            "TCMalloc 4.2", "256", "8 KiB", "1024", "3 MiB", "16 MiB",
+        ):
+            assert needle in text
+
+
+class TestLlcModel:
+    def test_pinned_buffers_zero_misses(self):
+        llc = LlcModel(size_bytes=1 << 27)
+        assert llc.misses_per_message(4096, 1 << 24) == 0.0
+
+    def test_system_allocator_misses(self):
+        llc = LlcModel(size_bytes=1 << 27)
+        assert llc.misses_per_message(4096, 1 << 24, system_allocator=True) > 0
+
+    def test_oversized_working_set_misses(self):
+        llc = LlcModel(size_bytes=1 << 20)
+        assert llc.misses_per_message(4096, 1 << 24) > 0

@@ -1,0 +1,13 @@
+"""Test for the run_cell convenience wrapper."""
+
+from repro.sim import Scenario
+from repro.sim.datapath import run_cell
+from repro.workloads import SMALL
+
+
+def test_run_cell_measures_and_runs():
+    result = run_cell(SMALL, Scenario.DPU_OFFLOAD)
+    assert result.workload == "Small"
+    assert result.requests_per_second > 0
+    assert result.stable
+    assert result.latency_p50_s > 0

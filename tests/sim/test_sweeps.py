@@ -1,0 +1,86 @@
+"""Tests for the sweep utilities and per-core accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    CorePool,
+    DatapathSimulator,
+    Scenario,
+    WorkloadProfile,
+    sweep_block_size,
+    sweep_credits,
+    sweep_dpu_threads,
+)
+from repro.workloads import SMALL, X512_INTS
+
+
+@pytest.fixture(scope="module")
+def ints_profile():
+    return WorkloadProfile.measure(X512_INTS)
+
+
+class TestPerCoreAccounting:
+    def test_busy_per_core_sums(self):
+        pool = CorePool("p", 3)
+        pool.submit(0.0, 1.0)
+        pool.submit(0.0, 2.0)
+        pool.submit(0.0, 3.0)
+        assert sum(pool.busy_per_core) == pytest.approx(pool.busy_seconds)
+
+    def test_imbalance_zero_when_even(self):
+        pool = CorePool("p", 2)
+        pool.submit(0.0, 1.0)
+        pool.submit(0.0, 1.0)
+        assert pool.imbalance() == 0.0
+
+    def test_imbalance_detects_skew(self):
+        pool = CorePool("p", 2)
+        pool.submit(0.0, 3.0)
+        pool.submit(3.5, 1.0)  # second job lands on core 0 again
+        assert pool.imbalance() > 0.5
+
+    def test_idle_pool(self):
+        assert CorePool("p", 4).imbalance() == 0.0
+
+    def test_reset(self):
+        pool = CorePool("p", 2)
+        pool.submit(0.0, 1.0)
+        pool.reset_accounting()
+        assert pool.busy_per_core == [0.0, 0.0]
+
+    def test_datapath_distributes_evenly(self, ints_profile):
+        """§VI-C: even distribution across DPU cores at saturation."""
+        sim = DatapathSimulator(ints_profile, Scenario.DPU_OFFLOAD)
+        sim.run()
+        assert sim.dpu_pool.imbalance() < 0.05
+
+
+class TestSweeps:
+    def test_thread_sweep_monotone_to_16(self, ints_profile):
+        results = sweep_dpu_threads(ints_profile, [4, 16])
+        assert (
+            results[16].requests_per_second > 2.5 * results[4].requests_per_second
+        )
+
+    def test_credit_sweep_latency_grows(self):
+        profile = WorkloadProfile.measure(SMALL)
+        results = sweep_credits(profile, [32, 256])
+        assert (
+            results[256].requests_per_second
+            == pytest.approx(results[32].requests_per_second, rel=0.05)
+        )
+
+    def test_block_size_sweep_keys(self):
+        profile = WorkloadProfile.measure(SMALL)
+        results = sweep_block_size(profile, [1024, 8192])
+        assert set(results) == {1024, 8192}
+        assert results[8192].messages_per_block > results[1024].messages_per_block
+
+    def test_sweeps_do_not_mutate_base_environment(self, ints_profile):
+        from repro.sim import PAPER_ENVIRONMENT
+
+        before = PAPER_ENVIRONMENT.client_config.threads
+        sweep_dpu_threads(ints_profile, [2])
+        assert PAPER_ENVIRONMENT.client_config.threads == before

@@ -1,0 +1,105 @@
+"""Tests for trace mixes and the deeply nested workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import AddressSpace, Arena, MemoryRegion
+from repro.offload import ArenaDeserializer, TypeUniverse, read_message
+from repro.proto import serialize
+from repro.sim import DatapathSimulator, Scenario, WorkloadProfile
+from repro.workloads import (
+    FLEET_MIX,
+    TraceComponent,
+    TraceMix,
+    WorkloadFactory,
+    WorkloadSpec,
+    deeply_nested,
+    nested_schema,
+)
+
+
+class TestTraceMix:
+    def test_fleet_mix_matches_cited_statistic(self):
+        """§IV: 'nearly 90% of analyzed messages are 512 bytes or less'."""
+        factory = WorkloadFactory()
+        frac = FLEET_MIX.small_fraction(factory, cutoff=512)
+        assert 0.85 <= frac <= 0.95
+
+    def test_weights_normalized(self):
+        assert FLEET_MIX.weights.sum() == pytest.approx(1.0)
+
+    def test_sampling_reproducible(self):
+        a = [m.DESCRIPTOR.full_name for m in FLEET_MIX.sample(WorkloadFactory(1), 50)]
+        b = [m.DESCRIPTOR.full_name for m in FLEET_MIX.sample(WorkloadFactory(1), 50)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceComponent(WorkloadSpec("x", "bench.Small", 0), 0)
+        with pytest.raises(ValueError):
+            TraceMix("empty", ())
+
+    def test_blended_profile(self):
+        profile = WorkloadProfile.measure_mix(FLEET_MIX)
+        singles = [WorkloadProfile.measure(c.spec) for c in FLEET_MIX.components]
+        sizes = [p.serialized_size for p in singles]
+        assert min(sizes) <= profile.serialized_size <= max(sizes)
+        assert profile.object_size > profile.serialized_size  # mix still inflates
+
+    def test_blend_validation(self):
+        p = WorkloadProfile.measure(FLEET_MIX.components[0].spec)
+        with pytest.raises(ValueError):
+            WorkloadProfile.blend([p], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            WorkloadProfile.blend([], [])
+
+    def test_mix_through_datapath_simulator(self):
+        """The blended profile drives the Fig. 8 rig: offloading keeps
+        throughput parity and reduces host CPU on realistic traffic too."""
+        profile = WorkloadProfile.measure_mix(FLEET_MIX)
+        dpu = DatapathSimulator(profile, Scenario.DPU_OFFLOAD).run()
+        cpu = DatapathSimulator(profile, Scenario.CPU_BASELINE).run()
+        assert 0.7 <= dpu.requests_per_second / cpu.requests_per_second <= 1.4
+        assert cpu.host_cores_used > dpu.host_cores_used
+
+
+class TestDeeplyNested:
+    def test_structure(self):
+        root = deeply_nested(depth=3, fanout=2)
+        assert len(root.children) == 2
+        assert len(root.children[0].children) == 2
+        assert len(root.children[0].children[0].children) == 0  # leaves
+
+    def test_node_count(self):
+        root = deeply_nested(depth=4, fanout=2)
+
+        def count(n):
+            return 1 + sum(count(c) for c in n.children)
+
+        assert count(root) == 2**4 - 1
+
+    def test_offload_roundtrip_of_nested_tree(self):
+        """The arena deserializer handles the Google-suite shape: deep
+        recursion, many nodes, strings and packed arrays per node."""
+        schema = nested_schema()
+        root = deeply_nested(depth=5, fanout=3, schema=schema)
+        wire = serialize(root)
+        assert len(wire) > 5_000  # genuinely "huge" (121 nodes)
+
+        space = AddressSpace()
+        space.map(MemoryRegion(0x10_0000, 1 << 24))
+        universe = TypeUniverse(space)
+        adt = universe.build_adt([schema.pool.message("nested.Node")])
+        deser = ArenaDeserializer(adt)
+        arena = Arena(space, 0x10_0000, 1 << 24)
+        addr = deser.deserialize_by_name("nested.Node", wire, arena)
+        assert deser.stats.max_depth == 5
+        out = read_message(universe, schema.factory, "nested.Node", addr)
+        assert out == root
+
+    def test_reproducible(self):
+        schema = nested_schema()
+        a = deeply_nested(depth=3, schema=schema)
+        b = deeply_nested(depth=3, schema=schema)
+        assert a == b

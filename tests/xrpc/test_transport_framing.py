@@ -1,0 +1,151 @@
+"""Tests for the simulated TCP transport and xRPC framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xrpc import (
+    ConnectionClosed,
+    FrameDecoder,
+    FrameType,
+    FramingError,
+    Network,
+    SimSocket,
+    TransportError,
+    encode_request,
+    encode_response,
+)
+
+
+class TestTransport:
+    def test_pair_bidirectional(self):
+        a, b = SimSocket.pair()
+        a.send(b"ping")
+        assert b.recv() == b"ping"
+        b.send(b"pong")
+        assert a.recv() == b"pong"
+
+    def test_partial_reads(self):
+        a, b = SimSocket.pair()
+        a.send(b"abcdef")
+        assert b.recv(2) == b"ab"
+        assert b.recv(2) == b"cd"
+        assert b.pending() == 2
+        assert b.recv() == b"ef"
+        assert b.recv() == b""
+
+    def test_send_after_close_raises(self):
+        a, b = SimSocket.pair()
+        b.close()
+        with pytest.raises(ConnectionClosed):
+            a.send(b"x")
+
+    def test_eof_after_drain(self):
+        a, b = SimSocket.pair()
+        a.send(b"last")
+        a.close()
+        assert not b.eof()  # data still buffered
+        assert b.recv() == b"last"
+        assert b.eof()
+
+    def test_network_listen_connect(self):
+        net = Network()
+        listener = net.listen("h:1")
+        client = net.connect("h:1")
+        server_side = listener.accept()
+        assert server_side is not None
+        client.send(b"hi")
+        assert server_side.recv() == b"hi"
+        assert listener.accept() is None
+
+    def test_connection_refused(self):
+        net = Network()
+        with pytest.raises(TransportError, match="refused"):
+            net.connect("nowhere:9")
+
+    def test_address_in_use(self):
+        net = Network()
+        net.listen("h:1")
+        with pytest.raises(TransportError, match="in use"):
+            net.listen("h:1")
+
+    def test_multiple_clients(self):
+        net = Network()
+        listener = net.listen("h:1")
+        clients = [net.connect("h:1", f"c{i}") for i in range(3)]
+        servers = [listener.accept() for _ in range(3)]
+        for i, (c, s) in enumerate(zip(clients, servers)):
+            c.send(f"msg{i}".encode())
+            assert s.recv() == f"msg{i}".encode()
+
+
+class TestFraming:
+    def test_request_roundtrip(self):
+        dec = FrameDecoder()
+        dec.feed(encode_request(7, "/pkg.Svc/M", b"payload"))
+        frames = list(dec.frames())
+        assert len(frames) == 1
+        f = frames[0]
+        assert f.frame_type == FrameType.REQUEST
+        assert f.call_id == 7
+        assert f.method == "/pkg.Svc/M"
+        assert f.message == b"payload"
+
+    def test_response_roundtrip(self):
+        dec = FrameDecoder()
+        dec.feed(encode_response(9, 13, b"err"))
+        f = next(dec.frames())
+        assert f.frame_type == FrameType.RESPONSE
+        assert f.status == 13
+        assert f.message == b"err"
+
+    def test_grpc_message_prefix_is_big_endian(self):
+        data = encode_request(1, "/a/b", b"xyz")
+        # last 3 bytes payload; 5 before: 0x00 + len BE
+        prefix = data[-8:-3]
+        assert prefix == b"\x00\x00\x00\x00\x03"
+
+    def test_incremental_decoding_byte_by_byte(self):
+        raw = encode_request(3, "/s/m", b"abc") + encode_response(3, 0, b"d")
+        dec = FrameDecoder()
+        got = []
+        for byte in raw:
+            dec.feed(bytes([byte]))
+            got.extend(dec.frames())
+        assert [f.frame_type for f in got] == [FrameType.REQUEST, FrameType.RESPONSE]
+
+    def test_unknown_frame_type(self):
+        dec = FrameDecoder()
+        dec.feed(b"\x09" + b"\x00" * 16)
+        with pytest.raises(FramingError):
+            list(dec.frames())
+
+    def test_compressed_flag_rejected(self):
+        raw = bytearray(encode_request(1, "/a/b", b"zz"))
+        raw[8 + 4] = 1  # header(8) + method(4) -> compressed flag
+        dec = FrameDecoder()
+        dec.feed(bytes(raw))
+        with pytest.raises(FramingError, match="compressed"):
+            list(dec.frames())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        calls=st.lists(
+            st.tuples(
+                st.integers(1, 1 << 31), st.text(min_size=1, max_size=30), st.binary(max_size=100)
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        chunk=st.integers(1, 64),
+    )
+    def test_stream_reassembly_any_chunking(self, calls, chunk):
+        raw = b"".join(encode_request(cid, m, p) for cid, m, p in calls)
+        dec = FrameDecoder()
+        got = []
+        for i in range(0, len(raw), chunk):
+            dec.feed(raw[i : i + chunk])
+            got.extend(dec.frames())
+        assert [(f.call_id, f.method, f.message) for f in got] == calls
