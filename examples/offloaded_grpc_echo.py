@@ -19,6 +19,7 @@ Run:  python examples/offloaded_grpc_echo.py
 from repro.core import create_channel
 from repro.offload.engine import DpuEngine, HostEngine
 from repro.proto import compile_schema
+from repro.runtime import ProgressEngine
 from repro.xrpc import (
     Network,
     OffloadedXrpcServer,
@@ -88,7 +89,12 @@ def main() -> None:
     front = OffloadedXrpcServer(net_b, "10.0.0.2:50051", dpu_engine, echo_service)
     # The only client-side change: the server address (§III-A).
     client_b = XrpcChannel(net_b, "10.0.0.2:50051")
-    client_b.drive = lambda: (front.poll(), host_engine.progress())
+    # One ProgressEngine drives the whole offloaded datapath — DPU front
+    # end and host engine are just pollables on the unified event loop.
+    engine = ProgressEngine(name="offload.engine")
+    engine.register(front, name="dpu.frontend")
+    engine.register(host_engine, name="host.engine")
+    client_b.drive = engine.step
     run_client(client_b, "offloaded")
 
     census = dpu_engine.stats
@@ -102,6 +108,7 @@ def main() -> None:
         f"{rdma_channel.fabric.total_bytes} across "
         f"{rdma_channel.fabric.total_operations} RDMA writes"
     )
+    print(f"  event loop: {engine.summary()}")
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ from .endpoint import (
 )
 from .executor import DeferredExecutor, InlineExecutor, WorkerPool
 from .idpool import IdPoolError, RequestIdPool
-from .tracing import describe_flags, dissect_block, hexdump
+from .tracing import Span, Tracer, describe_flags, dissect_block, hexdump
 from .wire import (
     HEADER_SIZE,
     PAYLOAD_ALIGN,
@@ -55,6 +55,8 @@ __all__ = [
     "DeferredExecutor",
     "InlineExecutor",
     "WorkerPool",
+    "Span",
+    "Tracer",
     "describe_flags",
     "dissect_block",
     "hexdump",

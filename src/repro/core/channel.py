@@ -33,6 +33,7 @@ from repro.rdma import (
     ProtectionDomain,
     QueuePair,
 )
+from repro.runtime import ProgressEngine
 
 from .config import CLIENT_DEFAULTS, SERVER_DEFAULTS, ProtocolConfig
 from .endpoint import ClientEndpoint, ServerEndpoint
@@ -60,19 +61,21 @@ class AddressPlanner:
 
 @dataclass
 class Channel:
-    """Everything belonging to one connected client/server pair."""
+    """Everything belonging to one connected client/server pair.  Both
+    endpoints are registered with :attr:`engine`, the channel's progress
+    engine; one :meth:`progress` call is one engine scheduling pass."""
 
     fabric: Fabric
     client: ClientEndpoint
     server: ServerEndpoint
     client_space: AddressSpace
     server_space: AddressSpace
+    engine: ProgressEngine | None = None
 
     def progress(self, iterations: int = 1) -> None:
-        """Convenience: advance both sides."""
+        """Convenience: advance both sides via the engine."""
         for _ in range(iterations):
-            self.client.progress()
-            self.server.progress()
+            self.engine.step()
 
 
 def create_channel(
@@ -165,14 +168,21 @@ def create_channel(
         recv_slots=client_config.credits,
         background_executor=background_executor,
     )
-    return Channel(fabric, client, server, client_space, server_space)
+    engine = ProgressEngine(scheduler=client_config.scheduling, name=f"{name}.engine")
+    engine.register(client, name=f"{name}.client")
+    engine.register(server, name=f"{name}.server")
+    return Channel(fabric, client, server, client_space, server_space, engine)
 
 
 class RpcServer:
     """A host-side poller serving several connections (§III-C: many
-    connections, one poller, shared handler table)."""
+    connections, one poller, shared handler table).  The poller is a
+    :class:`~repro.runtime.engine.ProgressEngine`; attached endpoints
+    register with it and a scheduling policy (e.g. ``adaptive`` to back
+    off cold connections) orders each pass."""
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str = "round_robin", engine: ProgressEngine | None = None) -> None:
+        self.engine = engine or ProgressEngine(scheduler=scheduler, name="rpc-server")
         self._endpoints: list[ServerEndpoint] = []
         self._handlers: list[tuple[int, object]] = []
 
@@ -180,6 +190,7 @@ class RpcServer:
         for method_id, handler in self._handlers:
             endpoint.register(method_id, handler)
         self._endpoints.append(endpoint)
+        self.engine.register(endpoint, name=endpoint.name)
 
     def register(self, method_id: int, handler) -> None:
         """Register on all current and future connections."""
@@ -188,7 +199,7 @@ class RpcServer:
             ep.register(method_id, handler)
 
     def progress(self) -> int:
-        return sum(ep.progress() for ep in self._endpoints)
+        return self.engine.step()
 
     @property
     def endpoints(self) -> list[ServerEndpoint]:

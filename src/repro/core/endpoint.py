@@ -33,6 +33,15 @@ calls :meth:`progress` repeatedly ("an event loop function that should be
 called continuously").  Foreground RPCs run inside ``progress``;
 background execution is available through an optional executor, carrying
 the BACKGROUND header flag the protocol reserves for it.
+
+Endpoints no longer own their loop: they are *pollables* of the unified
+:class:`~repro.runtime.engine.ProgressEngine` (docs/RUNTIME.md).  The
+per-pass body lives in ``_progress_impl(budget)``; the public
+:meth:`progress` remains as a thin shim that routes through the engine
+(registering with a private one on first use when the endpoint was never
+registered), so existing call sites keep working while gaining engine
+metrics and tracing.  Partial-block flushing is delegated to the
+pluggable flush policy selected by ``ProtocolConfig.flush_policy``.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from repro.memory import (
     OffsetAllocator,
 )
 from repro.rdma import CompletionQueue, Opcode, QueuePair, WorkRequest
+from repro.runtime.flush import FlushState, make_flush_policy
 
 from .config import ProtocolConfig
 from .credits import CreditManager
@@ -207,6 +217,13 @@ class _EndpointBase:
         self.credits = CreditManager(config.credits)
         self.id_pool = RequestIdPool(min(config.concurrency, 1 << 16))
         self.stats = EndpointStats()
+        self.flush_policy = make_flush_policy(config)
+        #: flush decisions by reason; shared with the engine's metrics.
+        self.flush_reasons: dict[str, int] = {}
+        #: set by ProgressEngine.register; the shim routes through it.
+        self._runtime_engine = None
+        self._polls = 0  # local pass counter: the flush policies' clock
+        self._open_since: int | None = None  # pass of the first pending message
         self._wr_ids = itertools.count(1)
         self._send_queue: deque[_OutBlock] = deque()
         #: out-of-band RDMA SEND payloads (bootstrap/control traffic)
@@ -217,6 +234,45 @@ class _EndpointBase:
         self._posted_recvs = 0
         for _ in range((recv_slots if recv_slots is not None else config.credits) + 8):
             self._post_recv()
+
+    # -- progress-engine integration -------------------------------------------
+
+    def progress(self, budget: int | None = None) -> int:
+        """One event-loop pass.  Deprecation shim: delegates to the
+        progress engine this endpoint is registered with (a private
+        single-pollable engine is created on first use otherwise), so
+        direct callers keep their semantics and gain instrumentation."""
+        engine = self._runtime_engine
+        if engine is None:
+            from repro.runtime import ProgressEngine
+
+            engine = ProgressEngine(name=f"{self.name}.engine")
+            engine.register(self, name=self.name)
+        return engine.drive(self, budget)
+
+    def _progress_impl(self, budget: int | None = None) -> int:
+        raise NotImplementedError
+
+    def _record_flush(self, reason: str) -> None:
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+    def _note_open_message(self) -> None:
+        """Mark the open block non-empty (starts the flush-policy clock)."""
+        if self._open_since is None:
+            self._open_since = self._polls
+
+    def _policy_flush_reason(self, writer) -> str | None:
+        """Ask the flush policy about the current partial block."""
+        if writer is None or not writer.message_count:
+            return None
+        waited = self._polls - self._open_since if self._open_since is not None else 0
+        return self.flush_policy.should_flush(
+            FlushState(
+                pending_bytes=writer.bytes_used,
+                pending_messages=writer.message_count,
+                ticks_waiting=waited,
+            )
+        )
 
     # -- receive WQE management ------------------------------------------------
 
@@ -275,10 +331,12 @@ class _EndpointBase:
             self._on_transmit(out)
             self._transmit(out)
 
-    def _drain_recv_cq(self) -> list:
-        """Poll received block notifications; drains send completions."""
+    def _drain_recv_cq(self, limit: int | None = None) -> list:
+        """Poll received block notifications; drains send completions.
+        ``limit`` caps the completions absorbed this pass (the engine's
+        poll budget); the rest stay queued for the next pass."""
         events = []
-        for wc in self.recv_cq.poll(max_entries=1 << 16):
+        for wc in self.recv_cq.poll(max_entries=limit if limit else 1 << 16):
             if wc.opcode is Opcode.RECV_RDMA_WITH_IMM and wc.ok:
                 events.append(wc)
                 self._posted_recvs -= 1
@@ -383,6 +441,7 @@ class ClientEndpoint(_EndpointBase):
         flags: int,
     ) -> None:
         if self._writer is not None and self._writer.remaining() < max_payload + 32:
+            self._record_flush("block_full")
             self._seal_current()
         if self._writer is None:
             self._open_block(max_payload)
@@ -393,8 +452,10 @@ class ClientEndpoint(_EndpointBase):
             raise ProtocolError(f"writer produced {actual} > reserved {max_payload}")
         self._writer.commit_message(actual, method_id, flags)
         self._writer_continuations.append(continuation)
+        self._note_open_message()
         self.stats.requests_sent += 1
         if self._writer.bytes_used >= self.config.block_size:
+            self._record_flush("block_full")
             self._seal_current()
         self._pump_send_queue()
 
@@ -424,6 +485,7 @@ class ClientEndpoint(_EndpointBase):
         self._queued_messages += writer.message_count
         self._writer = None
         self._writer_continuations = []
+        self._open_since = None
         self._send_queue.append(out)
 
     def _flush_pending_acks(self) -> int:
@@ -472,19 +534,34 @@ class ClientEndpoint(_EndpointBase):
 
     # -- event loop -----------------------------------------------------------------
 
-    def flush(self) -> None:
-        """Seal a partial block so queued requests make progress even
-        under low load (§IV deadlock prevention)."""
+    def flush(self, reason: str = "explicit") -> None:
+        """Force-seal a partial block so queued requests make progress
+        even under low load (§IV deadlock prevention)."""
         if self._writer is not None and self._writer.message_count:
+            self._record_flush(reason)
             self._seal_current()
         self._pump_send_queue()
 
-    def progress(self) -> int:
-        """One event-loop pass: flush, then process arrived response
-        blocks.  Returns the number of responses delivered."""
-        self.flush()
+    def _maybe_flush(self) -> None:
+        """Seal the partial block when the flush policy says so."""
+        reason = self._policy_flush_reason(self._writer)
+        if reason is not None:
+            self._record_flush(reason)
+            self._seal_current()
+        self._pump_send_queue()
+
+    def pending(self) -> bool:
+        """Whether this endpoint still holds undelivered work (used by
+        :meth:`ProgressEngine.drain`)."""
+        return bool(self.outstanding or self._send_queue or self._backlog)
+
+    def _progress_impl(self, budget: int | None = None) -> int:
+        """One event-loop pass: flush per policy, then process arrived
+        response blocks.  Returns the number of responses delivered."""
+        self._polls += 1
+        self._maybe_flush()
         delivered = 0
-        for wc in self._drain_recv_cq():
+        for wc in self._drain_recv_cq(budget):
             delivered += self._process_response_block(wc.imm_data, wc.byte_len)
         self._drain_backlog()
         self._pump_send_queue()
@@ -512,8 +589,9 @@ class ClientEndpoint(_EndpointBase):
             admitted = True
         if admitted:
             # Ship what we admitted so the window keeps moving even while
-            # a backlog remains.
+            # a backlog remains (window progress, not a policy decision).
             if self._writer is not None and self._writer.message_count:
+                self._record_flush("backlog")
                 self._seal_current()
 
     def _process_response_block(self, bucket: int, byte_len: int) -> int:
@@ -588,17 +666,31 @@ class ServerEndpoint(_EndpointBase):
 
     # -- event loop -------------------------------------------------------------------
 
-    def progress(self) -> int:
+    def pending(self) -> bool:
+        """Whether responses are still queued or being built (used by
+        :meth:`ProgressEngine.drain`)."""
+        return bool(
+            self._send_queue
+            or self._background_results
+            or (self._writer is not None and self._writer.message_count)
+        )
+
+    def _progress_impl(self, budget: int | None = None) -> int:
         """One pass: process arrived request blocks (foreground execution
         in the polling thread), collect finished background RPCs, flush
-        responses.  Returns the number of requests handled."""
+        responses per policy.  Returns the number of requests handled."""
+        self._polls += 1
         handled = 0
-        for wc in self._drain_recv_cq():
+        for wc in self._drain_recv_cq(budget):
             handled += self._process_request_block(wc.imm_data)
         while self._background_results:
             rid, response = self._background_results.popleft()
             self._enqueue_response(rid, response)
-        self._flush_responses()
+        reason = self._policy_flush_reason(self._writer)
+        if reason is not None:
+            self._record_flush(reason)
+            self._seal_responses()
+        self._pump_send_queue()
         return handled
 
     def _process_request_block(self, bucket: int) -> int:
@@ -686,6 +778,7 @@ class ServerEndpoint(_EndpointBase):
 
     def _enqueue_response(self, rid: int, response: Response) -> None:
         if self._writer is not None and self._writer.remaining() < response.size + 32:
+            self._record_flush("block_full")
             self._seal_responses()
         if self._writer is None:
             capacity = self._block_capacity(response.size)
@@ -695,8 +788,10 @@ class ServerEndpoint(_EndpointBase):
         actual = response.write_to(self.space, payload_addr)
         self._writer.commit_message(actual, rid, response.flags)
         self._current_block_ids.append(rid)
+        self._note_open_message()
         self.stats.responses_sent += 1
         if self._writer.bytes_used >= self.config.block_size:
+            self._record_flush("block_full")
             self._seal_responses()
         self._pump_send_queue()
 
@@ -712,12 +807,20 @@ class ServerEndpoint(_EndpointBase):
         self._outstanding_responses.append((self._writer_addr, list(self._current_block_ids)))
         self._writer = None
         self._current_block_ids = []
+        self._open_since = None
         self._send_queue.append(out)
 
-    def _flush_responses(self) -> None:
+    def _flush_responses(self, reason: str = "explicit") -> None:
+        """Force-seal the partial response block, bypassing the policy."""
         if self._writer is not None and self._writer.message_count:
+            self._record_flush(reason)
             self._seal_responses()
         self._pump_send_queue()
+
+    def flush(self, reason: str = "explicit") -> None:
+        """Public policy-bypass flush, symmetric with the client's (the
+        engine's drain uses it to push out held response batches)."""
+        self._flush_responses(reason)
 
 
 class _DetachedRequest:

@@ -49,8 +49,14 @@ class DeferredExecutor:
         return True
 
     def run_all(self) -> int:
+        """Run everything pending *at call time*.  Submissions made by
+        the running functions stay queued for the next run_all — a
+        self-resubmitting task must not turn this into an infinite
+        loop."""
         count = 0
-        while self.run_one():
+        for _ in range(len(self.pending)):
+            if not self.run_one():
+                break
             count += 1
         return count
 
@@ -78,6 +84,9 @@ class WorkerPool:
             for i in range(workers)
         ]
         self._closed = False
+        # Serializes submission against shutdown: without it a racing
+        # submit could land behind the STOP sentinels and never run.
+        self._lock = threading.Lock()
         for t in self._threads:
             t.start()
 
@@ -92,9 +101,10 @@ class WorkerPool:
                 pass
 
     def __call__(self, fn) -> None:
-        if self._closed:
-            raise RuntimeError("worker pool is shut down")
-        self._queue.put(fn)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            self._queue.put(fn)
 
     def join_idle(self, timeout: float = 5.0) -> None:
         """Block until everything submitted so far has finished: every
@@ -111,11 +121,17 @@ class WorkerPool:
         except threading.BrokenBarrierError:
             raise TimeoutError("worker pool did not drain") from None
 
-    def shutdown(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for _ in self._threads:
-            self._queue.put(self._STOP)
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Drain and stop: every submission accepted before shutdown
+        runs to completion (the STOP sentinels queue *behind* in-flight
+        work, and the lock excludes late submitters), then the workers
+        exit.  Safe to call repeatedly and from multiple threads."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                for _ in self._threads:
+                    self._queue.put(self._STOP)
+        # Idempotent: repeat/concurrent callers fall through to join the
+        # (possibly already finished) workers.
         for t in self._threads:
-            t.join(timeout=5.0)
+            t.join(timeout)

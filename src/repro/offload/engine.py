@@ -225,8 +225,8 @@ class HostEngine:
         )
         server.allocator.free(staging)
 
-    def progress(self) -> int:
-        return self.channel.server.progress()
+    def progress(self, budget: int | None = None) -> int:
+        return self.channel.server.progress(budget)
 
 
 # ---------------------------------------------------------------------------
@@ -338,8 +338,8 @@ class DpuEngine:
         offload its deserialization."""
         self.call(method_id, serialize(message), on_response)
 
-    def progress(self) -> int:
-        return self.channel.client.progress()
+    def progress(self, budget: int | None = None) -> int:
+        return self.channel.client.progress(budget)
 
 
 # ---------------------------------------------------------------------------
@@ -356,15 +356,14 @@ class OffloadPair:
     host: HostEngine
 
     def progress(self, iterations: int = 1) -> None:
+        """Advance both halves via the channel's progress engine."""
         for _ in range(iterations):
-            self.dpu.progress()
-            self.host.progress()
+            self.channel.engine.step()
 
     def run_until_idle(self, max_iters: int = 10_000) -> None:
+        client = self.channel.client
         for _ in range(max_iters):
-            self.dpu.progress()
-            self.host.progress()
-            client = self.channel.client
+            self.channel.engine.step()
             if client.outstanding == 0 and not client._send_queue:
                 return
         raise RuntimeError("offload pair did not go idle")

@@ -1,0 +1,59 @@
+"""The unified progress-engine runtime.
+
+One pluggable event loop for the whole datapath: components implement
+the :class:`Pollable` protocol (``progress(budget) -> work_done``) and
+register with a :class:`ProgressEngine`, which drives them under a
+pluggable scheduling policy, applies pluggable partial-block flush
+policies through the endpoints, and instruments every poll with metrics
+and optional tracing spans.  See docs/RUNTIME.md.
+
+This package deliberately imports nothing from the rest of ``repro`` at
+module level — every layer (core, xrpc, sim) imports *it*, so it must
+sit at the bottom of the dependency stack.
+"""
+
+from .engine import EngineError, EngineState, ProgressEngine, Registration
+from .flush import (
+    FLUSH_POLICIES,
+    ByteThresholdFlush,
+    EagerFlush,
+    FlushPolicy,
+    FlushState,
+    NagleFlush,
+    make_flush_policy,
+)
+from .metrics import EngineMetrics, PollableMetrics
+from .pollable import FnPollable, Pollable, resolve_poll_fn
+from .scheduling import (
+    SCHEDULERS,
+    AdaptiveBackoffPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    WeightedPolicy,
+    make_scheduler,
+)
+
+__all__ = [
+    "EngineError",
+    "EngineState",
+    "ProgressEngine",
+    "Registration",
+    "FLUSH_POLICIES",
+    "ByteThresholdFlush",
+    "EagerFlush",
+    "FlushPolicy",
+    "FlushState",
+    "NagleFlush",
+    "make_flush_policy",
+    "EngineMetrics",
+    "PollableMetrics",
+    "FnPollable",
+    "Pollable",
+    "resolve_poll_fn",
+    "SCHEDULERS",
+    "AdaptiveBackoffPolicy",
+    "RoundRobinPolicy",
+    "SchedulingPolicy",
+    "WeightedPolicy",
+    "make_scheduler",
+]

@@ -1,0 +1,84 @@
+"""The ``Pollable`` protocol — the unit the progress engine drives.
+
+The paper's datapath is event-loop driven: every component exposes "an
+event loop function that should be called continuously" (§III-C/D).
+This module names that function.  A pollable is anything with::
+
+    progress(budget=None) -> work_done
+
+where ``budget`` optionally caps how much work one call may do (e.g. how
+many completion-queue events to absorb) and the return value counts the
+work items actually processed — the engine's scheduling policies feed on
+that count to detect idleness.
+
+Two optional extensions refine engine behavior without being required:
+
+* ``pending() -> bool`` — true while the component still holds queued
+  work (used by :meth:`ProgressEngine.drain` to know when the world has
+  gone quiet);
+* ``flush_reasons`` — a ``dict[str, int]`` of flush-policy decisions the
+  component records; the engine surfaces it through its metrics.
+
+Legacy components whose real per-pass body lives in ``_progress_impl``
+(because their public ``progress()`` became a deprecation shim that
+routes back through the engine) are resolved by
+:func:`resolve_poll_fn`, which prefers the implementation over the shim
+to avoid mutual recursion.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Protocol, runtime_checkable
+
+__all__ = ["Pollable", "FnPollable", "resolve_poll_fn"]
+
+
+@runtime_checkable
+class Pollable(Protocol):
+    """Anything the engine can drive."""
+
+    def progress(self, budget: int | None = None) -> int: ...
+
+
+class FnPollable:
+    """Adapt a plain callable into a pollable (handy in tests and for
+    one-off maintenance chores hung off an engine)."""
+
+    def __init__(self, fn: Callable[..., int | None], name: str | None = None) -> None:
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "fn")
+
+    def progress(self, budget: int | None = None) -> int:
+        return int(self._fn(budget) or 0) if _accepts_budget(self._fn) else int(self._fn() or 0)
+
+
+def _accepts_budget(fn: Callable) -> bool:
+    """Whether ``fn`` can be called as ``fn(budget)``."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    for p in sig.parameters.values():
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL):
+            return True
+        if p.kind is p.VAR_KEYWORD or p.name == "budget":
+            return True
+    return False
+
+
+def resolve_poll_fn(obj: object) -> Callable[[int | None], int]:
+    """Return a ``(budget) -> work`` callable for ``obj``.
+
+    Preference order: an explicit ``_progress_impl`` (the real body
+    behind a deprecation shim), then ``progress``, then ``poll``.  The
+    result always tolerates a ``budget`` argument even when the
+    underlying method does not take one.
+    """
+    for attr in ("_progress_impl", "progress", "poll"):
+        fn = getattr(obj, attr, None)
+        if callable(fn):
+            if _accepts_budget(fn):
+                return lambda budget=None, _fn=fn: int(_fn(budget) or 0)
+            return lambda budget=None, _fn=fn: int(_fn() or 0)
+    raise TypeError(f"{type(obj).__name__} is not pollable: no progress()/poll() method")

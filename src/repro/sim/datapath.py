@@ -291,6 +291,12 @@ class DatapathSimulator:
         self.credit_stalls = 0  # true starvation: empty pipeline at 0 credits
         self._latencies: list[float] = []  # per-job request->response times
 
+        # -- engine-stepped run state (armed by begin()) ----------------------
+        self._queue: EventQueue | None = None
+        self._t = 0.0
+        self._samples: list[tuple[float, float]] = []
+        self._stable = False
+
         # -- metrics ------------------------------------------------------------
         self.registry = MetricsRegistry()
         self.m_requests = self.registry.counter(
@@ -397,25 +403,71 @@ class DatapathSimulator:
 
     # -- run -----------------------------------------------------------------------
 
-    def run(self) -> DatapathResult:
+    def begin(self) -> "DatapathSimulator":
+        """Arm the cell for stepping: fresh event queue, warm pipeline.
+        Called by :meth:`run`; call directly to single-step with
+        :meth:`progress` (deterministic operation for tests)."""
+        self._queue = EventQueue()
+        self._t = 0.0
+        self._samples = []
+        self._stable = False
+        self._issue_blocks(self._queue)
+        return self
+
+    def pending(self) -> bool:
+        """Simulated wall-clock remaining (Pollable drain protocol)."""
+        return self._t < self.options.duration_s
+
+    def progress(self, budget: int | None = None) -> int:
+        """One sample interval of simulated time as one engine poll:
+        advance the DES to the next scrape instant, scrape, update the
+        stability verdict.  Returns the requests completed in the
+        interval — the work count the engine's idle tracking feeds on."""
+        if self._queue is None:
+            self.begin()
+        if not self.pending():
+            return 0
+        before = self.completed
+        self._t += self.options.sample_interval_s
+        self._queue.run_until(self._t)
+        self.m_credits.set(self.credits)
+        self.scraper.scrape(self._t)
+        series = self.scraper.get("ror_requests_total")
+        if len(series) >= 2:
+            self._samples.append((self._t, series.instant_rate()))
+        if self.monitor.is_stable(series):
+            self._stable = True
+        return self.completed - before
+
+    def run(self, engine=None) -> DatapathResult:
+        """Run the cell to completion on a progress engine.
+
+        The simulator is itself a pollable: passing a shared ``engine``
+        lets one reactor interleave several cells (and surfaces each
+        cell's poll/work counters through the engine metrics, exported
+        into this cell's own registry).  Single-stepped operation for
+        tests is ``sim.progress()`` by hand.
+        """
         opts = self.options
-        q = EventQueue()
-        self._issue_blocks(q)
+        self.begin()
 
-        samples: list[tuple[float, float]] = []
-        t = 0.0
-        stable = False
-        while t < opts.duration_s:
-            t += opts.sample_interval_s
-            q.run_until(t)
-            self.m_credits.set(self.credits)
-            self.scraper.scrape(t)
-            series = self.scraper.get("ror_requests_total")
-            if len(series) >= 2:
-                samples.append((t, series.instant_rate()))
-            if self.monitor.is_stable(series):
-                stable = True
+        if engine is None:
+            from repro.runtime import ProgressEngine
 
+            engine = ProgressEngine(
+                scheduler="round_robin", name="sim", registry=self.registry
+            )
+        engine.register(
+            self, name=f"sim.{self.scenario.value}.{self.profile.spec.name}"
+        )
+        engine.run(
+            max_iters=int(opts.duration_s / opts.sample_interval_s) + 2,
+            until=lambda: not self.pending(),
+        )
+        engine.unregister(self)
+
+        samples = self._samples
+        stable = self._stable
         series = self.scraper.get("ror_requests_total")
         elapsed = series.times[-1]
         # Steady-state rates from the stable tail (paper: instant rate of

@@ -83,6 +83,14 @@ class XrpcChannel:
                 return response
         raise TimeoutError(f"no response to {method} after {max_iters} iterations")
 
+    def pending(self) -> bool:
+        return bool(self._pending)
+
+    def progress(self, budget: int | None = None) -> int:
+        """Pollable-protocol alias for :meth:`poll`, so a channel can
+        register with a :class:`~repro.runtime.engine.ProgressEngine`."""
+        return self.poll()
+
     def poll(self) -> int:
         """Process inbound frames; returns completed-call count."""
         data = self.socket.recv(1 << 20)

@@ -58,9 +58,16 @@ class OffloadedXrpcServer:
         self.responses_returned = 0
 
     def poll(self) -> int:
+        """Deprecation shim for the historical name; the front end is a
+        :class:`~repro.runtime.pollable.Pollable` driven via
+        :meth:`progress`."""
+        return self.progress()
+
+    def progress(self, budget: int | None = None) -> int:
         """One event-loop pass: accept, convert xRPC→RPC over RDMA,
         advance the protocol (responses fire continuations that write
-        back to the right client socket)."""
+        back to the right client socket).  ``budget`` caps the requests
+        forwarded in one pass."""
         while True:
             sock = self.listener.accept()
             if sock is None:
@@ -75,7 +82,9 @@ class OffloadedXrpcServer:
                 if frame.frame_type is FrameType.REQUEST:
                     self._forward(conn, frame.call_id, frame.method, frame.message)
                     forwarded += 1
-        self.dpu.progress()
+            if budget is not None and forwarded >= budget:
+                break
+        self.dpu.progress(budget)
         self._connections = [c for c in self._connections if not c.socket.eof()]
         return forwarded
 

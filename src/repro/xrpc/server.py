@@ -60,8 +60,16 @@ class XrpcServer:
     # -- event loop -----------------------------------------------------------
 
     def poll(self) -> int:
+        """Deprecation shim for the historical name; the server is a
+        :class:`~repro.runtime.pollable.Pollable` driven via
+        :meth:`progress`."""
+        return self.progress()
+
+    def progress(self, budget: int | None = None) -> int:
         """Accept connections and serve buffered requests; returns the
-        number of requests handled this pass."""
+        number of requests handled this pass.  Registerable with a
+        :class:`~repro.runtime.engine.ProgressEngine`; ``budget`` caps
+        the requests served in one pass."""
         while True:
             sock = self.listener.accept()
             if sock is None:
@@ -76,6 +84,8 @@ class XrpcServer:
                 if frame.frame_type is FrameType.REQUEST:
                     handled += 1
                     self._serve(conn, frame.call_id, frame.method, frame.message)
+            if budget is not None and handled >= budget:
+                break
         self._connections = [c for c in self._connections if not c.socket.eof()]
         return handled
 

@@ -73,6 +73,80 @@ class TestExecutors:
         with pytest.raises(ValueError):
             WorkerPool(workers=0)
 
+    def test_shutdown_drains_in_flight_submissions(self):
+        """Work accepted before shutdown() runs to completion — the stop
+        sentinels queue *behind* every accepted submission."""
+        pool = WorkerPool(workers=2)
+        ran = []
+        lock = threading.Lock()
+
+        def job(i):
+            time.sleep(0.002)
+            with lock:
+                ran.append(i)
+
+        for i in range(16):
+            pool(lambda i=i: job(i))
+        pool.shutdown()  # no join_idle first: shutdown itself must drain
+        assert sorted(ran) == list(range(16))
+
+    def test_shutdown_concurrent_calls_are_safe(self):
+        pool = WorkerPool(workers=2)
+        pool(lambda: time.sleep(0.005))
+        threads = [threading.Thread(target=pool.shutdown) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for t in pool._threads:
+            assert not t.is_alive()
+
+    def test_submit_during_shutdown_never_lost_or_hung(self):
+        """Racing submitters either get their fn executed or a clean
+        RuntimeError — never a silently dropped fn or a stuck worker."""
+        for _ in range(10):
+            pool = WorkerPool(workers=1)
+            accepted = []
+            rejected = []
+
+            def submitter():
+                try:
+                    pool(lambda: accepted.append(1))
+                except RuntimeError:
+                    rejected.append(1)
+
+            t = threading.Thread(target=submitter)
+            t.start()
+            pool.shutdown()
+            t.join()
+            assert len(accepted) + len(rejected) == 1
+            for worker in pool._threads:
+                assert not worker.is_alive()
+
+    def test_deferred_run_all_bounded_under_reentrant_submission(self):
+        """A task that resubmits itself must not spin run_all forever;
+        the resubmission waits for the *next* run_all."""
+        ex = DeferredExecutor()
+
+        def again():
+            ex(again)
+
+        ex(again)
+        assert ex.run_all() == 1
+        assert len(ex.pending) == 1
+        assert ex.run_all() == 1
+        assert len(ex.pending) == 1
+
+    def test_deferred_run_all_snapshot_excludes_chained_work(self):
+        ex = DeferredExecutor()
+        ran = []
+        ex(lambda: (ran.append("a"), ex(lambda: ran.append("b"))))
+        ex(lambda: ran.append("c"))
+        assert ex.run_all() == 2
+        assert ran == ["a", "c"]
+        assert ex.run_all() == 1
+        assert ran == ["a", "c", "b"]
+
 
 class TestBackgroundRpcWithThreads:
     def test_background_rpcs_complete_via_worker_pool(self):

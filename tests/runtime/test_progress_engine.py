@@ -1,0 +1,284 @@
+"""Tests for the unified progress engine: registration, stepping,
+metrics, lifecycle, threading, and the endpoint deprecation shims."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ProtocolConfig, Response, Tracer, create_channel
+from repro.metrics import MetricsRegistry
+from repro.runtime import (
+    EngineError,
+    EngineState,
+    FnPollable,
+    ProgressEngine,
+)
+
+CFG = ProtocolConfig(
+    block_size=2 * 1024,
+    block_alignment=1024,
+    credits=8,
+    send_buffer_size=64 * 1024,
+    recv_buffer_size=64 * 1024,
+    concurrency=128,
+)
+
+
+class ScriptedPollable:
+    """Returns scripted work counts (0 after the script runs out)."""
+
+    def __init__(self, script=(), name="scripted"):
+        self.script = list(script)
+        self.name = name
+        self.polls = 0
+        self.budgets = []
+
+    def progress(self, budget=None):
+        self.polls += 1
+        self.budgets.append(budget)
+        return self.script.pop(0) if self.script else 0
+
+    def pending(self):
+        return bool(self.script)
+
+
+class TestStepping:
+    def test_step_polls_everyone_and_sums_work(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([3, 1], name="a")
+        b = ScriptedPollable([2], name="b")
+        eng.register(a)
+        eng.register(b)
+        assert eng.step() == 5
+        assert eng.step() == 1
+        assert (a.polls, b.polls) == (2, 2)
+        assert eng.tick == 2
+
+    def test_budget_reaches_pollables(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable(name="a")
+        eng.register(a)
+        eng.step(budget=7)
+        assert a.budgets == [7]
+
+    def test_budget_tolerated_for_budgetless_pollables(self):
+        calls = []
+        eng = ProgressEngine()
+        eng.register(FnPollable(lambda: calls.append(1) or 1, name="legacy"))
+        assert eng.step(budget=3) == 1
+        assert calls == [1]
+
+    def test_drive_polls_exactly_one(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([1, 1], name="a")
+        b = ScriptedPollable([1], name="b")
+        eng.register(a)
+        eng.register(b)
+        assert eng.drive(a) == 1
+        assert (a.polls, b.polls) == (1, 0)
+        assert eng.tick == 0  # drive is not a scheduling pass
+
+    def test_drive_auto_registers_strangers(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([2], name="a")
+        assert eng.drive(a) == 2
+        assert [r.name for r in eng.registrations] == ["a"]
+
+    def test_double_registration_rejected(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable(name="a")
+        eng.register(a)
+        with pytest.raises(EngineError):
+            eng.register(a)
+
+    def test_unregister(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([1, 1], name="a")
+        eng.register(a)
+        eng.unregister(a)
+        assert eng.step() == 0
+        assert a.polls == 0
+        with pytest.raises(EngineError):
+            eng.unregister(a)
+
+    def test_run_until(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([1] * 5, name="a")
+        eng.register(a)
+        total = eng.run(until=lambda: not a.pending())
+        assert total == 5
+        with pytest.raises(EngineError):
+            eng.run(max_iters=3, until=lambda: False)
+
+
+class TestMetrics:
+    def test_poll_work_idle_counters(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([4, 0, 0, 0], name="a")
+        eng.register(a, name="a")
+        for _ in range(4):
+            eng.step()
+        pm = eng.metrics.per_pollable["a"]
+        assert pm.polls == 4
+        assert pm.work_items == 4
+        assert pm.idle_polls == 3
+        assert pm.idle_ratio == pytest.approx(0.75)
+        assert eng.metrics.total_polls == 4
+
+    def test_registry_export(self):
+        reg = MetricsRegistry()
+        eng = ProgressEngine(registry=reg)
+        eng.register(ScriptedPollable([2], name="a"), name="a")
+        eng.step()
+        text = reg.expose()
+        assert 'engine_polls_total{pollable="a"} 1' in text
+        assert 'engine_work_items_total{pollable="a"} 2' in text
+        assert "engine_ticks 1" in text
+
+    def test_flush_reasons_shared_from_endpoints(self):
+        reg = MetricsRegistry()
+        ch = create_channel(CFG, CFG)
+        ch.engine.metrics.bind_registry(reg)
+        ch.server.register(1, lambda req: Response.from_bytes(b"ok"))
+        out = []
+        ch.client.enqueue_bytes(1, b"hi", lambda v, f: out.append(bytes(v)))
+        ch.progress(iterations=10)
+        assert out == [b"ok"]
+        text = reg.expose()
+        assert 'engine_flushes_total{pollable="chan.client",reason="eager"}' in text
+
+    def test_summary_renders(self):
+        eng = ProgressEngine(name="t")
+        eng.register(ScriptedPollable([1], name="a"), name="a")
+        eng.step()
+        assert "a: polls=1" in eng.summary()
+
+
+class TestLifecycle:
+    def test_states(self):
+        eng = ProgressEngine()
+        assert eng.state is EngineState.NEW
+        eng.start()
+        assert eng.state is EngineState.RUNNING
+        eng.stop()
+        assert eng.state is EngineState.STOPPED
+        eng.stop()  # idempotent
+        with pytest.raises(EngineError):
+            eng.step()
+        with pytest.raises(EngineError):
+            eng.start()
+
+    def test_drain_waits_for_quiet(self):
+        eng = ProgressEngine()
+        a = ScriptedPollable([1, 1, 1], name="a")
+        eng.register(a)
+        assert eng.drain()
+        assert not a.pending()
+
+    def test_drain_gives_up(self):
+        eng = ProgressEngine()
+        eng.register(ScriptedPollable([1] * 1000, name="busy"))
+        assert not eng.drain(max_iters=5)
+
+    def test_threaded_mode_reuses_worker_pool(self):
+        eng = ProgressEngine(name="bg-engine")
+        a = ScriptedPollable([1] * 10_000, name="a")
+        eng.register(a)
+        eng.start(threaded=True)
+        deadline = time.time() + 5
+        while a.polls == 0 and time.time() < deadline:
+            time.sleep(0.001)
+        eng.stop()
+        assert a.polls > 0
+        assert eng.state is EngineState.STOPPED
+        ticks_at_stop = eng.tick
+        time.sleep(0.01)
+        assert eng.tick == ticks_at_stop  # the loop really stopped
+
+
+class TestTracing:
+    def test_spans_recorded_per_poll(self):
+        tracer = Tracer()
+        eng = ProgressEngine(tracer=tracer)
+        eng.register(ScriptedPollable([1], name="a"), name="a")
+        eng.step()
+        eng.step()
+        names = [s.name for s in tracer.spans]
+        assert names == ["poll/a", "poll/a"]
+        assert tracer.spans[0].attrs["tick"] == 1
+        assert "poll/a" in tracer.render()
+
+
+class TestEndpointShims:
+    def test_channel_registers_endpoints(self):
+        ch = create_channel(CFG, CFG)
+        assert ch.client._runtime_engine is ch.engine
+        assert ch.server._runtime_engine is ch.engine
+        names = [r.name for r in ch.engine.registrations]
+        assert names == ["chan.client", "chan.server"]
+
+    def test_progress_shim_routes_through_engine(self):
+        ch = create_channel(CFG, CFG)
+        ch.client.progress()
+        ch.server.progress()
+        assert ch.engine.metrics.per_pollable["chan.client"].polls == 1
+        assert ch.engine.metrics.per_pollable["chan.server"].polls == 1
+
+    def test_unregistered_endpoint_builds_private_engine(self):
+        ch = create_channel(CFG, CFG)
+        ch.engine.unregister(ch.client)
+        assert ch.client._runtime_engine is None
+        ch.client.progress()
+        assert ch.client._runtime_engine is not None
+        assert ch.client._runtime_engine is not ch.engine
+
+    def test_rpc_echo_still_works_through_shims(self):
+        ch = create_channel(CFG, CFG)
+        ch.server.register(1, lambda req: Response.from_bytes(req.payload_bytes()[::-1]))
+        out = []
+        ch.client.enqueue_bytes(1, b"abc", lambda v, f: out.append(bytes(v)))
+        for _ in range(20):
+            ch.client.progress()
+            ch.server.progress()
+        assert out == [b"cba"]
+
+
+class TestRequestIdReplay:
+    def test_single_stepped_replay_invariant(self):
+        """§IV-D, deterministically single-stepped: request IDs never
+        travel, yet after any interleaving of engine steps both pools
+        replayed the same free/allocate sequence — their fingerprints
+        agree and every continuation got the right payload."""
+        ch = create_channel(CFG, CFG)
+        ch.server.register(7, lambda req: Response.from_bytes(req.payload_bytes()))
+        out = []
+        # Three waves of enqueues interleaved with single engine steps,
+        # so acknowledgment flushes and ID reuse interleave non-trivially.
+        n = 0
+        for wave in range(3):
+            for _ in range(10):
+                payload = bytes([n % 251])
+                ch.client.enqueue_bytes(
+                    7, payload, lambda v, f, want=payload: out.append((want, bytes(v)))
+                )
+                n += 1
+            for _ in range(wave + 1):  # deliberately uneven stepping
+                ch.engine.step()
+        assert ch.engine.drain(max_iters=200)
+        assert len(out) == n
+        assert all(want == got for want, got in out)
+        # The replay invariant: both ID pools observed identical
+        # sequences, so their fingerprints are equal and nothing leaked.
+        assert ch.client.id_pool.fingerprint() == ch.server.id_pool.fingerprint()
+        # Answered IDs are freed at the *next seal* (§IV-D step 1), so the
+        # final wave's IDs stay live — identically on both sides.
+        assert ch.client.id_pool.live_count == ch.server.id_pool.live_count
+        # One more request forces that seal; the pools free the backlog in
+        # lockstep and stay fingerprint-synchronized.
+        ch.client.enqueue_bytes(7, b"tail", lambda v, f: out.append((b"tail", bytes(v))))
+        assert ch.engine.drain(max_iters=200)
+        assert out[-1] == (b"tail", b"tail")
+        assert ch.client.id_pool.fingerprint() == ch.server.id_pool.fingerprint()
+        assert ch.client.id_pool.live_count == 1  # only the tail awaits its seal
