@@ -56,6 +56,11 @@ class ProtocolConfig:
         ``nagle``/``bytes`` policies.
     flush_byte_threshold:
         Byte threshold of the ``bytes`` policy; 0 means half a block.
+    decode_mode:
+        Deserialization path used by endpoints honoring this config:
+        ``plan`` (default) dispatches through compiled per-message decode
+        plans (see docs/DECODER.md); ``interpretive`` keeps the original
+        descriptor-walking loop, retained for differential testing.
     """
 
     block_size: int = 8 * KIB
@@ -74,6 +79,7 @@ class ProtocolConfig:
     flush_policy: str = "eager"
     flush_deadline_ticks: int = 4
     flush_byte_threshold: int = 0
+    decode_mode: str = "plan"
 
     def __post_init__(self) -> None:
         if self.block_alignment & (self.block_alignment - 1):
@@ -94,6 +100,8 @@ class ProtocolConfig:
             raise ValueError("flush_deadline_ticks must be >= 1")
         if self.flush_byte_threshold < 0:
             raise ValueError("flush_byte_threshold must be >= 0")
+        if self.decode_mode not in ("plan", "interpretive"):
+            raise ValueError(f"unknown decode mode {self.decode_mode!r}")
 
     def credit_check(self, message_size: int) -> bool:
         """The paper's §VI-A sizing rule: for true concurrency,

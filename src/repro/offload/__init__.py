@@ -6,6 +6,8 @@
 * :mod:`repro.offload.arena_deserializer` — the DPU's custom deserializer
   that decodes protobuf wire bytes straight into host-ABI C++ objects in
   an arena.
+* :mod:`repro.offload.arena_plan` — compiled per-ADT-entry decode plans,
+  the deserializer's fast path (see docs/DECODER.md).
 * :mod:`repro.offload.materialize` — host-side zero-copy views and the
   eager converter used for verification.
 * :mod:`repro.offload.engine` — the DPU offload engine and host engine
@@ -23,6 +25,7 @@ from .adt import (
     encode_adt,
 )
 from .arena_deserializer import ArenaDeserializer, DeserializeError, DeserializeStats
+from .arena_plan import ArenaEntryPlan, ArenaPlanCache
 from .engine import DpuEngine, HostEngine, OffloadPair, create_offload_pair
 from .materialize import CppMessageView, read_message, verify_object
 
@@ -36,6 +39,8 @@ __all__ = [
     "decode_adt",
     "encode_adt",
     "ArenaDeserializer",
+    "ArenaEntryPlan",
+    "ArenaPlanCache",
     "DeserializeError",
     "DeserializeStats",
     "CppMessageView",

@@ -122,18 +122,45 @@ _FIXED_WIDTH = {
 class ArenaDeserializer:
     """Deserializes wire bytes into host-ABI objects inside an arena."""
 
-    def __init__(self, adt: Adt, stats: DeserializeStats | None = None) -> None:
+    def __init__(
+        self,
+        adt: Adt,
+        stats: DeserializeStats | None = None,
+        use_plans: bool = True,
+    ) -> None:
         self.adt = adt
         self.stats = stats or DeserializeStats()
         self.string_layout: StringLayout = (
             LibstdcxxString() if adt.stdlib is StdLib.LIBSTDCXX else LibcxxString()
         )
+        self.use_plans = use_plans
+        # Lazily built ArenaPlanCache (the compiled fast path, the offload
+        # twin of repro.proto.decode_plan).  Imported on first use: the
+        # plan module imports this one for the shared constants.
+        self._plan_cache = None
 
     # ------------------------------------------------------------------ API
 
+    @property
+    def plans(self):
+        """The deserializer's compiled-plan cache (built on first access)."""
+        if self._plan_cache is None:
+            from .arena_plan import ArenaPlanCache
+
+            self._plan_cache = ArenaPlanCache(self)
+        return self._plan_cache
+
     def deserialize(self, root_index: int, wire, arena: Arena) -> int:
         """Parse ``wire`` as the message class at ``root_index``; build the
-        object in ``arena``; returns the object's virtual address."""
+        object in ``arena``; returns the object's virtual address.
+
+        Dispatches to the compiled decode-plan path unless the deserializer
+        was built with ``use_plans=False`` (the interpretive fallback kept
+        for differential testing and ``ProtocolConfig.decode_mode``).
+        """
+        if self.use_plans:
+            buf = wire if isinstance(wire, (bytes, memoryview)) else bytes(wire)
+            return self.plans.parse_message(root_index, buf, 0, len(buf), arena, depth=1)
         buf = bytes(wire)
         return self._parse_message(root_index, buf, 0, len(buf), arena, depth=1)
 

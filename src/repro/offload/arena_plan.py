@@ -1,0 +1,479 @@
+"""Compiled decode plans for the offloaded arena deserializer.
+
+The offload twin of :mod:`repro.proto.decode_plan`: where the reference
+plan compiler specializes a ``MessageDescriptor`` into a tag→handler
+table, this module specializes an :class:`~repro.offload.adt.AdtEntry`.
+Everything the interpretive :class:`ArenaDeserializer` resolves per field
+— the ``field_by_number`` probe, the ``FieldType`` comparison ladder, the
+has-bit word arithmetic, the NumPy dtype lookup — is resolved once per
+ADT entry at plan-compile time:
+
+* member offsets and precompiled ``struct.Struct`` packers for varint
+  scalars (fixed-width scalars memcpy their wire bytes verbatim — the
+  in-object representation *is* the little-endian wire representation);
+* the has-bit word offset and mask as plain ints;
+* oneof sibling restore recipes (default-instance slot slices + has-bit
+  clear masks) as a flat list;
+* the child plan index for message fields.
+
+Plans are compiled lazily per entry and cached on the
+:class:`ArenaPlanCache` owned by the deserializer, keyed by ADT index;
+cache traffic feeds the shared
+:data:`repro.proto.decode_plan.PLAN_METRICS`.
+
+The plan path preserves the interpretive path's
+:class:`~repro.offload.arena_deserializer.DeserializeStats` census
+exactly — the calibrated cost model converts that census into CPU/DPU
+time, so both paths must charge identical operation counts for the same
+wire bytes.  Repeated-field materialization and string crafting delegate
+to the deserializer's existing composite writers for the same reason.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.proto.decode_plan import PLAN_METRICS
+from repro.proto.descriptor import FieldType
+from repro.proto.utf8 import validate_utf8
+from repro.proto.wire_format import (
+    TruncatedMessageError,
+    WireFormatError,
+    WireType,
+    decode_packed_varints,
+    make_tag,
+    read_varint,
+)
+
+from .adt import AdtEntry, AdtField
+from .arena_deserializer import (
+    _ELEM_DTYPE,
+    _FIXED_WIDTH,
+    HASBITS_OFFSET,
+    DeserializeError,
+)
+
+__all__ = ["ArenaPlanCache", "ArenaEntryPlan"]
+
+_U32 = 0xFFFFFFFF
+_U64 = (1 << 64) - 1
+
+# In-object packers for varint-carried kinds (fixed-width kinds memcpy
+# their wire bytes instead).
+_VARINT_PACK = {
+    FieldType.BOOL: struct.Struct("<B").pack,
+    FieldType.INT32: struct.Struct("<i").pack,
+    FieldType.SINT32: struct.Struct("<i").pack,
+    FieldType.ENUM: struct.Struct("<i").pack,
+    FieldType.UINT32: struct.Struct("<I").pack,
+    FieldType.INT64: struct.Struct("<q").pack,
+    FieldType.SINT64: struct.Struct("<q").pack,
+    FieldType.UINT64: struct.Struct("<Q").pack,
+}
+
+
+def _u32_to_i32(v: int) -> int:
+    v &= _U32
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+def _u64_to_i64(v: int) -> int:
+    v &= _U64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _zigzag(v: int) -> int:
+    return (v >> 1) ^ -(v & 1)
+
+
+_VARINT_CONVERT = {
+    FieldType.BOOL: lambda raw: 1 if raw else 0,
+    FieldType.SINT32: _zigzag,
+    FieldType.SINT64: _zigzag,
+    FieldType.INT32: _u32_to_i32,
+    FieldType.ENUM: _u32_to_i32,
+    FieldType.INT64: _u64_to_i64,
+    FieldType.UINT32: lambda raw: raw & _U32,
+    FieldType.UINT64: lambda raw: raw,
+}
+
+
+class ArenaEntryPlan:
+    """One ADT entry's compiled tag→handler table.
+
+    Handlers have the signature
+    ``handler(obj, buf, pos, end, arena, depth, pending) -> new_pos``
+    where ``pending`` accumulates repeated-field values for end-of-message
+    materialization, exactly like the interpretive ``_parse_into``.
+    """
+
+    __slots__ = ("entry", "index", "handlers", "tag_names")
+
+    def __init__(self, entry: AdtEntry, index: int) -> None:
+        self.entry = entry
+        self.index = index
+        self.handlers: dict[int, object] = {}
+        self.tag_names: dict[int, str] = {}
+
+
+class ArenaPlanCache:
+    """Per-deserializer plan store, keyed by ADT entry index."""
+
+    def __init__(self, deser) -> None:
+        self.deser = deser
+        self.stats = deser.stats
+        self._plans: list[ArenaEntryPlan | None] = [None] * len(deser.adt.entries)
+
+    # -- cache ---------------------------------------------------------------
+
+    def plan(self, index: int) -> ArenaEntryPlan:
+        plan = self._plans[index]
+        if plan is None:
+            PLAN_METRICS.cache_misses += 1
+            plan = self._compile(index)
+        else:
+            PLAN_METRICS.cache_hits += 1
+        return plan
+
+    # -- driving loop --------------------------------------------------------
+
+    def parse_message(self, index: int, buf, pos: int, end: int, arena, depth: int) -> int:
+        """Plan twin of ``ArenaDeserializer._parse_message``."""
+        deser = self.deser
+        entry = deser.adt.entry(index)
+        obj = arena.allocate(entry.sizeof, entry.alignof)
+        arena.space.write(obj, entry.default_bytes)
+        stats = self.stats
+        stats.bytes_memcpy += entry.sizeof
+        stats.messages += 1
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        self.parse_into(index, obj, buf, pos, end, arena, depth)
+        return obj
+
+    def parse_into(self, index: int, obj: int, buf, pos: int, end: int, arena, depth: int) -> None:
+        plan = self.plan(index)
+        handlers = plan.handlers
+        entry = plan.entry
+        pending: dict[int, list] = {}
+        while pos < end:
+            b = buf[pos]
+            if b < 0x80:
+                tag = b
+                pos += 1
+            else:
+                tag, pos = read_varint(buf, pos)
+            handler = handlers.get(tag)
+            if handler is None:
+                pos = self._parse_unknown(plan, buf, tag, pos, end)
+            else:
+                try:
+                    pos = handler(obj, buf, pos, end, arena, depth, pending)
+                except (WireFormatError, ValueError, struct.error) as exc:
+                    raise DeserializeError(
+                        f"{entry.full_name}.{plan.tag_names[tag]}: {exc}"
+                    ) from exc
+        if pos != end:
+            raise DeserializeError(f"{entry.full_name}: overran submessage end")
+        if pending:
+            deser = self.deser
+            for number, values in pending.items():
+                deser._materialize_repeated(
+                    entry.field_by_number(number), obj, values, arena
+                )
+
+    def _parse_unknown(self, plan: ArenaEntryPlan, buf, tag: int, pos: int, end: int) -> int:
+        number = tag >> 3
+        wire_type = tag & 0x7
+        if number == 0:
+            raise WireFormatError("field number 0 is invalid")
+        if not WireType.is_valid(wire_type):
+            raise WireFormatError(f"unsupported wire type {wire_type}")
+        f = plan.entry.field_by_number(number)
+        if f is not None:
+            raise DeserializeError(
+                f"{plan.entry.full_name}.{f.name}: wire type {wire_type} "
+                f"for {f.kind.value} field"
+            )
+        return self.deser._skip(buf, pos, wire_type, end)
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self, index: int) -> ArenaEntryPlan:
+        entry = self.deser.adt.entry(index)
+        plan = ArenaEntryPlan(entry, index)
+        self._plans[index] = plan
+        PLAN_METRICS.plans_compiled += 1
+        for f in entry.fields:
+            self._compile_field(plan, entry, f)
+        return plan
+
+    def _compile_field(self, plan: ArenaEntryPlan, entry: AdtEntry, f: AdtField) -> None:
+        deser = self.deser
+        stats = self.stats
+        kind = f.kind
+        offset = f.offset
+        number = f.number
+        set_has = _make_set_has(f.has_bit)
+        clear_siblings = _make_clear_siblings(entry, f, deser)
+
+        def register(wire_type: int, handler) -> None:
+            tag = make_tag(number, wire_type)
+            plan.handlers[tag] = handler
+            plan.tag_names[tag] = f.name
+
+        if kind is FieldType.MESSAGE:
+            child = f.child
+            cache = self
+
+            if f.repeated:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    n, pos = read_varint(buf, pos)
+                    npos = pos + n
+                    if npos > end:
+                        raise TruncatedMessageError("submessage overruns parent")
+                    addr = cache.parse_message(child, buf, pos, npos, arena, depth + 1)
+                    pending.setdefault(number, []).append(addr)
+                    return npos
+
+            else:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    n, pos = read_varint(buf, pos)
+                    npos = pos + n
+                    if npos > end:
+                        raise TruncatedMessageError("submessage overruns parent")
+                    space = arena.space
+                    if clear_siblings is not None:
+                        clear_siblings(space, obj)
+                    existing = space.read_u64(obj + offset)
+                    if existing == 0:
+                        addr = cache.parse_message(child, buf, pos, npos, arena, depth + 1)
+                        space.write_u64(obj + offset, addr)
+                    else:
+                        # proto3 merge: re-parse into the existing child.
+                        cache.parse_into(child, existing, buf, pos, npos, arena, depth + 1)
+                    set_has(space, obj)
+                    return npos
+
+            register(WireType.LENGTH_DELIMITED, handler)
+            return
+
+        if kind in (FieldType.STRING, FieldType.BYTES):
+            is_string = kind is FieldType.STRING
+
+            if f.repeated:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    n, pos = read_varint(buf, pos)
+                    npos = pos + n
+                    if npos > end:
+                        raise TruncatedMessageError("string overruns buffer")
+                    raw = bytes(buf[pos:npos])
+                    if is_string:
+                        validate_utf8(raw)
+                        stats.utf8_bytes_validated += n
+                    stats.string_bytes_copied += n
+                    pending.setdefault(number, []).append(raw)
+                    return npos
+
+            else:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    n, pos = read_varint(buf, pos)
+                    npos = pos + n
+                    if npos > end:
+                        raise TruncatedMessageError("string overruns buffer")
+                    raw = bytes(buf[pos:npos])
+                    if is_string:
+                        validate_utf8(raw)
+                        stats.utf8_bytes_validated += n
+                    stats.string_bytes_copied += n
+                    space = arena.space
+                    if clear_siblings is not None:
+                        clear_siblings(space, obj)
+                    deser._write_string(arena, obj + offset, raw)
+                    set_has(space, obj)
+                    return npos
+
+            register(WireType.LENGTH_DELIMITED, handler)
+            return
+
+        # Numeric scalar: natural-wire-type handler plus (when repeated)
+        # a packed LENGTH_DELIMITED handler with bulk decoding.
+        width = _FIXED_WIDTH.get(kind)
+        if width is not None:
+            natural_wt = WireType.FIXED32 if width == 4 else WireType.FIXED64
+
+            def read_one(buf, pos, end):
+                npos = pos + width
+                if npos > end:
+                    raise TruncatedMessageError(
+                        f"fixed{width * 8} extends past end of buffer"
+                    )
+                stats.fixed_fields += 1
+                return bytes(buf[pos:npos]), npos
+
+            if f.repeated:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    raw, pos = read_one(buf, pos, end)
+                    pending.setdefault(number, []).append(
+                        np.frombuffer(raw, dtype=_ELEM_DTYPE[kind])[0]
+                    )
+                    return pos
+
+            else:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    raw, pos = read_one(buf, pos, end)
+                    space = arena.space
+                    if clear_siblings is not None:
+                        clear_siblings(space, obj)
+                    # The wire encoding is the in-object encoding: memcpy.
+                    space.write(obj + offset, raw)
+                    set_has(space, obj)
+                    return pos
+
+            register(natural_wt, handler)
+        else:
+            convert = _VARINT_CONVERT[kind]
+            pack = _VARINT_PACK[kind]
+
+            if f.repeated:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    if pos >= end:
+                        raise TruncatedMessageError(
+                            "varint extends past end of buffer"
+                        )
+                    start = pos
+                    b = buf[pos]
+                    if b < 0x80:
+                        raw = b
+                        pos += 1
+                    else:
+                        raw, pos = read_varint(buf, pos)
+                    stats.varints_decoded += 1
+                    stats.varint_bytes += pos - start
+                    pending.setdefault(number, []).append(convert(raw))
+                    return pos
+
+            else:
+
+                def handler(obj, buf, pos, end, arena, depth, pending):
+                    if pos >= end:
+                        raise TruncatedMessageError(
+                            "varint extends past end of buffer"
+                        )
+                    start = pos
+                    b = buf[pos]
+                    if b < 0x80:
+                        raw = b
+                        pos += 1
+                    else:
+                        raw, pos = read_varint(buf, pos)
+                    stats.varints_decoded += 1
+                    stats.varint_bytes += pos - start
+                    space = arena.space
+                    if clear_siblings is not None:
+                        clear_siblings(space, obj)
+                    space.write(obj + offset, pack(convert(raw)))
+                    set_has(space, obj)
+                    return pos
+
+            register(WireType.VARINT, handler)
+
+        if f.repeated:
+            packed = _make_packed_handler(f, number, stats)
+            register(WireType.LENGTH_DELIMITED, packed)
+
+
+def _make_set_has(has_bit: int):
+    word_off = HASBITS_OFFSET + 4 * (has_bit // 32)
+    mask = 1 << (has_bit % 32)
+
+    def set_has(space, obj: int) -> None:
+        addr = obj + word_off
+        space.write_u32(addr, space.read_u32(addr) | mask)
+
+    return set_has
+
+
+def _make_clear_siblings(entry: AdtEntry, f: AdtField, deser):
+    """Precompute the oneof sibling restore recipe (default-slot bytes +
+    has-bit clear) — ``None`` when the field is not in a oneof."""
+    if f.oneof_group < 0:
+        return None
+    recipes = []
+    for other in entry.fields:
+        if other.oneof_group != f.oneof_group or other.number == f.number:
+            continue
+        size = deser._slot_size(other)
+        default = entry.default_bytes[other.offset : other.offset + size]
+        word_off = HASBITS_OFFSET + 4 * (other.has_bit // 32)
+        inv_mask = ~(1 << (other.has_bit % 32)) & _U32
+        recipes.append((other.offset, default, word_off, inv_mask))
+    if not recipes:
+        return None
+
+    def clear(space, obj: int) -> None:
+        for off, default, word_off, inv_mask in recipes:
+            space.write(obj + off, default)
+            addr = obj + word_off
+            space.write_u32(addr, space.read_u32(addr) & inv_mask)
+
+    return clear
+
+
+def _make_packed_handler(f: AdtField, number: int, stats):
+    """Bulk decode of a packed run, charging the same census as the
+    interpretive ``_decode_packed``."""
+    kind = f.kind
+    width = _FIXED_WIDTH.get(kind)
+    if width is not None:
+        dtype = _ELEM_DTYPE[kind]
+
+        def handler(obj, buf, pos, end, arena, depth, pending):
+            n, pos = read_varint(buf, pos)
+            run_end = pos + n
+            if run_end > end:
+                raise TruncatedMessageError("packed run overruns buffer")
+            if n % width:
+                raise DeserializeError("packed fixed run not a multiple of element width")
+            arr = np.frombuffer(buf[pos:run_end], dtype=dtype)
+            stats.fixed_fields += len(arr)
+            pending.setdefault(number, []).extend(list(arr))
+            return run_end
+
+        return handler
+
+    def handler(obj, buf, pos, end, arena, depth, pending):
+        n, pos = read_varint(buf, pos)
+        run_end = pos + n
+        if run_end > end:
+            raise TruncatedMessageError("packed run overruns buffer")
+        raw = decode_packed_varints(buf[pos:run_end])
+        stats.varints_decoded += len(raw)
+        stats.varint_bytes += n
+        if kind is FieldType.BOOL:
+            values = list((raw != 0).astype("u1"))
+        elif kind in (FieldType.SINT32, FieldType.SINT64):
+            dec = (raw >> np.uint64(1)).astype(np.int64) ^ -(raw & np.uint64(1)).astype(np.int64)
+            values = list(dec)
+        elif kind in (FieldType.INT32, FieldType.ENUM):
+            values = list(raw.astype(np.uint32).astype(np.int32))
+        elif kind is FieldType.INT64:
+            values = list(raw.astype(np.int64))
+        elif kind is FieldType.UINT32:
+            values = list(raw.astype(np.uint32))
+        else:  # uint64
+            values = list(raw)
+        pending.setdefault(number, []).extend(values)
+        return run_end
+
+    return handler
+

@@ -238,9 +238,17 @@ class DpuEngine:
     """DPU half: turns serialized protobuf requests into in-block C++
     objects and ships them over the protocol."""
 
-    def __init__(self, channel: Channel, abi: AbiConfig | None = None) -> None:
+    def __init__(
+        self,
+        channel: Channel,
+        abi: AbiConfig | None = None,
+        decode_mode: str = "plan",
+    ) -> None:
         self.channel = channel
         self.abi = abi or AbiConfig()
+        #: ProtocolConfig.decode_mode: "plan" compiles per-ADT-entry decode
+        #: plans, "interpretive" keeps the field-by-field fallback.
+        self.decode_mode = decode_mode
         self.adt: Adt | None = None
         self.method_table: dict[int, int] = {}
         self.method_names: dict[int, str] = {}
@@ -274,7 +282,9 @@ class DpuEngine:
         self.method_table = table
         self.method_names = names
         self.method_outputs = outputs
-        self.deserializer = ArenaDeserializer(adt, self.stats)
+        self.deserializer = ArenaDeserializer(
+            adt, self.stats, use_plans=self.decode_mode == "plan"
+        )
 
     # -- datapath ----------------------------------------------------------------
 

@@ -32,7 +32,14 @@ from .descriptor import (
     MethodDescriptor,
     ServiceDescriptor,
 )
-from .deserializer import DecodeError, parse, parse_into
+from .deserializer import (
+    DecodeError,
+    get_decode_mode,
+    parse,
+    parse_into,
+    set_decode_mode,
+)
+from .decode_plan import PLAN_METRICS, DecodePlan, PlanMetrics, get_plan
 from .message import FieldValueError, Message, MessageFactory
 from .parser import ProtoParseError, compile_proto, parse_proto
 from .serializer import serialize, serialized_size
@@ -71,6 +78,12 @@ __all__ = [
     "DecodeError",
     "parse",
     "parse_into",
+    "set_decode_mode",
+    "get_decode_mode",
+    "DecodePlan",
+    "PlanMetrics",
+    "PLAN_METRICS",
+    "get_plan",
     "FieldValueError",
     "Message",
     "MessageFactory",

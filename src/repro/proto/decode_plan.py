@@ -1,0 +1,612 @@
+"""Compiled decode plans — the per-message specialized deserialization
+fast path.
+
+The reference deserializer in :mod:`repro.proto.deserializer` is fully
+interpretive: every field decode pays a ``field_by_number`` dict lookup, a
+wire-type comparison chain over :class:`~repro.proto.descriptor.FieldType`
+and the generic attribute protocol of :class:`~repro.proto.message.Message`.
+That is exactly the per-field overhead the paper's custom deserializer
+eliminates by resolving the schema *once* (§V-B: the ADT is built per
+class, not per instance).
+
+A :class:`DecodePlan` is the host-side analog of that one-time
+resolution: compiled once per message descriptor, it holds a flat
+``tag -> handler`` closure table where every handler has its field name,
+converter, ``struct.Struct`` unpacker, oneof sibling set and child plan
+pre-bound.  Parsing a message is then
+
+* one varint read for the tag (with a single-byte fast path),
+* one dict probe, and
+* one closure call that stores straight into ``Message._values``,
+
+with no descriptor access anywhere on the hot path.  Packed fixed-width
+runs bulk-decode through NumPy ``frombuffer``; packed varint runs go
+through the vectorized
+:func:`~repro.proto.wire_format.decode_packed_varints`.  The input buffer
+is sliced through :class:`memoryview`, so length-delimited payloads are
+copied exactly once (into their final ``str``/``bytes`` value), never
+into intermediate ``bytes`` temporaries.
+
+Plans are cached on the owning :class:`~repro.proto.message.MessageFactory`
+(one plan per message type per factory, shared by every instance); cache
+traffic and per-plan decode counts are observable through
+:data:`PLAN_METRICS`, which exports into a
+:class:`~repro.metrics.registry.MetricsRegistry`.
+
+The interpretive path remains available (``ProtocolConfig.decode_mode =
+"interpretive"`` or :func:`repro.proto.deserializer.set_decode_mode`) as
+the differential-testing baseline; both paths must agree field-for-field,
+including preserved unknown bytes, on every valid input.
+
+The offloaded twin — the same compilation strategy applied to ADT entries
+instead of descriptors — lives in :mod:`repro.offload.arena_plan`.  See
+``docs/DECODER.md``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .descriptor import FieldDescriptor, FieldType, MessageDescriptor
+from .deserializer import DecodeError, skip_field
+from .message import MessageFactory, _RepeatedField
+from .serializer import wire_type_for
+from .utf8 import Utf8Error
+from .wire_format import (
+    TruncatedMessageError,
+    WireFormatError,
+    WireType,
+    decode_packed_varints,
+    make_tag,
+    read_varint,
+)
+
+__all__ = [
+    "DecodePlan",
+    "PlanMetrics",
+    "PLAN_METRICS",
+    "get_plan",
+    "compile_plan",
+]
+
+_U32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Plan-cache observability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanMetrics:
+    """Counters for plan-cache traffic and per-plan decode volume.
+
+    Follows the :mod:`repro.runtime.metrics` idiom: cheap plain-int
+    counters on the hot path, pushed into a
+    :class:`~repro.metrics.registry.MetricsRegistry` on demand via
+    :meth:`bind_registry` + :meth:`export`.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    plans_compiled: int = 0
+
+    def __post_init__(self) -> None:
+        #: decodes per message type, aggregated across factories
+        self.decodes: dict[str, int] = {}
+        self._gauges = None
+
+    def count_decode(self, full_name: str) -> None:
+        self.decodes[full_name] = self.decodes.get(full_name, 0) + 1
+
+    def reset(self) -> None:
+        self.cache_hits = self.cache_misses = self.plans_compiled = 0
+        self.decodes.clear()
+
+    # -- registry export -----------------------------------------------------
+
+    def bind_registry(self, registry, prefix: str = "decode_plan"):
+        """Create the exported metric families in ``registry``."""
+        self._gauges = {
+            "hits": registry.gauge(f"{prefix}_cache_hits", "decode-plan cache hits"),
+            "misses": registry.gauge(f"{prefix}_cache_misses", "decode-plan cache misses"),
+            "compiled": registry.gauge(f"{prefix}_plans_compiled", "decode plans compiled"),
+            "decodes": registry.gauge(
+                f"{prefix}_decodes", "plan-based message decodes", ("message",)
+            ),
+        }
+        return self
+
+    def export(self) -> None:
+        """Push current counter values into the bound registry."""
+        if self._gauges is None:
+            return
+        self._gauges["hits"].set(self.cache_hits)
+        self._gauges["misses"].set(self.cache_misses)
+        self._gauges["compiled"].set(self.plans_compiled)
+        for name, count in self.decodes.items():
+            self._gauges["decodes"].labels(name).set(count)
+
+
+#: Process-wide plan metrics (reference and offload plan caches both feed it).
+PLAN_METRICS = PlanMetrics()
+
+
+# ---------------------------------------------------------------------------
+# Compiled constants shared by handler factories
+# ---------------------------------------------------------------------------
+
+# struct unpackers for singular fixed-width fields: (unpack_from, width).
+_FIXED_STRUCTS = {
+    FieldType.DOUBLE: (struct.Struct("<d").unpack_from, 8),
+    FieldType.FLOAT: (struct.Struct("<f").unpack_from, 4),
+    FieldType.FIXED64: (struct.Struct("<Q").unpack_from, 8),
+    FieldType.SFIXED64: (struct.Struct("<q").unpack_from, 8),
+    FieldType.FIXED32: (struct.Struct("<I").unpack_from, 4),
+    FieldType.SFIXED32: (struct.Struct("<i").unpack_from, 4),
+}
+
+# NumPy dtypes for bulk-decoding packed fixed-width runs.
+_FIXED_DTYPES = {
+    FieldType.DOUBLE: np.dtype("<f8"),
+    FieldType.FLOAT: np.dtype("<f4"),
+    FieldType.FIXED64: np.dtype("<u8"),
+    FieldType.SFIXED64: np.dtype("<i8"),
+    FieldType.FIXED32: np.dtype("<u4"),
+    FieldType.SFIXED32: np.dtype("<i4"),
+}
+
+
+def _u32_to_i32(v: int) -> int:
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+def _u64_to_i64(v: int) -> int:
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _zigzag(v: int) -> int:
+    return (v >> 1) ^ -(v & 1)
+
+
+# raw varint -> python value, per field type (same results as the
+# interpretive `_decode_varint_value`).
+_VARINT_CONVERT = {
+    FieldType.BOOL: lambda raw: raw != 0,
+    FieldType.SINT32: _zigzag,
+    FieldType.SINT64: _zigzag,
+    FieldType.INT32: lambda raw: _u32_to_i32(raw & _U32),
+    FieldType.ENUM: lambda raw: _u32_to_i32(raw & _U32),
+    FieldType.INT64: _u64_to_i64,
+    FieldType.UINT32: lambda raw: raw & _U32,
+    FieldType.UINT64: lambda raw: raw,
+}
+
+
+def _bulk_varint_convert(kind: FieldType, raw: np.ndarray) -> list:
+    """Vectorized per-type conversion of a decoded packed varint run.
+    Element-for-element identical to `_VARINT_CONVERT[kind]`."""
+    if kind is FieldType.BOOL:
+        return (raw != 0).tolist()
+    if kind in (FieldType.SINT32, FieldType.SINT64):
+        dec = (raw >> np.uint64(1)).astype(np.int64) ^ -(raw & np.uint64(1)).astype(np.int64)
+        return dec.tolist()
+    if kind in (FieldType.INT32, FieldType.ENUM):
+        return raw.astype(np.uint32).astype(np.int32).tolist()
+    if kind is FieldType.INT64:
+        return raw.astype(np.int64).tolist()
+    if kind is FieldType.UINT32:
+        return raw.astype(np.uint32).tolist()
+    return raw.tolist()  # uint64
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+class DecodePlan:
+    """One message type's precompiled decode table.
+
+    ``handlers`` maps the full tag value (field number << 3 | wire type) to
+    a closure ``handler(msg, buf, pos, end) -> new_pos``.  Repeated numeric
+    fields register under two tags (packed and unpacked); everything the
+    handler needs — converters, unpackers, sibling oneof names, the child
+    plan for message fields — is bound at compile time.
+    """
+
+    __slots__ = (
+        "full_name",
+        "descriptor",
+        "handlers",
+        "tag_names",
+        "decode_count",
+        "__weakref__",
+    )
+
+    def __init__(self, descriptor: MessageDescriptor) -> None:
+        self.full_name = descriptor.full_name
+        self.descriptor = descriptor
+        self.handlers: dict[int, object] = {}
+        self.tag_names: dict[int, str] = {}
+        #: messages decoded through this plan (includes nested parses)
+        self.decode_count = 0
+
+    # -- hot loop ------------------------------------------------------------
+
+    def parse_range(self, msg, buf, pos: int, end: int) -> None:
+        """Parse ``buf[pos:end]`` into ``msg`` (merging, like the
+        interpretive ``_parse_range``)."""
+        self.decode_count += 1
+        handlers = self.handlers
+        while pos < end:
+            tag_start = pos
+            b = buf[pos]
+            if b < 0x80:
+                tag = b
+                pos += 1
+            else:
+                tag, pos = read_varint(buf, pos)
+            handler = handlers.get(tag)
+            if handler is not None:
+                try:
+                    pos = handler(msg, buf, pos, end)
+                except (WireFormatError, Utf8Error) as exc:
+                    raise DecodeError(
+                        f"{self.full_name}.{self.tag_names[tag]}: {exc}"
+                    ) from exc
+            else:
+                pos = self._parse_unknown(msg, buf, tag, tag_start, pos, end)
+        if pos != end:
+            raise DecodeError(f"{self.full_name}: field payload overran submessage end")
+
+    def parse(self, msg, buf, pos: int, end: int) -> None:
+        """Top-level entry: one wire message (counts toward metrics)."""
+        PLAN_METRICS.count_decode(self.full_name)
+        self.parse_range(msg, buf, pos, end)
+
+    # -- cold paths ----------------------------------------------------------
+
+    def _parse_unknown(self, msg, buf, tag: int, tag_start: int, pos: int, end: int) -> int:
+        """Tag missed the table: either a genuinely unknown field (skip and
+        preserve) or a known field carried with the wrong wire type (an
+        error, matching the interpretive path)."""
+        number = tag >> 3
+        wire_type = tag & 0x7
+        if number == 0:
+            raise WireFormatError("field number 0 is invalid")
+        if not WireType.is_valid(wire_type):
+            raise WireFormatError(f"unsupported wire type {wire_type}")
+        fd = self.descriptor.field_by_number(number)
+        if fd is not None:
+            raise DecodeError(
+                f"{self.full_name}.{fd.name}: field {fd.name}: wire type "
+                f"{wire_type}, expected {wire_type_for(fd)}"
+            )
+        pos = skip_field(buf, pos, wire_type, end)
+        msg._unknown += bytes(buf[tag_start:pos])
+        return pos
+
+
+# ---------------------------------------------------------------------------
+# Handler factories
+# ---------------------------------------------------------------------------
+#
+# Each factory closes over everything resolved at compile time.  Handlers
+# write to ``msg._values`` directly; the values they produce are exactly
+# those the interpretive path would have produced *after* validation, so
+# bypassing the attribute protocol changes nothing observable.
+
+
+def _make_list_getter(fd: FieldDescriptor, factory: MessageFactory):
+    name = fd.name
+
+    def get_list(msg):
+        values = msg._values
+        lst = values.get(name)
+        if lst is None:
+            lst = _RepeatedField(fd, factory)
+            values[name] = lst
+        return lst
+
+    return get_list
+
+
+def _varint_singular(name: str, convert, siblings: tuple[str, ...]):
+    def handler(msg, buf, pos, end):
+        if pos >= end:
+            raise TruncatedMessageError("varint extends past end of buffer")
+        b = buf[pos]
+        if b < 0x80:
+            raw = b
+            pos += 1
+        else:
+            raw, pos = read_varint(buf, pos)
+        values = msg._values
+        values[name] = convert(raw)
+        for s in siblings:
+            values.pop(s, None)
+        return pos
+
+    return handler
+
+
+def _varint_repeated(get_list, convert):
+    def handler(msg, buf, pos, end):
+        if pos >= end:
+            raise TruncatedMessageError("varint extends past end of buffer")
+        b = buf[pos]
+        if b < 0x80:
+            raw = b
+            pos += 1
+        else:
+            raw, pos = read_varint(buf, pos)
+        list.append(get_list(msg), convert(raw))
+        return pos
+
+    return handler
+
+
+def _varint_packed(get_list, kind: FieldType):
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        run_end = pos + n
+        if run_end > end:
+            raise TruncatedMessageError("packed run extends past end")
+        raw = decode_packed_varints(buf[pos:run_end])
+        list.extend(get_list(msg), _bulk_varint_convert(kind, raw))
+        return run_end
+
+    return handler
+
+
+def _fixed_singular(name: str, unpack_from, width: int, siblings: tuple[str, ...]):
+    def handler(msg, buf, pos, end):
+        npos = pos + width
+        if npos > end:
+            raise TruncatedMessageError("fixed-width value extends past end")
+        values = msg._values
+        values[name] = unpack_from(buf, pos)[0]
+        for s in siblings:
+            values.pop(s, None)
+        return npos
+
+    return handler
+
+
+def _fixed_repeated(get_list, unpack_from, width: int):
+    def handler(msg, buf, pos, end):
+        npos = pos + width
+        if npos > end:
+            raise TruncatedMessageError("fixed-width value extends past end")
+        list.append(get_list(msg), unpack_from(buf, pos)[0])
+        return npos
+
+    return handler
+
+
+def _fixed_packed(get_list, dtype: np.dtype):
+    width = dtype.itemsize
+
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        run_end = pos + n
+        if run_end > end:
+            raise TruncatedMessageError("packed run extends past end")
+        if n % width:
+            raise WireFormatError("packed run length mismatch")
+        arr = np.frombuffer(buf[pos:run_end], dtype=dtype)
+        list.extend(get_list(msg), arr.tolist())
+        return run_end
+
+    return handler
+
+
+def _string_singular(name: str, siblings: tuple[str, ...]):
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        npos = pos + n
+        if npos > end:
+            raise TruncatedMessageError("string extends past end")
+        try:
+            # Single copy: codec reads the memoryview slice directly.  The
+            # strict utf-8 codec rejects exactly what validate_utf8 rejects.
+            value = str(buf[pos:npos], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise Utf8Error(str(exc)) from None
+        values = msg._values
+        values[name] = value
+        for s in siblings:
+            values.pop(s, None)
+        return npos
+
+    return handler
+
+
+def _string_repeated(get_list):
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        npos = pos + n
+        if npos > end:
+            raise TruncatedMessageError("string extends past end")
+        try:
+            value = str(buf[pos:npos], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise Utf8Error(str(exc)) from None
+        list.append(get_list(msg), value)
+        return npos
+
+    return handler
+
+
+def _bytes_singular(name: str, siblings: tuple[str, ...]):
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        npos = pos + n
+        if npos > end:
+            raise TruncatedMessageError("bytes extends past end")
+        values = msg._values
+        values[name] = bytes(buf[pos:npos])
+        for s in siblings:
+            values.pop(s, None)
+        return npos
+
+    return handler
+
+
+def _bytes_repeated(get_list):
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        npos = pos + n
+        if npos > end:
+            raise TruncatedMessageError("bytes extends past end")
+        list.append(get_list(msg), bytes(buf[pos:npos]))
+        return npos
+
+    return handler
+
+
+def _message_singular(name: str, cls, child_plan: DecodePlan):
+    # NB: no oneof sibling clearing — the interpretive path writes message
+    # members through `_values` directly, so neither path clears here.
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        npos = pos + n
+        if npos > end:
+            raise TruncatedMessageError("submessage extends past parent")
+        values = msg._values
+        sub = values.get(name)
+        if sub is None:
+            sub = cls()
+            values[name] = sub
+        child_plan.parse_range(sub, buf, pos, npos)
+        return npos
+
+    return handler
+
+
+def _message_repeated(get_list, cls, child_plan: DecodePlan):
+    def handler(msg, buf, pos, end):
+        n, pos = read_varint(buf, pos)
+        npos = pos + n
+        if npos > end:
+            raise TruncatedMessageError("submessage extends past parent")
+        sub = cls()
+        child_plan.parse_range(sub, buf, pos, npos)
+        list.append(get_list(msg), sub)
+        return npos
+
+    return handler
+
+
+# ---------------------------------------------------------------------------
+# Compilation + cache
+# ---------------------------------------------------------------------------
+
+
+def _siblings_of(descriptor: MessageDescriptor, fd: FieldDescriptor) -> tuple[str, ...]:
+    if fd.containing_oneof is None:
+        return ()
+    return tuple(
+        other.name
+        for other in descriptor.fields
+        if other.containing_oneof == fd.containing_oneof and other.name != fd.name
+    )
+
+
+def _compile_field(plan: DecodePlan, fd: FieldDescriptor, factory: MessageFactory) -> None:
+    t = fd.type
+    natural_wt = wire_type_for(fd)
+    natural_tag = make_tag(fd.number, natural_wt)
+    siblings = _siblings_of(plan.descriptor, fd)
+
+    def register(tag: int, handler) -> None:
+        plan.handlers[tag] = handler
+        plan.tag_names[tag] = fd.name
+
+    if t is FieldType.MESSAGE:
+        cls = factory.get_class(fd.message_type)
+        child_plan = get_plan(fd.message_type, factory)
+        if fd.is_repeated:
+            handler = _message_repeated(_make_list_getter(fd, factory), cls, child_plan)
+        else:
+            handler = _message_singular(fd.name, cls, child_plan)
+        register(natural_tag, handler)
+        return
+
+    if t is FieldType.STRING:
+        if fd.is_repeated:
+            handler = _string_repeated(_make_list_getter(fd, factory))
+        else:
+            handler = _string_singular(fd.name, siblings)
+        register(natural_tag, handler)
+        return
+
+    if t is FieldType.BYTES:
+        if fd.is_repeated:
+            handler = _bytes_repeated(_make_list_getter(fd, factory))
+        else:
+            handler = _bytes_singular(fd.name, siblings)
+        register(natural_tag, handler)
+        return
+
+    # Numeric scalar (varint or fixed-width).
+    if t.is_varint:
+        convert = _VARINT_CONVERT[t]
+        if fd.is_repeated:
+            get_list = _make_list_getter(fd, factory)
+            register(natural_tag, _varint_repeated(get_list, convert))
+            register(
+                make_tag(fd.number, WireType.LENGTH_DELIMITED),
+                _varint_packed(get_list, t),
+            )
+        else:
+            register(natural_tag, _varint_singular(fd.name, convert, siblings))
+        return
+
+    unpack_from, width = _FIXED_STRUCTS[t]
+    if fd.is_repeated:
+        get_list = _make_list_getter(fd, factory)
+        register(natural_tag, _fixed_repeated(get_list, unpack_from, width))
+        register(
+            make_tag(fd.number, WireType.LENGTH_DELIMITED),
+            _fixed_packed(get_list, _FIXED_DTYPES[t]),
+        )
+    else:
+        register(natural_tag, _fixed_singular(fd.name, unpack_from, width, siblings))
+
+
+def compile_plan(
+    descriptor: MessageDescriptor,
+    factory: MessageFactory,
+    cache: dict[str, DecodePlan],
+) -> DecodePlan:
+    """Compile a plan for ``descriptor``; the plan is inserted into
+    ``cache`` *before* its fields compile so recursive message types
+    resolve to the in-flight plan instead of recursing forever."""
+    plan = DecodePlan(descriptor)
+    cache[descriptor.full_name] = plan
+    PLAN_METRICS.plans_compiled += 1
+    for fd in descriptor.fields:
+        _compile_field(plan, fd, factory)
+    return plan
+
+
+def get_plan(descriptor: MessageDescriptor, factory: MessageFactory) -> DecodePlan:
+    """The cached plan for ``descriptor`` under ``factory`` (compiling on
+    first use).  Plans live on the factory — one compilation serves every
+    instance of the message class."""
+    cache = factory.__dict__.get("_decode_plans")
+    if cache is None:
+        cache = {}
+        factory._decode_plans = cache
+    plan = cache.get(descriptor.full_name)
+    if plan is None:
+        PLAN_METRICS.cache_misses += 1
+        plan = compile_plan(descriptor, factory, cache)
+    else:
+        PLAN_METRICS.cache_hits += 1
+    return plan

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from .descriptor import FieldDescriptor, FieldType, MessageDescriptor
 from .message import Message
+from .serializer import wire_type_for
 from .utf8 import Utf8Error, validate_utf8
 from .wire_format import (
     TruncatedMessageError,
@@ -36,7 +37,41 @@ from .wire_format import (
     read_varint,
 )
 
-__all__ = ["parse", "parse_into", "skip_field", "DecodeError"]
+__all__ = [
+    "parse",
+    "parse_into",
+    "skip_field",
+    "DecodeError",
+    "DECODE_MODES",
+    "set_decode_mode",
+    "get_decode_mode",
+]
+
+#: Selectable decode paths: "plan" is the compiled fast path (see
+#: :mod:`repro.proto.decode_plan`), "interpretive" the original
+#: descriptor-walking baseline kept for differential testing.
+DECODE_MODES = ("plan", "interpretive")
+
+_decode_mode = "plan"
+
+# Lazily bound to decode_plan.get_plan on first plan-mode parse (the plan
+# module imports this one, so the import cannot be at module level).
+_get_plan = None
+
+
+def set_decode_mode(mode: str) -> str:
+    """Select the process-wide default decode path; returns the previous
+    mode (so tests can restore it)."""
+    global _decode_mode
+    if mode not in DECODE_MODES:
+        raise ValueError(f"unknown decode mode {mode!r}; expected one of {DECODE_MODES}")
+    previous = _decode_mode
+    _decode_mode = mode
+    return previous
+
+
+def get_decode_mode() -> str:
+    return _decode_mode
 
 
 class DecodeError(WireFormatError):
@@ -93,22 +128,31 @@ def _read_scalar(fd: FieldDescriptor, buf, pos: int):
     raise AssertionError(f"not a packable scalar: {t}")
 
 
-def skip_field(buf, pos: int, wire_type: int) -> int:
-    """Skip an unknown field's payload; returns the new position."""
+def skip_field(buf, pos: int, wire_type: int, end: int | None = None) -> int:
+    """Skip an unknown field's payload; returns the new position.
+
+    ``end`` bounds the skip to the enclosing (sub)message.  Without it a
+    corrupt length-delimited or fixed-width unknown field could absorb
+    bytes belonging to the *parent* message before the overrun is noticed.
+    """
+    if end is None:
+        end = len(buf)
     if wire_type == WireType.VARINT:
         _, pos = read_varint(buf, pos)
+        if pos > end:
+            raise TruncatedMessageError("truncated varint while skipping")
         return pos
     if wire_type == WireType.FIXED64:
-        if pos + 8 > len(buf):
+        if pos + 8 > end:
             raise TruncatedMessageError("truncated fixed64 while skipping")
         return pos + 8
     if wire_type == WireType.FIXED32:
-        if pos + 4 > len(buf):
+        if pos + 4 > end:
             raise TruncatedMessageError("truncated fixed32 while skipping")
         return pos + 4
     if wire_type == WireType.LENGTH_DELIMITED:
         n, pos = read_varint(buf, pos)
-        if pos + n > len(buf):
+        if pos + n > end:
             raise TruncatedMessageError("truncated length-delimited field while skipping")
         return pos + n
     raise WireFormatError(f"cannot skip wire type {wire_type}")
@@ -121,7 +165,7 @@ def _parse_range(msg: Message, buf, pos: int, end: int) -> None:
         field_number, wire_type, pos = read_tag(buf, pos)
         fd = desc.field_by_number(field_number)
         if fd is None:
-            pos = skip_field(buf, pos, wire_type)
+            pos = skip_field(buf, pos, wire_type, end)
             # proto3 (>= 3.5) semantics: unknown fields are preserved and
             # re-emitted on serialization, not dropped.
             msg._unknown += bytes(buf[tag_start:pos])
@@ -189,8 +233,6 @@ def _parse_field(
             raise WireFormatError("packed run length mismatch")
         return pos
 
-    from .serializer import wire_type_for
-
     if wire_type != wire_type_for(fd):
         raise WireFormatError(
             f"field {fd.name}: wire type {wire_type}, expected {wire_type_for(fd)}"
@@ -203,13 +245,31 @@ def _parse_field(
     return pos
 
 
-def parse_into(msg: Message, data) -> Message:
-    """Parse wire bytes into an existing message (merging)."""
+def parse_into(msg: Message, data, mode: str | None = None) -> Message:
+    """Parse wire bytes into an existing message (merging).
+
+    ``mode`` overrides the process-wide decode mode for this call:
+    ``"plan"`` dispatches to the message type's cached
+    :class:`~repro.proto.decode_plan.DecodePlan`; ``"interpretive"`` runs
+    the original descriptor-walking loop.
+    """
+    if (mode or _decode_mode) == "plan":
+        global _get_plan
+        if _get_plan is None:
+            from .decode_plan import get_plan
+
+            _get_plan = get_plan
+        plan = _get_plan(type(msg).DESCRIPTOR, msg._FACTORY)
+        buf = data if isinstance(data, memoryview) else memoryview(
+            data if isinstance(data, (bytes, bytearray)) else bytes(data)
+        )
+        plan.parse(msg, buf, 0, len(buf))
+        return msg
     buf = bytes(data)
     _parse_range(msg, buf, 0, len(buf))
     return msg
 
 
-def parse(cls: type[Message], data) -> Message:
+def parse(cls: type[Message], data, mode: str | None = None) -> Message:
     """Parse wire bytes into a fresh instance of ``cls``."""
-    return parse_into(cls(), data)
+    return parse_into(cls(), data, mode)

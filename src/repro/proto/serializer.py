@@ -14,6 +14,7 @@ from .message import Message
 from .wire_format import (
     WireType,
     append_varint,
+    encode_varint,
     encode_zigzag,
     encode_double,
     encode_fixed32,
@@ -50,6 +51,22 @@ _WIRE_TYPE_FOR = {
 def wire_type_for(fd: FieldDescriptor) -> int:
     """Wire type of one element of field ``fd`` (unpacked)."""
     return _WIRE_TYPE_FOR[fd.type]
+
+
+def _tag_cache(fd: FieldDescriptor) -> tuple[bytes, bytes, int]:
+    """``(natural_tag_bytes, packed_tag_bytes, natural_tag_size)`` for
+    ``fd``, encoded once and memoized on the descriptor.
+
+    A field's tag bytes are a pure function of its number and type, so
+    re-encoding the tag varint per element (the hottest serializer
+    operation for repeated fields) is wasted work; protoc bakes tag
+    literals into generated code the same way."""
+    cache = getattr(fd, "_tag_cache", None)
+    if cache is None:
+        natural = encode_varint(make_tag(fd.number, _WIRE_TYPE_FOR[fd.type]))
+        packed = encode_varint(make_tag(fd.number, WireType.LENGTH_DELIMITED))
+        cache = fd._tag_cache = (natural, packed, len(natural))
+    return cache
 
 
 def _scalar_to_varint(fd: FieldDescriptor, value) -> int:
@@ -89,18 +106,18 @@ def _append_scalar(out: bytearray, fd: FieldDescriptor, value) -> None:
 
 
 def _append_field(out: bytearray, fd: FieldDescriptor, value) -> None:
+    natural_tag, packed_tag, _ = _tag_cache(fd)
     if fd.is_repeated:
         if fd.is_packed and not getattr(fd, "force_unpacked", False):
-            append_varint(out, make_tag(fd.number, WireType.LENGTH_DELIMITED))
+            out += packed_tag
             packed = bytearray()
             for v in value:
                 _append_scalar(packed, fd, v)
             append_varint(out, len(packed))
             out += packed
         else:
-            tag = make_tag(fd.number, wire_type_for(fd))
             for v in value:
-                append_varint(out, tag)
+                out += natural_tag
                 if fd.type is FieldType.MESSAGE:
                     sub = _serialize_bytes(v)
                     append_varint(out, len(sub))
@@ -108,7 +125,7 @@ def _append_field(out: bytearray, fd: FieldDescriptor, value) -> None:
                 else:
                     _append_scalar(out, fd, v)
         return
-    append_varint(out, make_tag(fd.number, wire_type_for(fd)))
+    out += natural_tag
     if fd.type is FieldType.MESSAGE:
         sub = _serialize_bytes(value)
         append_varint(out, len(sub))
@@ -139,7 +156,9 @@ def serialized_size(msg: Message) -> int:
     """
     size = len(msg._unknown)
     for fd, value in msg.ListFields():
-        tag_size = varint_size(make_tag(fd.number, wire_type_for(fd)))
+        # The wire type occupies the tag's low 3 bits, so the natural and
+        # packed tag varints always have the same length.
+        tag_size = _tag_cache(fd)[2]
         if fd.is_repeated:
             if fd.is_packed and not getattr(fd, "force_unpacked", False):
                 payload = sum(_scalar_size(fd, v) for v in value)

@@ -286,6 +286,11 @@ def decode_packed_varints(data, count_hint: int | None = None) -> np.ndarray:
     lengths = ends - starts + 1
     if np.any(lengths > MAX_VARINT_LEN):
         raise WireFormatError("varint longer than 10 bytes")
+    # 10-byte varints may only contribute one bit from their final byte,
+    # exactly as the scalar read_varint enforces.
+    boundary = ends[lengths == MAX_VARINT_LEN]
+    if boundary.size and np.any(raw[boundary] > 1):
+        raise WireFormatError("varint exceeds 64 bits")
     payload = (raw & 0x7F).astype(np.uint64)
     values = np.zeros(len(ends), dtype=np.uint64)
     # Accumulate byte k of every varint that has at least k+1 bytes.

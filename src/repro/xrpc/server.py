@@ -40,10 +40,20 @@ class _Connection:
 class XrpcServer:
     """Single-threaded, poll-driven unary-RPC server."""
 
-    def __init__(self, network: Network, address: str, factory: MessageFactory) -> None:
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        factory: MessageFactory,
+        decode_mode: str | None = None,
+    ) -> None:
         self.address = address
         self.listener: Listener = network.listen(address)
         self.factory = factory
+        #: Request-deserialization path (``ProtocolConfig.decode_mode``):
+        #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
+        #: the process-wide default (see repro.proto.set_decode_mode).
+        self.decode_mode = decode_mode
         self._methods: dict[str, MethodBinding] = {}
         self._connections: list[_Connection] = []
         self.stats = ServerStats()
@@ -99,7 +109,7 @@ class XrpcServer:
         request_cls = self.factory.get_class(binding.method.input_type)
         try:
             # The host-CPU deserialization the offload eliminates:
-            request = parse(request_cls, payload)
+            request = parse(request_cls, payload, mode=self.decode_mode)
         except WireFormatError:
             self._respond(conn, call_id, StatusCode.INVALID_ARGUMENT, b"")
             return

@@ -1,0 +1,186 @@
+"""Arena decode plans: the offloaded fast path must be indistinguishable
+from the interpretive arena deserializer — same objects (read back through
+``read_message``), same arena consumption, and the same
+:class:`DeserializeStats` census (the calibrated cost model charges time
+per census operation, so a plan that decoded differently would silently
+skew every modeled figure)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import AddressSpace, Arena, MemoryRegion
+from repro.offload import (
+    ArenaDeserializer,
+    ArenaPlanCache,
+    TypeUniverse,
+    decode_adt,
+    encode_adt,
+    read_message,
+)
+from repro.proto import compile_schema, serialize
+from repro.proto.decode_plan import PLAN_METRICS
+from repro.proto.wire_format import WireFormatError, WireType, encode_varint, make_tag
+from tests.conftest import KITCHEN_SINK_PROTO, build_everything
+from tests.proto.test_codec_roundtrip import everything_strategy
+
+ARENA_BASE = 0x5000_0000
+ARENA_SIZE = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def kitchen_env():
+    schema = compile_schema(KITCHEN_SINK_PROTO)
+    space = AddressSpace("host")
+    space.map(MemoryRegion(ARENA_BASE, ARENA_SIZE, "arena"))
+    universe = TypeUniverse(space)
+    adt = decode_adt(
+        encode_adt(universe.build_adt([schema.pool.message("test.Everything")]))
+    )
+    return schema, space, universe, adt
+
+
+def both_modes(env, wire, root="test.Everything"):
+    """Deserialize ``wire`` with plans and interpretively; assert object
+    and census identity; return the plan-mode message."""
+    schema, space, universe, adt = env
+    results = []
+    for use_plans in (True, False):
+        deser = ArenaDeserializer(adt, use_plans=use_plans)
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        addr = deser.deserialize_by_name(root, wire, arena)
+        out = read_message(universe, schema.factory, root, addr)
+        results.append((out, asdict(deser.stats), arena.used))
+    (p_out, p_stats, p_used), (i_out, i_stats, i_used) = results
+    assert p_out == i_out
+    assert p_stats == i_stats, "DeserializeStats census must be identical"
+    assert p_used == i_used, "arena consumption must be identical"
+    return p_out
+
+
+def raises_both(env, wire, root="test.Everything"):
+    schema, space, universe, adt = env
+    for use_plans in (True, False):
+        deser = ArenaDeserializer(adt, use_plans=use_plans)
+        arena = Arena(space, ARENA_BASE, ARENA_SIZE)
+        with pytest.raises(WireFormatError):
+            deser.deserialize_by_name(root, wire, arena)
+
+
+class TestAgainstInterpretive:
+    def test_kitchen_sink(self, kitchen_env):
+        schema = kitchen_env[0]
+        msg = build_everything(schema["test.Everything"])
+        assert both_modes(kitchen_env, serialize(msg)) == msg
+
+    def test_empty(self, kitchen_env):
+        schema = kitchen_env[0]
+        assert both_modes(kitchen_env, b"") == schema["test.Everything"]()
+
+    def test_oneof_last_wins(self, kitchen_env):
+        schema = kitchen_env[0]
+        cls = schema["test.Everything"]
+        wire = serialize(cls(choice_s="gone")) + serialize(cls(choice_u=9))
+        msg = both_modes(kitchen_env, wire)
+        assert msg.choice_u == 9
+        assert "choice_s" not in msg._values
+
+    def test_submessage_merge(self, kitchen_env):
+        schema = kitchen_env[0]
+        cls = schema["test.Everything"]
+        a = cls()
+        a.f_leaf.id = 3
+        b = cls()
+        b.f_leaf.label = "merged"
+        msg = both_modes(kitchen_env, serialize(a) + serialize(b))
+        assert msg.f_leaf.id == 3
+        assert msg.f_leaf.label == "merged"
+
+    def test_unknown_fields_skipped(self, kitchen_env):
+        # The arena path drops unknown fields (the DPU builds C++ objects,
+        # which have no unknown-field set) — in both modes alike.
+        unknown = encode_varint(make_tag(999, WireType.VARINT)) + b"\x07"
+        schema = kitchen_env[0]
+        wire = unknown + serialize(schema["test.Everything"](f_uint32=4))
+        assert both_modes(kitchen_env, wire).f_uint32 == 4
+
+    def test_unknown_field_overrunning_submessage_rejected(self, kitchen_env):
+        # Same boundary regression as the reference decoder: an unknown
+        # length-delimited field inside f_leaf claiming bytes past the
+        # submessage end.
+        body = (
+            encode_varint(make_tag(1, WireType.VARINT))
+            + b"\x05"
+            + encode_varint(make_tag(1000, WireType.LENGTH_DELIMITED))
+            + b"\x20"
+        )
+        schema = kitchen_env[0]
+        wire = (
+            encode_varint(make_tag(17, WireType.LENGTH_DELIMITED))
+            + encode_varint(len(body))
+            + body
+            + serialize(schema["test.Everything"](f_bytes=b"x" * 40))
+        )
+        raises_both(kitchen_env, wire)
+
+    def test_wrong_wire_type_rejected(self, kitchen_env):
+        wire = encode_varint(make_tag(14, WireType.VARINT)) + b"\x01"
+        raises_both(kitchen_env, wire)
+
+    def test_truncated_varint_value_rejected(self, kitchen_env):
+        raises_both(kitchen_env, encode_varint(make_tag(3, WireType.VARINT)))
+
+    def test_packed_fixed_run_length_mismatch_rejected(self, kitchen_env):
+        wire = (
+            encode_varint(make_tag(22, WireType.LENGTH_DELIMITED))
+            + encode_varint(9)
+            + b"\x00" * 9
+        )
+        raises_both(kitchen_env, wire)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_differential_fuzz(self, data, kitchen_env):
+        schema = kitchen_env[0]
+        msg = data.draw(everything_strategy(schema["test.Everything"]))
+        assert both_modes(kitchen_env, serialize(msg)) == msg
+
+
+class TestPlanCache:
+    def test_plans_compiled_once_per_entry(self, kitchen_env):
+        schema, space, universe, adt = kitchen_env
+        deser = ArenaDeserializer(adt)
+        wire = serialize(build_everything(schema["test.Everything"]))
+        PLAN_METRICS.reset()
+        for _ in range(3):
+            deser.deserialize_by_name(
+                "test.Everything", wire, Arena(space, ARENA_BASE, ARENA_SIZE)
+            )
+        # Everything + Leaf compile once; every later (sub)message parse
+        # is a cache hit.
+        assert PLAN_METRICS.plans_compiled == 2
+        assert PLAN_METRICS.cache_misses == 2
+        assert PLAN_METRICS.cache_hits > 0
+
+    def test_plan_cache_lazy_and_shared(self, kitchen_env):
+        adt = kitchen_env[3]
+        deser = ArenaDeserializer(adt)
+        assert deser._plan_cache is None
+        cache = deser.plans
+        assert isinstance(cache, ArenaPlanCache)
+        assert deser.plans is cache
+
+    def test_interpretive_mode_never_compiles(self, kitchen_env):
+        schema, space, universe, adt = kitchen_env
+        deser = ArenaDeserializer(adt, use_plans=False)
+        wire = serialize(build_everything(schema["test.Everything"]))
+        PLAN_METRICS.reset()
+        deser.deserialize_by_name(
+            "test.Everything", wire, Arena(space, ARENA_BASE, ARENA_SIZE)
+        )
+        assert PLAN_METRICS.plans_compiled == 0
+        assert deser._plan_cache is None

@@ -1,0 +1,371 @@
+"""Compiled decode plans: differential tests against the interpretive
+path, wire-format edge cases, plan-cache behavior, and metrics export.
+
+The contract under test: for every input, ``parse(cls, wire, mode="plan")``
+and ``parse(cls, wire, mode="interpretive")`` either produce equal
+messages (field-for-field, including preserved ``_unknown`` bytes and the
+reserialization) or both raise a wire-format error.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import MetricsRegistry
+from repro.proto import (
+    PLAN_METRICS,
+    DecodeError,
+    WireFormatError,
+    compile_schema,
+    get_decode_mode,
+    get_plan,
+    parse,
+    serialize,
+    set_decode_mode,
+)
+from repro.proto.deserializer import skip_field
+from repro.proto.wire_format import (
+    TruncatedMessageError,
+    WireType,
+    encode_varint,
+    make_tag,
+)
+from tests.conftest import KITCHEN_SINK_PROTO, build_everything
+from tests.proto.test_codec_roundtrip import everything_strategy
+
+MODES = ("plan", "interpretive")
+
+
+def parse_both(cls, wire):
+    """Parse in both modes and assert full agreement; returns the plan
+    result."""
+    by_mode = {mode: parse(cls, wire, mode=mode) for mode in MODES}
+    plan, interp = by_mode["plan"], by_mode["interpretive"]
+    assert plan == interp
+    assert plan._unknown == interp._unknown
+    assert serialize(plan) == serialize(interp)
+    return plan
+
+
+def raises_both(cls, wire, exc=WireFormatError):
+    for mode in MODES:
+        with pytest.raises(exc):
+            parse(cls, wire, mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestModeSelection:
+    def test_default_mode_is_plan(self):
+        assert get_decode_mode() == "plan"
+
+    def test_set_mode_returns_previous_and_round_trips(self):
+        prev = set_decode_mode("interpretive")
+        try:
+            assert prev == "plan"
+            assert get_decode_mode() == "interpretive"
+        finally:
+            set_decode_mode(prev)
+        assert get_decode_mode() == "plan"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            set_decode_mode("jit")
+
+    def test_global_mode_honored(self, everything_cls):
+        wire = serialize(build_everything(everything_cls))
+        prev = set_decode_mode("interpretive")
+        try:
+            assert parse(everything_cls, wire) == build_everything(everything_cls)
+        finally:
+            set_decode_mode(prev)
+
+
+# ---------------------------------------------------------------------------
+# Differential equality on well-formed inputs
+# ---------------------------------------------------------------------------
+
+
+class TestPlanMatchesInterpretive:
+    def test_kitchen_sink(self, everything_cls):
+        msg = build_everything(everything_cls)
+        assert parse_both(everything_cls, serialize(msg)) == msg
+
+    def test_empty(self, everything_cls):
+        assert parse_both(everything_cls, b"") == everything_cls()
+
+    def test_recursive_tree(self, node_cls):
+        root = node_cls()
+        cur = root
+        for i in range(6):
+            cur.key = i
+            cur.leaf.label = f"level-{i}"
+            cur = cur.children.add()
+        assert parse_both(node_cls, serialize(root)) == root
+
+    def test_oneof_last_wins(self, everything_cls):
+        first = serialize(everything_cls(choice_s="gone"))
+        second = serialize(everything_cls(choice_u=7))
+        msg = parse_both(everything_cls, first + second)
+        assert msg.choice_u == 7
+        assert "choice_s" not in msg._values
+
+    def test_singular_field_last_wins(self, everything_cls):
+        wire = serialize(everything_cls(f_int32=1)) + serialize(everything_cls(f_int32=2))
+        assert parse_both(everything_cls, wire).f_int32 == 2
+
+    def test_submessage_merge(self, everything_cls):
+        a = everything_cls()
+        a.f_leaf.id = 3
+        b = everything_cls()
+        b.f_leaf.label = "merged"
+        msg = parse_both(everything_cls, serialize(a) + serialize(b))
+        assert msg.f_leaf.id == 3
+        assert msg.f_leaf.label == "merged"
+
+    def test_unpacked_encoding_of_packed_field(self, everything_cls):
+        tag = encode_varint(make_tag(18, WireType.VARINT))
+        wire = tag + b"\x07" + tag + encode_varint(300000)
+        assert list(parse_both(everything_cls, wire).r_uint32) == [7, 300000]
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_differential_fuzz(self, data, everything_cls):
+        msg = data.draw(everything_strategy(everything_cls))
+        wire = serialize(msg)
+        assert parse_both(everything_cls, wire) == msg
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_differential_fuzz_schema_evolution(self, data, everything_cls):
+        """An old reader (schema missing most fields) must preserve the
+        unknown bytes identically in both modes."""
+        reduced = compile_schema(
+            """
+            syntax = "proto3";
+            package test;
+            message Everything {
+              int32 f_int32 = 3;
+              string f_string = 14;
+              repeated uint32 r_uint32 = 18;
+            }
+            """
+        )["test.Everything"]
+        msg = data.draw(everything_strategy(everything_cls))
+        wire = serialize(msg)
+        old = parse_both(reduced, wire)
+        # Nothing is dropped: what the reduced schema read plus what it
+        # preserved re-serializes to the same logical message.
+        assert parse_both(everything_cls, serialize(old)) == msg
+
+
+# ---------------------------------------------------------------------------
+# Wire-format edge cases (both modes must agree on accept AND reject)
+# ---------------------------------------------------------------------------
+
+
+class TestWireEdgeCases:
+    def test_overlong_varint_accepted(self, everything_cls):
+        # Non-canonical 2-byte encoding of 1 for uint32 field 5.
+        wire = encode_varint(make_tag(5, WireType.VARINT)) + b"\x81\x00"
+        assert parse_both(everything_cls, wire).f_uint32 == 1
+
+    def test_overlong_tag_accepted(self, everything_cls):
+        # The tag varint itself may be non-canonically encoded.
+        wire = b"\xa8\x80\x00" + b"\x2a"  # tag 0x28 (field 5, varint) + 42
+        assert parse_both(everything_cls, wire).f_uint32 == 42
+
+    def test_ten_byte_varint_max_value(self, everything_cls):
+        wire = encode_varint(make_tag(6, WireType.VARINT)) + b"\xff" * 9 + b"\x01"
+        assert parse_both(everything_cls, wire).f_uint64 == (1 << 64) - 1
+
+    def test_ten_byte_varint_overflow_rejected(self, everything_cls):
+        wire = encode_varint(make_tag(6, WireType.VARINT)) + b"\xff" * 9 + b"\x02"
+        raises_both(everything_cls, wire)
+
+    def test_eleven_byte_varint_rejected(self, everything_cls):
+        wire = encode_varint(make_tag(6, WireType.VARINT)) + b"\xff" * 10 + b"\x01"
+        raises_both(everything_cls, wire)
+
+    def test_packed_ten_byte_boundary(self, everything_cls):
+        payload = b"\xff" * 9 + b"\x01"
+        wire = (
+            encode_varint(make_tag(18, WireType.LENGTH_DELIMITED))
+            + encode_varint(len(payload))
+            + payload
+        )
+        # uint32 truncates the 64-bit wire value in both modes.
+        assert list(parse_both(everything_cls, wire).r_uint32) == [0xFFFFFFFF]
+
+    def test_packed_ten_byte_overflow_rejected(self, everything_cls):
+        payload = b"\xff" * 9 + b"\x02"
+        wire = (
+            encode_varint(make_tag(18, WireType.LENGTH_DELIMITED))
+            + encode_varint(len(payload))
+            + payload
+        )
+        raises_both(everything_cls, wire)
+
+    def test_truncated_packed_run_rejected(self, everything_cls):
+        # Declared run length extends past the end of the buffer.
+        wire = encode_varint(make_tag(18, WireType.LENGTH_DELIMITED)) + b"\x03\x01\x02"
+        raises_both(everything_cls, wire)
+
+    def test_packed_run_ending_mid_varint_rejected(self, everything_cls):
+        # Run length cuts a varint in half.
+        wire = encode_varint(make_tag(18, WireType.LENGTH_DELIMITED)) + b"\x01\x80"
+        raises_both(everything_cls, wire)
+
+    def test_packed_fixed_run_length_mismatch_rejected(self, everything_cls):
+        # r_double (field 22): 9 bytes is not a multiple of 8.
+        wire = (
+            encode_varint(make_tag(22, WireType.LENGTH_DELIMITED))
+            + encode_varint(9)
+            + b"\x00" * 9
+        )
+        raises_both(everything_cls, wire)
+
+    def test_tag_at_end_of_buffer_rejected(self, everything_cls):
+        # A lone varint-field tag with no payload bytes.
+        raises_both(everything_cls, encode_varint(make_tag(3, WireType.VARINT)))
+
+    def test_wrong_wire_type_rejected(self, everything_cls):
+        wire = encode_varint(make_tag(14, WireType.VARINT)) + b"\x01"
+        raises_both(everything_cls, wire, DecodeError)
+
+    def test_invalid_utf8_rejected(self, everything_cls):
+        wire = encode_varint(make_tag(14, WireType.LENGTH_DELIMITED)) + b"\x02\xff\xfe"
+        raises_both(everything_cls, wire, DecodeError)
+
+    def test_field_number_zero_rejected(self, everything_cls):
+        raises_both(everything_cls, b"\x00\x01")
+
+    def test_group_wire_types_rejected(self, everything_cls):
+        for wt in (WireType.START_GROUP, WireType.END_GROUP):
+            raises_both(everything_cls, encode_varint(make_tag(99, wt)))
+
+
+# ---------------------------------------------------------------------------
+# Unknown fields at submessage boundaries (the skip_field regression)
+# ---------------------------------------------------------------------------
+
+
+def _leaf_with_unknown(payload_tail: bytes) -> bytes:
+    """An Everything.f_leaf submessage whose body is id=5 followed by
+    ``payload_tail`` (unknown field bytes)."""
+    body = encode_varint(make_tag(1, WireType.VARINT)) + b"\x05" + payload_tail
+    return (
+        encode_varint(make_tag(17, WireType.LENGTH_DELIMITED))
+        + encode_varint(len(body))
+        + body
+    )
+
+
+class TestUnknownFieldBoundaries:
+    def test_unknown_field_exactly_at_submessage_end(self, everything_cls):
+        # Unknown field 1000, length-delimited, payload ends exactly where
+        # the submessage ends; more parent fields follow.
+        unknown = encode_varint(make_tag(1000, WireType.LENGTH_DELIMITED)) + b"\x03abc"
+        wire = _leaf_with_unknown(unknown) + serialize(everything_cls(f_int32=9))
+        msg = parse_both(everything_cls, wire)
+        assert msg.f_leaf.id == 5
+        assert msg.f_int32 == 9
+        assert msg.f_leaf._unknown == unknown
+        # Round trip preserves the unknown bytes.
+        assert msg.f_leaf._unknown in serialize(msg)
+
+    def test_unknown_field_overrunning_submessage_rejected(self, everything_cls):
+        """Regression: the unknown field's declared length crosses the
+        submessage end but stays inside the parent buffer.  skip_field
+        must bound against the enclosing submessage, not the whole
+        buffer — otherwise it silently absorbs the parent's bytes."""
+        unknown = encode_varint(make_tag(1000, WireType.LENGTH_DELIMITED)) + b"\x20"
+        wire = _leaf_with_unknown(unknown) + serialize(
+            everything_cls(f_string="padding-padding-padding-padding")
+        )
+        raises_both(everything_cls, wire)
+
+    def test_unknown_fixed_overrunning_submessage_rejected(self, everything_cls):
+        unknown = encode_varint(make_tag(1000, WireType.FIXED64)) + b"\x01\x02"
+        wire = _leaf_with_unknown(unknown) + serialize(
+            everything_cls(f_bytes=b"x" * 16)
+        )
+        raises_both(everything_cls, wire)
+
+    def test_skip_field_bounds_against_end(self):
+        # Direct unit check of the satellite fix: the same buffer is fine
+        # unbounded but must raise when the enclosing end is tighter.
+        buf = encode_varint(5) + b"abcde"
+        assert skip_field(buf, 0, WireType.LENGTH_DELIMITED) == len(buf)
+        with pytest.raises(TruncatedMessageError):
+            skip_field(buf, 0, WireType.LENGTH_DELIMITED, end=4)
+        with pytest.raises(TruncatedMessageError):
+            skip_field(b"\x01\x02\x03\x04\x05\x06\x07\x08", 0, WireType.FIXED64, end=7)
+        with pytest.raises(TruncatedMessageError):
+            skip_field(b"\x80\x01", 0, WireType.VARINT, end=1)
+
+
+# ---------------------------------------------------------------------------
+# Plan cache + metrics
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_plan_cached_per_factory(self, kitchen_schema):
+        desc = kitchen_schema.pool.message("test.Everything")
+        p1 = get_plan(desc, kitchen_schema.factory)
+        p2 = get_plan(desc, kitchen_schema.factory)
+        assert p1 is p2
+
+    def test_recursive_type_compiles(self, kitchen_schema, node_cls):
+        desc = kitchen_schema.pool.message("test.Node")
+        plan = get_plan(desc, kitchen_schema.factory)
+        # children (field 3) resolves back to the same plan object.
+        tag = make_tag(3, WireType.LENGTH_DELIMITED)
+        assert tag in plan.handlers
+
+    def test_repeated_numeric_registers_both_encodings(self, kitchen_schema):
+        desc = kitchen_schema.pool.message("test.Everything")
+        plan = get_plan(desc, kitchen_schema.factory)
+        assert make_tag(18, WireType.VARINT) in plan.handlers
+        assert make_tag(18, WireType.LENGTH_DELIMITED) in plan.handlers
+
+    def test_cache_miss_then_hits(self):
+        schema = compile_schema(
+            'syntax = "proto3"; package pc; message M { uint32 a = 1; }'
+        )
+        cls = schema["pc.M"]
+        wire = serialize(cls(a=1))
+        PLAN_METRICS.reset()
+        parse(cls, wire, mode="plan")
+        assert PLAN_METRICS.cache_misses == 1
+        assert PLAN_METRICS.plans_compiled == 1
+        for _ in range(3):
+            parse(cls, wire, mode="plan")
+        assert PLAN_METRICS.cache_hits == 3
+        assert PLAN_METRICS.plans_compiled == 1
+        assert PLAN_METRICS.decodes["pc.M"] == 4
+
+    def test_metrics_export_to_registry(self):
+        schema = compile_schema(
+            'syntax = "proto3"; package pm; message M { uint32 a = 1; }'
+        )
+        cls = schema["pm.M"]
+        PLAN_METRICS.reset()
+        registry = MetricsRegistry()
+        PLAN_METRICS.bind_registry(registry)
+        parse(cls, serialize(cls(a=2)), mode="plan")
+        parse(cls, serialize(cls(a=3)), mode="plan")
+        PLAN_METRICS.export()
+        assert registry.get("decode_plan_cache_misses").samples()[0].value == 1
+        assert registry.get("decode_plan_cache_hits").samples()[0].value == 1
+        assert registry.get("decode_plan_plans_compiled").samples()[0].value == 1
+        decodes = {
+            s.labels: s.value for s in registry.get("decode_plan_decodes").samples()
+        }
+        assert decodes[(("message", "pm.M"),)] == 2
