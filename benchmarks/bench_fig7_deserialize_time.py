@@ -26,6 +26,20 @@ from repro.workloads import WorkloadFactory
 
 BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_fig7.json"
 
+
+def merge_bench_json(update: dict) -> dict:
+    """Read-modify-write ``BENCH_fig7.json``: the decode and encode
+    benchmarks each own their keys, and neither may clobber the other's."""
+    merged: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            merged = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(update)
+    BENCH_JSON.write_text(json.dumps(merged, indent=2) + "\n")
+    return merged
+
 COUNTS = [1, 4, 16, 64, 256, 1024, 4096]
 ARENA_BASE = 0x10_0000
 ARENA_SIZE = 1 << 24
@@ -172,7 +186,7 @@ def test_fig7_decode_plan_speedup(report, benchmark):
         "reference_mix_speedup": ref_interp["mix"] / ref_plan["mix"],
         "arena_mix_speedup": arena_interp["mix"] / arena_plan["mix"],
     }
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    merge_bench_json(results)
 
     lines = [f"{'workload':<12} {'ref interp':>12} {'ref plan':>10} {'speedup':>8}"
              f" {'arena interp':>13} {'arena plan':>11} {'speedup':>8}"]

@@ -61,6 +61,12 @@ class ProtocolConfig:
         ``plan`` (default) dispatches through compiled per-message decode
         plans (see docs/DECODER.md); ``interpretive`` keeps the original
         descriptor-walking loop, retained for differential testing.
+    encode_mode:
+        Serialization path used by endpoints honoring this config:
+        ``plan`` (default) dispatches through compiled per-message encode
+        plans that emit directly into the registered send region (see
+        docs/DECODER.md); ``interpretive`` keeps the descriptor-walking
+        serializer, retained for differential testing.
     """
 
     block_size: int = 8 * KIB
@@ -80,6 +86,7 @@ class ProtocolConfig:
     flush_deadline_ticks: int = 4
     flush_byte_threshold: int = 0
     decode_mode: str = "plan"
+    encode_mode: str = "plan"
 
     def __post_init__(self) -> None:
         if self.block_alignment & (self.block_alignment - 1):
@@ -102,6 +109,8 @@ class ProtocolConfig:
             raise ValueError("flush_byte_threshold must be >= 0")
         if self.decode_mode not in ("plan", "interpretive"):
             raise ValueError(f"unknown decode mode {self.decode_mode!r}")
+        if self.encode_mode not in ("plan", "interpretive"):
+            raise ValueError(f"unknown encode mode {self.encode_mode!r}")
 
     def credit_check(self, message_size: int) -> bool:
         """The paper's §VI-A sizing rule: for true concurrency,

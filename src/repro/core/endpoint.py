@@ -159,6 +159,20 @@ class Response:
     def empty(cls) -> "Response":
         return cls(size=0, data=b"")
 
+    @classmethod
+    def from_emitter(cls, size: int, emit, flags: int = Flags.NONE) -> "Response":
+        """Response whose payload is emitted straight into the reserved
+        block space: ``emit(view)`` receives a writable ``size``-byte
+        memoryview of the send region (the shape
+        ``repro.proto.prepare_emit`` produces via ``emit_into``) — no
+        intermediate ``bytes`` payload is ever materialized."""
+
+        def writer(space: AddressSpace, addr: int) -> int:
+            emit(space.view(addr, size))
+            return size
+
+        return cls(size=size, writer=writer, flags=flags)
+
     def write_to(self, space: AddressSpace, addr: int) -> int:
         if self.writer is not None:
             return self.writer(space, addr)
@@ -406,6 +420,21 @@ class ClientEndpoint(_EndpointBase):
             continuation,
             flags,
         )
+
+    def enqueue_emit(
+        self, method_id: int, size: int, emit, continuation: Continuation,
+        flags: int = Flags.NONE,
+    ) -> None:
+        """Queue one request whose payload is written in place: ``size``
+        bytes are reserved inside the outgoing block and ``emit(view)``
+        fills the writable memoryview — the zero-copy request path used by
+        compiled encode plans (``repro.proto.prepare_emit``)."""
+
+        def writer(space: AddressSpace, addr: int) -> int:
+            emit(space.view(addr, size))
+            return size
+
+        self.enqueue(method_id, size, writer, continuation, flags)
 
     def enqueue(
         self,
@@ -753,8 +782,10 @@ class ServerEndpoint(_EndpointBase):
 
     def _spawn_background(self, request: IncomingRequest) -> None:
         """Background RPCs (§III-D): the payload view dies with the block,
-        so the executor gets a private copy of the payload."""
-        payload = request.payload_bytes()
+        so the executor gets a private copy of the payload.  This is the
+        one deliberate request-payload copy in the endpoint — foreground
+        handlers always see the in-place ``payload_view()``."""
+        payload = bytes(request.payload_view())
         rid = request.request_id
         detached = IncomingRequest(
             space=None, method_id=request.method_id, request_id=rid,

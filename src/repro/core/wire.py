@@ -103,11 +103,19 @@ class Preamble:
     block_length: int
 
     def pack_into(self, space, addr: int) -> None:
-        space.write(addr, _PREAMBLE.pack(self.message_count, self.ack_blocks, self.block_length))
+        _PREAMBLE.pack_into(
+            space.view(addr, PREAMBLE_SIZE),
+            0,
+            self.message_count,
+            self.ack_blocks,
+            self.block_length,
+        )
 
     @classmethod
     def read(cls, space, addr: int) -> "Preamble":
-        return cls(*_PREAMBLE.unpack(bytes(space.read(addr, PREAMBLE_SIZE))))
+        # unpack_from on the registered region's memoryview — no
+        # intermediate bytes copy of the header words.
+        return cls(*_PREAMBLE.unpack_from(space.view(addr, PREAMBLE_SIZE), 0))
 
 
 @dataclass(frozen=True)
@@ -117,13 +125,18 @@ class MessageHeader:
     flags: int = Flags.NONE
 
     def pack_into(self, space, addr: int) -> None:
-        space.write(
-            addr, _HEADER.pack(self.payload_size, self.method_or_id, self.flags, 0)
+        _HEADER.pack_into(
+            space.view(addr, HEADER_SIZE),
+            0,
+            self.payload_size,
+            self.method_or_id,
+            self.flags,
+            0,
         )
 
     @classmethod
     def read(cls, space, addr: int) -> "MessageHeader":
-        size, mid, flags, _ = _HEADER.unpack(bytes(space.read(addr, HEADER_SIZE)))
+        size, mid, flags, _ = _HEADER.unpack_from(space.view(addr, HEADER_SIZE), 0)
         return cls(size, mid, flags)
 
 
@@ -211,6 +224,13 @@ class BlockWriter:
 
     def abort_message(self) -> None:
         self._open = None
+
+    def payload_view(self, payload_addr: int, size: int) -> memoryview:
+        """Writable view of reserved payload space, for serializers that
+        emit wire bytes in place (``EncodePlan.serialize_into`` /
+        ``SizedMessage.emit_into``) instead of handing over a ``bytes``
+        object to copy."""
+        return self.space.view(payload_addr, size)
 
     def seal(self, ack_blocks: int = 0) -> int:
         """Write the preamble; returns the total block length in bytes."""

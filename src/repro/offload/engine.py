@@ -44,7 +44,7 @@ from repro.core import (
 )
 from repro.core.config import CLIENT_DEFAULTS, SERVER_DEFAULTS
 from repro.memory import Arena
-from repro.proto import CompiledSchema, Message, serialize
+from repro.proto import CompiledSchema, Message, emit_writer, serialize
 from repro.proto.descriptor import MessageDescriptor
 from repro.rdma import Opcode, WorkRequest
 
@@ -138,12 +138,22 @@ HostCallback = Callable[[CppMessageView, IncomingRequest], "Message | bytes | Re
 class HostEngine:
     """Host half: compatibility layer feeding ready objects to callbacks."""
 
-    def __init__(self, channel: Channel, schema: CompiledSchema, abi: AbiConfig | None = None) -> None:
+    def __init__(
+        self,
+        channel: Channel,
+        schema: CompiledSchema,
+        abi: AbiConfig | None = None,
+        encode_mode: str | None = None,
+    ) -> None:
         self.channel = channel
         self.schema = schema
         self.universe = TypeUniverse(channel.server_space, abi)
         self.methods: list[MethodSpec] = []
         self._input_descriptors: dict[int, MessageDescriptor] = {}
+        #: Response-serialization path (``ProtocolConfig.encode_mode``):
+        #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
+        #: the process-wide default (see repro.proto.set_encode_mode).
+        self.encode_mode = encode_mode
 
     def register_method(self, method_id: int, input_type: str, callback: HostCallback,
                         name: str | None = None, output_type: str | None = None) -> None:
@@ -177,7 +187,12 @@ class HostEngine:
                             f"response, got {result.DESCRIPTOR.full_name}"
                         )
                     return self._object_response(result)
-                return Response.from_bytes(serialize(result))
+                # Host-side response serialization, but zero-copy: the
+                # encode plan sizes the message, the endpoint reserves
+                # that space in the response block, and the wire bytes
+                # are emitted there directly (no intermediate bytes).
+                size, writer = emit_writer(result, self.encode_mode)
+                return Response(size=size, writer=writer)
             return Response.from_bytes(result)
 
         self.channel.server.register(method_id, handler)

@@ -40,9 +40,26 @@ from .deserializer import (
     set_decode_mode,
 )
 from .decode_plan import PLAN_METRICS, DecodePlan, PlanMetrics, get_plan
+from .encode_plan import (
+    ENCODE_PLAN_METRICS,
+    EncodePlan,
+    EncodePlanMetrics,
+    SizedMessage,
+)
+from .encode_plan import get_plan as get_encode_plan
 from .message import FieldValueError, Message, MessageFactory
 from .parser import ProtoParseError, compile_proto, parse_proto
-from .serializer import serialize, serialized_size
+from .serializer import (
+    ENCODE_MODES,
+    EncodeError,
+    emit_writer,
+    get_encode_mode,
+    prepare_emit,
+    serialize,
+    serialize_into,
+    serialized_size,
+    set_encode_mode,
+)
 from .json_format import (
     JsonFormatError,
     message_to_dict,
@@ -84,6 +101,11 @@ __all__ = [
     "PlanMetrics",
     "PLAN_METRICS",
     "get_plan",
+    "EncodePlan",
+    "EncodePlanMetrics",
+    "ENCODE_PLAN_METRICS",
+    "SizedMessage",
+    "get_encode_plan",
     "FieldValueError",
     "Message",
     "MessageFactory",
@@ -91,7 +113,14 @@ __all__ = [
     "compile_proto",
     "parse_proto",
     "serialize",
+    "serialize_into",
     "serialized_size",
+    "prepare_emit",
+    "emit_writer",
+    "set_encode_mode",
+    "get_encode_mode",
+    "ENCODE_MODES",
+    "EncodeError",
     "Utf8Error",
     "validate_utf8",
     "JsonFormatError",

@@ -1,0 +1,646 @@
+"""Compiled encode plans — the per-message specialized serialization fast
+path, and the entry point of the zero-copy send pipeline.
+
+The interpretive serializer in :mod:`repro.proto.serializer` walks
+``ListFields()`` per message and re-dispatches on
+:class:`~repro.proto.descriptor.FieldType` per field occurrence; nested
+messages are serialized into intermediate ``bytes`` objects so their
+length prefix can be written, and the finished payload is copied again by
+whatever framing layer sends it.  An :class:`EncodePlan` is the encode-side
+twin of :class:`~repro.proto.decode_plan.DecodePlan`: compiled once per
+message descriptor, it holds a flat tuple of per-field closures with the
+tag varint bytes, proto3 default, ``struct.Struct`` packer, element
+converter and child plan all pre-bound — no descriptor access anywhere on
+the hot path.
+
+Serialization is the protoc scheme: one *size* pass that computes every
+submessage length exactly once (results parked in a per-call memo, the
+Python analog of C++'s cached-size fields), then one *emit* pass that
+writes wire bytes left-to-right into a caller-provided buffer.  Packed
+repeated numerics bulk-encode through NumPy — fixed-width runs are a
+single ``asarray().tobytes()``, varint runs go through the vectorized
+:func:`~repro.proto.wire_format.encode_packed_varints_bulk`.
+
+Because the emit pass targets any writable buffer, plans can serialize
+**directly into the registered send region**: :meth:`EncodePlan.serialize_into`
+and the :meth:`EncodePlan.measure` → :meth:`SizedMessage.emit_into` pair let
+the datapath reserve exactly ``size`` bytes in a block (or an xrpc frame)
+and have the plan write the wire bytes there, eliminating the intermediate
+full-payload ``bytes`` materialization the interpretive path pays.  Each
+direct emission bumps ``ENCODE_PLAN_METRICS.copies_avoided``.
+
+Plans are cached on the owning :class:`~repro.proto.message.MessageFactory`
+(``factory._encode_plans``); the interpretive path remains selectable
+(``ProtocolConfig.encode_mode = "interpretive"`` or
+:func:`repro.proto.serializer.set_encode_mode`) as the differential-testing
+baseline — both paths must produce byte-identical output on every message.
+See ``docs/DECODER.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .descriptor import FieldDescriptor, FieldType, MessageDescriptor
+from .message import Message, MessageFactory
+from .serializer import EncodeError, _scalar_to_varint, _tag_cache
+from .wire_format import (
+    _DOUBLE,
+    _FIXED32,
+    _FIXED64,
+    _FLOAT,
+    _SFIXED32,
+    _SFIXED64,
+    append_varint,
+    encode_packed_varints_bulk,
+    encode_zigzag,
+    varint_size,
+    write_varint,
+)
+
+__all__ = [
+    "EncodePlan",
+    "SizedMessage",
+    "EncodePlanMetrics",
+    "ENCODE_PLAN_METRICS",
+    "get_plan",
+    "compile_plan",
+]
+
+_U64_MASK = (1 << 64) - 1
+
+#: Runs shorter than this encode through the scalar loop — below it the
+#: NumPy array round-trip costs more than it saves.  Both paths are
+#: byte-identical; the threshold is purely a performance crossover.
+_BULK_MIN = 16
+
+
+# ---------------------------------------------------------------------------
+# Plan-cache observability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EncodePlanMetrics:
+    """Counters for encode-plan cache traffic, encode volume and the
+    zero-copy send path.
+
+    ``copies_avoided`` counts direct emissions into caller-provided
+    buffers (``serialize_into`` / ``SizedMessage.emit_into``) — each one
+    is a full-payload ``bytes`` materialization the interpretive pipeline
+    would have performed.  Plain-int counters on the hot path; export into
+    a :class:`~repro.metrics.registry.MetricsRegistry` on demand.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    plans_compiled: int = 0
+    bytes_emitted: int = 0
+    copies_avoided: int = 0
+
+    def __post_init__(self) -> None:
+        #: encodes per message type, aggregated across factories
+        self.encodes: dict[str, int] = {}
+        self._gauges = None
+
+    def count_encode(self, full_name: str) -> None:
+        self.encodes[full_name] = self.encodes.get(full_name, 0) + 1
+
+    def reset(self) -> None:
+        self.cache_hits = self.cache_misses = self.plans_compiled = 0
+        self.bytes_emitted = self.copies_avoided = 0
+        self.encodes.clear()
+
+    # -- registry export -----------------------------------------------------
+
+    def bind_registry(self, registry, prefix: str = "encode_plan"):
+        """Create the exported metric families in ``registry``."""
+        self._gauges = {
+            "hits": registry.gauge(f"{prefix}_cache_hits", "encode-plan cache hits"),
+            "misses": registry.gauge(f"{prefix}_cache_misses", "encode-plan cache misses"),
+            "compiled": registry.gauge(f"{prefix}_plans_compiled", "encode plans compiled"),
+            "bytes": registry.gauge(f"{prefix}_bytes_emitted", "wire bytes emitted by plans"),
+            "copies": registry.gauge(
+                f"{prefix}_copies_avoided",
+                "full-payload copies avoided by direct buffer emission",
+            ),
+            "encodes": registry.gauge(
+                f"{prefix}_encodes", "plan-based message encodes", ("message",)
+            ),
+        }
+        return self
+
+    def export(self) -> None:
+        """Push current counter values into the bound registry."""
+        if self._gauges is None:
+            return
+        self._gauges["hits"].set(self.cache_hits)
+        self._gauges["misses"].set(self.cache_misses)
+        self._gauges["compiled"].set(self.plans_compiled)
+        self._gauges["bytes"].set(self.bytes_emitted)
+        self._gauges["copies"].set(self.copies_avoided)
+        for name, count in self.encodes.items():
+            self._gauges["encodes"].labels(name).set(count)
+
+
+#: Process-wide metrics instance (both the plan cache and every plan feed it).
+ENCODE_PLAN_METRICS = EncodePlanMetrics()
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+def _always(value) -> bool:
+    # Singular submessages serialize whenever set, even when empty.
+    return True
+
+
+class SizedMessage:
+    """A message whose serialized size is already known.
+
+    Produced by :meth:`EncodePlan.measure`: the size pass has run and its
+    per-submessage length memo is retained, so the caller can first
+    reserve ``size`` bytes at the destination (a block payload slot, a
+    frame buffer) and then :meth:`emit_into` it — the emit pass never
+    re-measures anything.  The message must not be mutated in between.
+    """
+
+    __slots__ = ("plan", "msg", "size", "_memo")
+
+    def __init__(self, plan: "EncodePlan", msg: Message, size: int, memo: dict) -> None:
+        self.plan = plan
+        self.msg = msg
+        self.size = size
+        self._memo = memo
+
+    def emit_into(self, buf, offset: int = 0) -> int:
+        """Write the wire bytes into ``buf`` at ``offset``; returns the end
+        position.  Counts as one avoided full-payload copy."""
+        if offset + self.size > len(buf):
+            raise EncodeError(
+                f"buffer too small: need {self.size} bytes at offset {offset}, "
+                f"have {len(buf) - offset}"
+            )
+        end = self.plan._emit(self.msg, buf, offset, self._memo)
+        metrics = ENCODE_PLAN_METRICS
+        metrics.count_encode(self.plan.full_name)
+        metrics.bytes_emitted += self.size
+        metrics.copies_avoided += 1
+        return end
+
+    def to_bytes(self) -> bytes:
+        """Materialize the wire bytes (no copy avoided)."""
+        out = bytearray(self.size)
+        self.plan._emit(self.msg, out, 0, self._memo)
+        metrics = ENCODE_PLAN_METRICS
+        metrics.count_encode(self.plan.full_name)
+        metrics.bytes_emitted += self.size
+        return bytes(out)
+
+
+class EncodePlan:
+    """Compiled serializer for one message descriptor."""
+
+    __slots__ = ("descriptor", "full_name", "_fields")
+
+    def __init__(self, descriptor: MessageDescriptor) -> None:
+        self.descriptor = descriptor
+        self.full_name = descriptor.full_name
+        #: (field_name, present(value), sizer(value, memo), emitter(value,
+        #: buf, pos, memo)) in field-number order — ListFields semantics
+        #: compiled down to closure calls.
+        self._fields: tuple = ()
+
+    # -- the two passes ------------------------------------------------------
+
+    def _size(self, msg: Message, memo: dict) -> int:
+        values = msg._values
+        total = len(msg._unknown)
+        for name, present, sizer, _emitter in self._fields:
+            v = values.get(name)
+            if v is not None and present(v):
+                total += sizer(v, memo)
+        return total
+
+    def _emit(self, msg: Message, buf, pos: int, memo: dict) -> int:
+        values = msg._values
+        for name, present, _sizer, emitter in self._fields:
+            v = values.get(name)
+            if v is not None and present(v):
+                pos = emitter(v, buf, pos, memo)
+        unknown = msg._unknown
+        if unknown:
+            end = pos + len(unknown)
+            buf[pos:end] = unknown
+            pos = end
+        return pos
+
+    # -- public API ----------------------------------------------------------
+
+    def serialized_size(self, msg: Message) -> int:
+        """Exact serialized size (one size pass, memo discarded)."""
+        return self._size(msg, {})
+
+    def serialize(self, msg: Message) -> bytes:
+        """Serialize ``msg`` to a fresh ``bytes`` object."""
+        memo: dict = {}
+        size = self._size(msg, memo)
+        out = bytearray(size)
+        self._emit(msg, out, 0, memo)
+        metrics = ENCODE_PLAN_METRICS
+        metrics.count_encode(self.full_name)
+        metrics.bytes_emitted += size
+        return bytes(out)
+
+    def serialize_into(self, msg: Message, buf, offset: int = 0) -> int:
+        """Serialize ``msg`` directly into ``buf`` at ``offset``.
+
+        ``buf`` is any writable buffer (``bytearray`` or a ``memoryview``
+        of one — e.g. a slice of the registered send region).  Returns the
+        end position; raises :class:`~repro.proto.serializer.EncodeError`
+        if the message does not fit.
+        """
+        memo: dict = {}
+        size = self._size(msg, memo)
+        if offset + size > len(buf):
+            raise EncodeError(
+                f"buffer too small: need {size} bytes at offset {offset}, "
+                f"have {len(buf) - offset}"
+            )
+        end = self._emit(msg, buf, offset, memo)
+        metrics = ENCODE_PLAN_METRICS
+        metrics.count_encode(self.full_name)
+        metrics.bytes_emitted += size
+        metrics.copies_avoided += 1
+        return end
+
+    def measure(self, msg: Message) -> SizedMessage:
+        """Run the size pass now, emit later (see :class:`SizedMessage`)."""
+        memo: dict = {}
+        size = self._size(msg, memo)
+        return SizedMessage(self, msg, size, memo)
+
+
+# ---------------------------------------------------------------------------
+# Field compilation
+# ---------------------------------------------------------------------------
+
+_FIXED_PACKERS = {
+    FieldType.DOUBLE: _DOUBLE,
+    FieldType.FLOAT: _FLOAT,
+    FieldType.FIXED32: _FIXED32,
+    FieldType.FIXED64: _FIXED64,
+    FieldType.SFIXED32: _SFIXED32,
+    FieldType.SFIXED64: _SFIXED64,
+}
+
+_FIXED_DTYPES = {
+    FieldType.DOUBLE: "<f8",
+    FieldType.FLOAT: "<f4",
+    FieldType.FIXED32: "<u4",
+    FieldType.FIXED64: "<u8",
+    FieldType.SFIXED32: "<i4",
+    FieldType.SFIXED64: "<i8",
+}
+
+
+def _varint_converter(t: FieldType):
+    """Python-value → unsigned-64-bit-raw converter for varint kinds."""
+    if t is FieldType.BOOL:
+        return lambda v: 1 if v else 0
+    if t is FieldType.SINT32:
+        return lambda v: encode_zigzag(v, 32)
+    if t is FieldType.SINT64:
+        return lambda v: encode_zigzag(v, 64)
+    return lambda v: v & _U64_MASK
+
+
+def _bulk_raw(t: FieldType, vals) -> np.ndarray:
+    """Vectorized counterpart of :func:`_varint_converter`: a list of
+    field values → ``uint64`` raw varint values, bit-for-bit equal to the
+    scalar conversion."""
+    if t in (FieldType.UINT32, FieldType.UINT64):
+        return np.asarray(vals, dtype=np.uint64)
+    if t is FieldType.BOOL:
+        return np.asarray(vals, dtype=np.uint64)
+    a = np.asarray(vals, dtype=np.int64)
+    if t is FieldType.SINT32:
+        # zigzag32: results fit in 32 bits, so int64 arithmetic is exact.
+        return ((a << 1) ^ (a >> 31)).astype(np.uint64)
+    if t is FieldType.SINT64:
+        # zigzag64 in uint64 arithmetic: (2v mod 2^64) ^ (all-ones if v<0),
+        # identical to ((v<<1) ^ (v>>63)) & MASK64 without int64 overflow.
+        u = a.view(np.uint64)
+        return (u << np.uint64(1)) ^ np.where(
+            a < 0, np.uint64(_U64_MASK), np.uint64(0)
+        )
+    # int32/int64/enum: negatives are 64-bit two's complement.
+    return a.view(np.uint64)
+
+
+def _packed_run_encoder(fd: FieldDescriptor):
+    """Returns ``encode(values) -> bytes`` producing the packed payload of
+    one repeated numeric field, byte-identical to the interpretive
+    per-element loop."""
+    t = fd.type
+    if t in _FIXED_DTYPES:
+        dtype = _FIXED_DTYPES[t]
+        packer = _FIXED_PACKERS[t]
+        if t is FieldType.FLOAT:
+
+            def encode(vals) -> bytes:
+                arr64 = np.asarray(vals, dtype=np.float64)
+                with np.errstate(over="ignore"):
+                    arr = arr64.astype(np.float32)
+                # struct.pack('<f') raises where NumPy would round to inf;
+                # keep the two encode paths behaviorally identical.
+                if np.any(np.isinf(arr) & np.isfinite(arr64)):
+                    raise OverflowError("float too large to pack with f format")
+                return arr.tobytes()
+
+            return encode
+
+        def encode(vals) -> bytes:
+            if len(vals) < _BULK_MIN:
+                out = bytearray()
+                for v in vals:
+                    out += packer.pack(v)
+                return bytes(out)
+            return np.asarray(vals, dtype=dtype).tobytes()
+
+        return encode
+
+    to_raw = _varint_converter(t)
+    if t is FieldType.BOOL:
+        # Booleans are single-byte varints; the uint8 buffer IS the run.
+        return lambda vals: bytes(vals)
+
+    def encode(vals) -> bytes:
+        if len(vals) < _BULK_MIN:
+            out = bytearray()
+            for v in vals:
+                append_varint(out, to_raw(v))
+            return bytes(out)
+        return encode_packed_varints_bulk(_bulk_raw(t, vals))
+
+    return encode
+
+
+def _compile_field(fd: FieldDescriptor, factory: MessageFactory, cache: dict):
+    """Compile one field into ``(present, sizer, emitter)`` closures."""
+    tag, packed_tag, tag_len = _tag_cache(fd)
+    t = fd.type
+
+    if fd.is_repeated:
+        present = len
+        if t is FieldType.MESSAGE:
+            child = _child_plan(fd.message_type, factory, cache)
+
+            def sizer(v, memo):
+                total = 0
+                child_size = child._size
+                for e in v:
+                    n = child_size(e, memo)
+                    memo[id(e)] = n
+                    total += tag_len + varint_size(n) + n
+                return total
+
+            def emitter(v, buf, pos, memo):
+                child_emit = child._emit
+                for e in v:
+                    n = memo[id(e)]
+                    buf[pos : pos + tag_len] = tag
+                    pos = write_varint(buf, pos + tag_len, n)
+                    pos = child_emit(e, buf, pos, memo)
+                return pos
+
+        elif t is FieldType.STRING:
+
+            def sizer(v, memo):
+                datas = [e.encode("utf-8") for e in v]
+                memo[id(v)] = datas
+                total = 0
+                for d in datas:
+                    n = len(d)
+                    total += tag_len + varint_size(n) + n
+                return total
+
+            def emitter(v, buf, pos, memo):
+                for d in memo[id(v)]:
+                    buf[pos : pos + tag_len] = tag
+                    pos = write_varint(buf, pos + tag_len, len(d))
+                    end = pos + len(d)
+                    buf[pos:end] = d
+                    pos = end
+                return pos
+
+        elif t is FieldType.BYTES:
+
+            def sizer(v, memo):
+                total = 0
+                for d in v:
+                    n = len(d)
+                    total += tag_len + varint_size(n) + n
+                return total
+
+            def emitter(v, buf, pos, memo):
+                for d in v:
+                    buf[pos : pos + tag_len] = tag
+                    pos = write_varint(buf, pos + tag_len, len(d))
+                    end = pos + len(d)
+                    buf[pos:end] = d
+                    pos = end
+                return pos
+
+        elif fd.is_packed and not getattr(fd, "force_unpacked", False):
+            encode_run = _packed_run_encoder(fd)
+
+            def sizer(v, memo):
+                run = encode_run(v)
+                memo[id(v)] = run
+                n = len(run)
+                return tag_len + varint_size(n) + n
+
+            def emitter(v, buf, pos, memo):
+                run = memo[id(v)]
+                buf[pos : pos + tag_len] = packed_tag
+                pos = write_varint(buf, pos + tag_len, len(run))
+                end = pos + len(run)
+                buf[pos:end] = run
+                pos = end
+                return pos
+
+        elif t.is_varint:
+            to_raw = _varint_converter(t)
+
+            def sizer(v, memo):
+                total = len(v) * tag_len
+                for e in v:
+                    total += varint_size(to_raw(e))
+                return total
+
+            def emitter(v, buf, pos, memo):
+                for e in v:
+                    buf[pos : pos + tag_len] = tag
+                    pos = write_varint(buf, pos + tag_len, to_raw(e))
+                return pos
+
+        else:  # unpacked fixed-width (``[packed = false]``)
+            packer = _FIXED_PACKERS[t]
+            width = packer.size
+
+            def sizer(v, memo):
+                return len(v) * (tag_len + width)
+
+            def emitter(v, buf, pos, memo):
+                pack_into = packer.pack_into
+                for e in v:
+                    buf[pos : pos + tag_len] = tag
+                    pos += tag_len
+                    pack_into(buf, pos, e)
+                    pos += width
+                return pos
+
+        return fd.name, present, sizer, emitter
+
+    # -- singular ------------------------------------------------------------
+
+    if t is FieldType.MESSAGE:
+        child = _child_plan(fd.message_type, factory, cache)
+        present = _always
+
+        def sizer(v, memo):
+            n = child._size(v, memo)
+            memo[id(v)] = n
+            return tag_len + varint_size(n) + n
+
+        def emitter(v, buf, pos, memo):
+            n = memo[id(v)]
+            buf[pos : pos + tag_len] = tag
+            pos = write_varint(buf, pos + tag_len, n)
+            return child._emit(v, buf, pos, memo)
+
+        return fd.name, present, sizer, emitter
+
+    default = fd.default_value()
+
+    def present(v, _default=default):
+        return v != _default
+
+    if t is FieldType.BOOL:
+        # A present singular bool is necessarily True: one payload byte.
+        one = tag_len + 1
+
+        def sizer(v, memo):
+            return one
+
+        def emitter(v, buf, pos, memo):
+            buf[pos : pos + tag_len] = tag
+            buf[pos + tag_len] = 1
+            return pos + one
+
+    elif t.is_varint:
+        to_raw = _varint_converter(t)
+
+        def sizer(v, memo):
+            return tag_len + varint_size(to_raw(v))
+
+        def emitter(v, buf, pos, memo):
+            buf[pos : pos + tag_len] = tag
+            return write_varint(buf, pos + tag_len, to_raw(v))
+
+    elif t is FieldType.STRING:
+
+        def sizer(v, memo):
+            data = v.encode("utf-8")
+            memo[id(v)] = data
+            n = len(data)
+            return tag_len + varint_size(n) + n
+
+        def emitter(v, buf, pos, memo):
+            data = memo[id(v)]
+            buf[pos : pos + tag_len] = tag
+            pos = write_varint(buf, pos + tag_len, len(data))
+            end = pos + len(data)
+            buf[pos:end] = data
+            return end
+
+    elif t is FieldType.BYTES:
+
+        def sizer(v, memo):
+            n = len(v)
+            return tag_len + varint_size(n) + n
+
+        def emitter(v, buf, pos, memo):
+            buf[pos : pos + tag_len] = tag
+            pos = write_varint(buf, pos + tag_len, len(v))
+            end = pos + len(v)
+            buf[pos:end] = v
+            return end
+
+    else:  # fixed-width scalar
+        packer = _FIXED_PACKERS[t]
+        width = packer.size
+        total = tag_len + width
+
+        def sizer(v, memo):
+            return total
+
+        def emitter(v, buf, pos, memo):
+            buf[pos : pos + tag_len] = tag
+            packer.pack_into(buf, pos + tag_len, v)
+            return pos + total
+
+    return fd.name, present, sizer, emitter
+
+
+def _child_plan(
+    descriptor: MessageDescriptor, factory: MessageFactory, cache: dict
+) -> EncodePlan:
+    plan = cache.get(descriptor.full_name)
+    if plan is None:
+        plan = compile_plan(descriptor, factory, cache)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Compilation & cache
+# ---------------------------------------------------------------------------
+
+
+def compile_plan(
+    descriptor: MessageDescriptor,
+    factory: MessageFactory,
+    cache: dict[str, EncodePlan],
+) -> EncodePlan:
+    """Compile a plan for ``descriptor``; the plan is inserted into
+    ``cache`` *before* its fields compile so recursive message types
+    resolve to the in-flight plan instead of recursing forever."""
+    plan = EncodePlan(descriptor)
+    cache[descriptor.full_name] = plan
+    ENCODE_PLAN_METRICS.plans_compiled += 1
+    plan._fields = tuple(
+        _compile_field(fd, factory, cache) for fd in descriptor.fields_sorted()
+    )
+    return plan
+
+
+def get_plan(descriptor: MessageDescriptor, factory: MessageFactory) -> EncodePlan:
+    """The cached plan for ``descriptor`` under ``factory`` (compiling on
+    first use).  Plans live on the factory — one compilation serves every
+    instance of the message class."""
+    cache = factory.__dict__.get("_encode_plans")
+    if cache is None:
+        cache = {}
+        factory._encode_plans = cache
+    plan = cache.get(descriptor.full_name)
+    if plan is None:
+        ENCODE_PLAN_METRICS.cache_misses += 1
+        plan = compile_plan(descriptor, factory, cache)
+    else:
+        ENCODE_PLAN_METRICS.cache_hits += 1
+    return plan

@@ -5,6 +5,17 @@ proto3 wire format.  Output is byte-identical to what protoc-generated C++
 code emits for the same logical value with fields written in ascending
 field-number order, so the offloaded deserializer operates on authentic
 wire bytes.
+
+Two encode paths are available, selected by :func:`set_encode_mode` /
+``ProtocolConfig.encode_mode`` or per call:
+
+* ``"plan"`` (default) — compiled per-message encode plans
+  (:mod:`repro.proto.encode_plan`) that size once and emit straight into
+  caller-provided buffers; and
+* ``"interpretive"`` — the descriptor-walking baseline in this module,
+  kept selectable for differential testing.
+
+Both must produce byte-identical output for every message.
 """
 
 from __future__ import annotations
@@ -24,7 +35,57 @@ from .wire_format import (
     varint_size,
 )
 
-__all__ = ["serialize", "serialized_size"]
+__all__ = [
+    "serialize",
+    "serialize_into",
+    "serialized_size",
+    "prepare_emit",
+    "emit_writer",
+    "set_encode_mode",
+    "get_encode_mode",
+    "ENCODE_MODES",
+    "EncodeError",
+]
+
+#: Selectable encode paths; "plan" is the compiled fast path.
+ENCODE_MODES = ("plan", "interpretive")
+
+_encode_mode = "plan"
+
+
+class EncodeError(ValueError):
+    """Raised when a message cannot be emitted into the destination
+    buffer (typically: the reserved space is too small)."""
+
+
+def set_encode_mode(mode: str) -> str:
+    """Set the process-wide default encode mode; returns the previous one."""
+    global _encode_mode
+    if mode not in ENCODE_MODES:
+        raise ValueError(f"unknown encode mode {mode!r} (expected one of {ENCODE_MODES})")
+    previous = _encode_mode
+    _encode_mode = mode
+    return previous
+
+
+def get_encode_mode() -> str:
+    """The process-wide default encode mode."""
+    return _encode_mode
+
+
+def _resolve_mode(mode: str | None) -> str:
+    if mode is None:
+        return _encode_mode
+    if mode not in ENCODE_MODES:
+        raise ValueError(f"unknown encode mode {mode!r} (expected one of {ENCODE_MODES})")
+    return mode
+
+
+def _plan_for(msg: Message):
+    # Imported lazily: encode_plan imports this module for the tag cache.
+    from .encode_plan import get_plan
+
+    return get_plan(type(msg).DESCRIPTOR, msg._FACTORY)
 
 # Wire type used when a field of this type is emitted individually.
 _WIRE_TYPE_FOR = {
@@ -142,18 +203,104 @@ def _serialize_bytes(msg: Message) -> bytes:
     return bytes(out)
 
 
-def serialize(msg: Message) -> bytes:
-    """Serialize ``msg`` to proto3 wire format."""
+def serialize(msg: Message, mode: str | None = None) -> bytes:
+    """Serialize ``msg`` to proto3 wire format.
+
+    ``mode`` overrides the process default ("plan" or "interpretive");
+    both paths emit byte-identical output.
+    """
+    if _resolve_mode(mode) == "plan":
+        return _plan_for(msg).serialize(msg)
     return _serialize_bytes(msg)
 
 
-def serialized_size(msg: Message) -> int:
+def serialize_into(msg: Message, buf, offset: int = 0, mode: str | None = None) -> int:
+    """Serialize ``msg`` directly into writable buffer ``buf`` at
+    ``offset``; returns the end position.
+
+    In plan mode the wire bytes are emitted in place with no intermediate
+    ``bytes`` materialization — this is the zero-copy entry point the
+    datapath uses to serialize into reserved block/frame space.  The
+    interpretive fallback materializes and copies (the baseline being
+    measured against).  Raises :class:`EncodeError` if the message does
+    not fit.
+    """
+    if _resolve_mode(mode) == "plan":
+        return _plan_for(msg).serialize_into(msg, buf, offset)
+    data = _serialize_bytes(msg)
+    end = offset + len(data)
+    if end > len(buf):
+        raise EncodeError(
+            f"buffer too small: need {len(data)} bytes at offset {offset}, "
+            f"have {len(buf) - offset}"
+        )
+    buf[offset:end] = data
+    return end
+
+
+class _PreparedBytes:
+    """Interpretive counterpart of
+    :class:`~repro.proto.encode_plan.SizedMessage`: the payload is already
+    materialized; ``emit_into`` copies it."""
+
+    __slots__ = ("data", "size")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.size = len(data)
+
+    def emit_into(self, buf, offset: int = 0) -> int:
+        end = offset + self.size
+        if end > len(buf):
+            raise EncodeError(
+                f"buffer too small: need {self.size} bytes at offset {offset}, "
+                f"have {len(buf) - offset}"
+            )
+        buf[offset:end] = self.data
+        return end
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+
+def prepare_emit(msg: Message, mode: str | None = None):
+    """Size ``msg`` now, emit later: returns an object with ``.size``,
+    ``.emit_into(buf, offset) -> end`` and ``.to_bytes()``.
+
+    This is the reserve-then-fill API of the send path: callers reserve
+    exactly ``size`` bytes at the destination (block payload slot, frame
+    buffer) before any wire byte is produced, then have the plan emit in
+    place.  The message must not be mutated in between.
+    """
+    if _resolve_mode(mode) == "plan":
+        return _plan_for(msg).measure(msg)
+    return _PreparedBytes(_serialize_bytes(msg))
+
+
+def emit_writer(msg: Message, mode: str | None = None):
+    """``(size, writer)`` for the block datapath: ``writer(space, addr)``
+    emits ``msg``'s wire bytes directly into the registered send region
+    via ``space.view`` and returns the payload size — the shape
+    ``core.endpoint`` expects from ``Response.writer`` / ``enqueue``."""
+    sized = prepare_emit(msg, mode)
+    size = sized.size
+
+    def writer(space, addr: int) -> int:
+        sized.emit_into(space.view(addr, size), 0)
+        return size
+
+    return size, writer
+
+
+def serialized_size(msg: Message, mode: str | None = None) -> int:
     """Serialized size in bytes without materializing the output.
 
     Kept exact (rather than ``len(serialize(msg))``) so the datapath
     simulator can size blocks cheaply; nested messages still require a
     recursive walk, matching protobuf's ``ByteSizeLong`` structure.
     """
+    if _resolve_mode(mode) == "plan":
+        return _plan_for(msg).serialized_size(msg)
     size = len(msg._unknown)
     for fd, value in msg.ListFields():
         # The wire type occupies the tag's low 3 bits, so the natural and

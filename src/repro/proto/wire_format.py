@@ -40,7 +40,9 @@ __all__ = [
     "split_tag",
     "read_tag",
     "encode_packed_varints",
+    "encode_packed_varints_bulk",
     "decode_packed_varints",
+    "write_varint",
     "WireFormatError",
     "TruncatedMessageError",
 ]
@@ -110,6 +112,23 @@ def append_varint(buf: bytearray, value: int) -> None:
         buf.append((value & 0x7F) | 0x80)
         value >>= 7
     buf.append(value)
+
+
+def write_varint(buf, pos: int, value: int) -> int:
+    """Write the varint encoding of ``value`` into ``buf`` at ``pos``.
+
+    Returns the position past the last byte written.  ``buf`` must be a
+    writable buffer (``bytearray`` or a ``memoryview`` of one); unlike
+    :func:`append_varint` this targets preallocated destinations, which is
+    what lets encode plans emit straight into registered send buffers.
+    """
+    value &= _U64_MASK
+    while value >= 128:
+        buf[pos] = (value & 0x7F) | 0x80
+        pos += 1
+        value >>= 7
+    buf[pos] = value
+    return pos + 1
 
 
 def read_varint(buf, pos: int) -> tuple[int, int]:
@@ -262,6 +281,41 @@ def encode_packed_varints(values: Iterable[int]) -> bytes:
     for v in values:
         append_varint(out, v)
     return bytes(out)
+
+
+def encode_packed_varints_bulk(values: np.ndarray) -> bytes:
+    """Encode a ``uint64`` NumPy array as a packed varint run.
+
+    The vectorized mirror of :func:`decode_packed_varints`: per-value
+    encoded lengths come from threshold comparisons against the base-128
+    digit boundaries, then every value's base-128 digits are laid out as
+    one ``(n, max_len)`` matrix (digit ``k`` is ``(v >> 7k) & 0x7F``, with
+    the continuation bit on every digit but the value's last) and the
+    ragged varints are compacted with a single row-major boolean index —
+    no per-byte-position Python loop.  Output is byte-identical to
+    repeated :func:`append_varint` — varints are always emitted in
+    canonical (minimal-length) form.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    n = values.size
+    if n == 0:
+        return b""
+    lengths = np.ones(n, dtype=np.int64)
+    for k in range(1, MAX_VARINT_LEN):
+        lengths += values >= np.uint64(1 << (7 * k))
+    max_len = int(lengths.max())
+    if max_len == 1:
+        return values.astype(np.uint8).tobytes()
+    k = np.arange(max_len, dtype=np.uint64)
+    digits = ((values[:, None] >> (np.uint64(7) * k)) & np.uint64(0x7F)).astype(
+        np.uint8
+    )
+    keep = k[None, :].astype(np.int64) < lengths[:, None]
+    continued = k[None, :].astype(np.int64) < (lengths[:, None] - 1)
+    digits[continued] |= 0x80
+    # Row-major boolean selection preserves per-value digit order, so the
+    # kept digits concatenate into the packed run directly.
+    return digits[keep].tobytes()
 
 
 def decode_packed_varints(data, count_hint: int | None = None) -> np.ndarray:

@@ -12,9 +12,15 @@ from __future__ import annotations
 import itertools
 from typing import Callable
 
-from repro.proto import Message, parse
+from repro.proto import Message, parse, prepare_emit
 
-from .framing import FrameDecoder, FrameType, StatusCode, encode_request
+from .framing import (
+    FrameDecoder,
+    FrameType,
+    StatusCode,
+    request_frame_size,
+    write_request_header,
+)
 from .transport import Network, SimSocket
 
 __all__ = ["RpcError", "XrpcChannel"]
@@ -32,9 +38,19 @@ class RpcError(RuntimeError):
 class XrpcChannel:
     """One client connection to an xRPC server address."""
 
-    def __init__(self, network: Network, address: str, name: str = "xrpc-client") -> None:
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        name: str = "xrpc-client",
+        encode_mode: str | None = None,
+    ) -> None:
         self.address = address
         self.socket: SimSocket = network.connect(address, name)
+        #: Request-serialization path (``ProtocolConfig.encode_mode``):
+        #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
+        #: the process-wide default (see repro.proto.set_encode_mode).
+        self.encode_mode = encode_mode
         self._decoder = FrameDecoder()
         self._call_ids = itertools.count(1, 2)  # odd ids, like HTTP/2 client streams
         # call_id -> (response class, callback)
@@ -58,7 +74,15 @@ class XrpcChannel:
         completion (response is None unless status == OK)."""
         call_id = next(self._call_ids)
         self._pending[call_id] = (response_cls, callback)
-        self.socket.send(encode_request(call_id, method, request.SerializeToString()))
+        # Zero-copy framing: size the message first, build the frame in
+        # one buffer, and have the encode plan emit the wire bytes in
+        # place after the header — no intermediate serialized `bytes`.
+        sized = prepare_emit(request, mode=self.encode_mode)
+        m = method.encode("utf-8")
+        frame = bytearray(request_frame_size(len(m), sized.size))
+        payload_at = write_request_header(frame, call_id, m, sized.size)
+        sized.emit_into(frame, payload_at)
+        self.socket.send(frame)
         return call_id
 
     def call_sync(self, method: str, request: Message, response_cls: type[Message],

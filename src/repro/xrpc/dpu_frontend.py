@@ -26,7 +26,14 @@ from repro.core import Flags, IncomingRequest
 from repro.offload.engine import DpuEngine, HostEngine
 from repro.proto.descriptor import ServiceDescriptor
 
-from .framing import FrameDecoder, FrameType, StatusCode, encode_response
+from .framing import (
+    FrameDecoder,
+    FrameType,
+    StatusCode,
+    encode_response,
+    response_frame_size,
+    write_response_header,
+)
 from .service import assign_method_ids, build_dispatch_table, method_path
 from .transport import Listener, Network, SimSocket
 
@@ -97,10 +104,15 @@ class OffloadedXrpcServer:
 
         def on_response(view: memoryview, flags: int) -> None:
             # The host's response is already serialized protobuf; the DPU
-            # only reframes it for the xRPC client (§III-A).
+            # only reframes it for the xRPC client (§III-A).  The payload
+            # is copied exactly once — from the protocol block straight
+            # into the outgoing frame, with no intermediate bytes object.
             self.responses_returned += 1
             status = StatusCode.INTERNAL if flags & Flags.ERROR else StatusCode.OK
-            conn.socket.send(encode_response(call_id, status, bytes(view)))
+            frame = bytearray(response_frame_size(len(view)))
+            payload_at = write_response_header(frame, call_id, status, len(view))
+            frame[payload_at:] = view
+            conn.socket.send(frame)
 
         try:
             self.dpu.call(method_id, payload, on_response)

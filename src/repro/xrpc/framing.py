@@ -31,6 +31,10 @@ __all__ = [
     "FramingError",
     "encode_request",
     "encode_response",
+    "request_frame_size",
+    "response_frame_size",
+    "write_request_header",
+    "write_response_header",
     "FrameDecoder",
 ]
 
@@ -64,31 +68,60 @@ class Frame:
     message: bytes
 
 
-def _message_prefix(message: bytes) -> bytes:
-    # gRPC's 5-byte prefix: compressed flag, then u32 length, big-endian.
-    return struct.pack(">BI", 0, len(message))
+_HEADER = struct.Struct("<BIBH")
+_PREFIX = struct.Struct(">BI")  # gRPC's 5-byte prefix: compressed flag + u32 BE length
+
+
+def request_frame_size(method_len: int, message_size: int) -> int:
+    """Total bytes of a request frame carrying ``message_size`` payload
+    bytes — what a caller allocates before :func:`write_request_header`."""
+    return _HEADER.size + method_len + _PREFIX.size + message_size
+
+
+def response_frame_size(message_size: int) -> int:
+    """Total bytes of a response frame carrying ``message_size`` payload
+    bytes."""
+    return _HEADER.size + _PREFIX.size + message_size
+
+
+def write_request_header(buf, call_id: int, method: bytes, message_size: int) -> int:
+    """Write a request frame's header + method + message prefix into
+    ``buf`` (a writable buffer of at least ``request_frame_size`` bytes);
+    returns the offset where the message payload belongs.
+
+    The reserve-then-fill half of the zero-copy send path: the serializer
+    emits the payload in place at the returned offset instead of handing
+    over a ``bytes`` object for concatenation.
+    """
+    _HEADER.pack_into(buf, 0, FrameType.REQUEST, call_id, 0, len(method))
+    pos = _HEADER.size
+    end = pos + len(method)
+    buf[pos:end] = method
+    _PREFIX.pack_into(buf, end, 0, message_size)
+    return end + _PREFIX.size
+
+
+def write_response_header(buf, call_id: int, status: int, message_size: int) -> int:
+    """Response analog of :func:`write_request_header`; returns the offset
+    where the message payload belongs."""
+    _HEADER.pack_into(buf, 0, FrameType.RESPONSE, call_id, status, 0)
+    _PREFIX.pack_into(buf, _HEADER.size, 0, message_size)
+    return _HEADER.size + _PREFIX.size
 
 
 def encode_request(call_id: int, method: str, message: bytes) -> bytes:
     m = method.encode("utf-8")
-    return (
-        struct.pack("<BIBH", FrameType.REQUEST, call_id, 0, len(m))
-        + m
-        + _message_prefix(message)
-        + message
-    )
+    buf = bytearray(request_frame_size(len(m), len(message)))
+    pos = write_request_header(buf, call_id, m, len(message))
+    buf[pos:] = message
+    return bytes(buf)
 
 
 def encode_response(call_id: int, status: int, message: bytes) -> bytes:
-    return (
-        struct.pack("<BIBH", FrameType.RESPONSE, call_id, status, 0)
-        + _message_prefix(message)
-        + message
-    )
-
-
-_HEADER = struct.Struct("<BIBH")
-_PREFIX = struct.Struct(">BI")
+    buf = bytearray(response_frame_size(len(message)))
+    pos = write_response_header(buf, call_id, status, len(message))
+    buf[pos:] = message
+    return bytes(buf)
 
 
 class FrameDecoder:

@@ -12,10 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.proto import Message, MessageFactory, WireFormatError, parse, serialize
+from repro.proto import Message, MessageFactory, WireFormatError, parse, prepare_emit
 from repro.proto.descriptor import ServiceDescriptor
 
-from .framing import FrameDecoder, FrameType, StatusCode, encode_response
+from .framing import (
+    FrameDecoder,
+    FrameType,
+    StatusCode,
+    encode_response,
+    response_frame_size,
+    write_response_header,
+)
 from .service import MethodBinding, build_dispatch_table
 from .transport import Listener, Network, SimSocket
 
@@ -46,6 +53,7 @@ class XrpcServer:
         address: str,
         factory: MessageFactory,
         decode_mode: str | None = None,
+        encode_mode: str | None = None,
     ) -> None:
         self.address = address
         self.listener: Listener = network.listen(address)
@@ -54,6 +62,9 @@ class XrpcServer:
         #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
         #: the process-wide default (see repro.proto.set_decode_mode).
         self.decode_mode = decode_mode
+        #: Response-serialization path (``ProtocolConfig.encode_mode``),
+        #: same convention (see repro.proto.set_encode_mode).
+        self.encode_mode = encode_mode
         self._methods: dict[str, MethodBinding] = {}
         self._connections: list[_Connection] = []
         self.stats = ServerStats()
@@ -123,7 +134,19 @@ class XrpcServer:
         ):
             self._respond(conn, call_id, StatusCode.INTERNAL, b"")
             return
-        self._respond(conn, call_id, StatusCode.OK, serialize(response))
+        self._respond_message(conn, call_id, response)
+
+    def _respond_message(self, conn: _Connection, call_id: int, response: Message) -> None:
+        """OK response: size the message, build the frame in one buffer,
+        emit the payload in place after the header (zero intermediate
+        full-payload ``bytes``)."""
+        sized = prepare_emit(response, mode=self.encode_mode)
+        self.stats.responses += 1
+        self.stats.response_bytes += sized.size
+        frame = bytearray(response_frame_size(sized.size))
+        payload_at = write_response_header(frame, call_id, StatusCode.OK, sized.size)
+        sized.emit_into(frame, payload_at)
+        conn.socket.send(frame)
 
     def _respond(self, conn: _Connection, call_id: int, status: int, message: bytes) -> None:
         if status == StatusCode.OK:
