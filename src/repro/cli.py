@@ -8,6 +8,7 @@ code generator from a shell.
     python -m repro fig8 [--workload NAME]     # Fig. 8 datapath cells
     python -m repro workloads                  # message size accounting
     python -m repro protoc FILE [--adt] [-o DIR]
+    python -m repro faults [--seed N] [--scenarios N]   # fault campaign
 """
 
 from __future__ import annotations
@@ -117,6 +118,24 @@ def _cmd_protoc(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import run_campaign
+
+    deployments = (
+        ("core", "offloaded") if args.deployment == "both" else (args.deployment,)
+    )
+    on_result = (lambda r: print(r.render())) if args.verbose else None
+    report = run_campaign(
+        base_seed=args.seed,
+        scenarios=args.scenarios,
+        deployments=deployments,
+        verify_every=args.verify_every,
+        on_result=on_result,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,6 +163,32 @@ def main(argv: list[str] | None = None) -> int:
                     help="also run the ADT plugin (.adt.pb analog)")
     pc.add_argument("-o", "--output", help="output directory (default: alongside input)")
     pc.set_defaults(fn=_cmd_protoc)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a seeded fault-injection campaign (docs/FAULTS.md)",
+    )
+    faults.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    faults.add_argument(
+        "--scenarios", type=int, default=200, help="number of scenarios (default 200)"
+    )
+    faults.add_argument(
+        "--deployment",
+        choices=["core", "offloaded", "both"],
+        default="both",
+        help="which deployment(s) to break",
+    )
+    faults.add_argument(
+        "--verify-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="re-run every K-th scenario and require identical fingerprints",
+    )
+    faults.add_argument(
+        "--verbose", action="store_true", help="print every scenario verdict"
+    )
+    faults.set_defaults(fn=_cmd_faults)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -16,9 +16,11 @@ from .endpoint import (
     ProtocolError,
     Response,
     ServerEndpoint,
+    TransportError,
 )
 from .executor import DeferredExecutor, InlineExecutor, WorkerPool
 from .idpool import IdPoolError, RequestIdPool
+from .recovery import ChannelRecovery, RecoveryError, RecoveryReport, supervise_channel
 from .tracing import Span, Tracer, describe_flags, dissect_block, hexdump
 from .wire import (
     HEADER_SIZE,
@@ -27,10 +29,12 @@ from .wire import (
     BlockFormatError,
     BlockReader,
     BlockWriter,
+    ChecksumError,
     Flags,
     MessageHeader,
     Preamble,
     bucket_to_offset,
+    compute_block_checksum,
     offset_to_bucket,
 )
 
@@ -50,8 +54,13 @@ __all__ = [
     "ProtocolError",
     "Response",
     "ServerEndpoint",
+    "TransportError",
     "IdPoolError",
     "RequestIdPool",
+    "ChannelRecovery",
+    "RecoveryError",
+    "RecoveryReport",
+    "supervise_channel",
     "DeferredExecutor",
     "InlineExecutor",
     "WorkerPool",
@@ -66,9 +75,11 @@ __all__ = [
     "BlockFormatError",
     "BlockReader",
     "BlockWriter",
+    "ChecksumError",
     "Flags",
     "MessageHeader",
     "Preamble",
     "bucket_to_offset",
+    "compute_block_checksum",
     "offset_to_bucket",
 ]

@@ -87,6 +87,15 @@ class ProtocolConfig:
     flush_byte_threshold: int = 0
     decode_mode: str = "plan"
     encode_mode: str = "plan"
+    #: progress passes a transmitted request may stay unanswered before
+    #: the client fails it locally with Flags.ERROR | Flags.ABORTED
+    #: (docs/FAULTS.md).  0 (the default) disables deadlines — correct
+    #: for the benchmark paths, where a stall means a bug, not a fault.
+    request_deadline_ticks: int = 0
+    #: per-block body CRC-32 verification on receive (docs/FAULTS.md);
+    #: off by default — the checksum is always *written*, verification
+    #: is opt-in for fault-injection runs.
+    verify_checksums: bool = False
 
     def __post_init__(self) -> None:
         if self.block_alignment & (self.block_alignment - 1):
@@ -111,6 +120,8 @@ class ProtocolConfig:
             raise ValueError(f"unknown decode mode {self.decode_mode!r}")
         if self.encode_mode not in ("plan", "interpretive"):
             raise ValueError(f"unknown encode mode {self.encode_mode!r}")
+        if self.request_deadline_ticks < 0:
+            raise ValueError("request_deadline_ticks must be >= 0")
 
     def credit_check(self, message_size: int) -> bool:
         """The paper's §VI-A sizing rule: for true concurrency,

@@ -57,7 +57,7 @@ from repro.memory import (
     MemoryRegion,
     OffsetAllocator,
 )
-from repro.rdma import CompletionQueue, Opcode, QueuePair, WorkRequest
+from repro.rdma import CompletionQueue, Opcode, QpState, QueuePair, WorkRequest
 from repro.runtime.flush import FlushState, make_flush_policy
 
 from .config import ProtocolConfig
@@ -75,6 +75,7 @@ from .wire import (
 
 __all__ = [
     "ProtocolError",
+    "TransportError",
     "IncomingRequest",
     "Response",
     "ClientEndpoint",
@@ -103,6 +104,17 @@ class AddressContinuation:
 
 class ProtocolError(RuntimeError):
     """Protocol invariant violated."""
+
+
+class TransportError(ProtocolError):
+    """The reliable connection itself failed: an error completion (QP
+    flush, RNR exhaustion, protection fault) surfaced in the CQ.  The
+    recovery machinery (:mod:`repro.core.recovery`) catches this and
+    resets the connection instead of letting the endpoint die."""
+
+    def __init__(self, name: str, status) -> None:
+        super().__init__(f"{name}: completion error {status}")
+        self.status = status
 
 
 @dataclass
@@ -186,6 +198,18 @@ class Response:
 Handler = Callable[[IncomingRequest], Response]
 
 
+def _fail_continuation(cont, reason: bytes) -> None:
+    """Deliver a locally synthesized failure (deadline expiry, connection
+    reset) to a request continuation.  ABORTED distinguishes 'the library
+    gave up' from a server-side ERROR response; AddressContinuations get a
+    null address — their object payload never materialized."""
+    flags = Flags.ERROR | Flags.ABORTED
+    if isinstance(cont, AddressContinuation):
+        cont.fn(0, 0, flags)
+    else:
+        cont(memoryview(reason), flags)
+
+
 @dataclass
 class _OutBlock:
     """A sealed block waiting for (or in) flight.
@@ -242,11 +266,23 @@ class _EndpointBase:
         self._send_queue: deque[_OutBlock] = deque()
         #: out-of-band RDMA SEND payloads (bootstrap/control traffic)
         self.inbound_sends: deque[bytes] = deque()
+        #: connection resets survived (repro.core.recovery)
+        self.resets = 0
+        # Per-direction block sequence numbers (docs/FAULTS.md): _tx_seq
+        # stamps outgoing preambles at transmit time; _rx_seq tracks the
+        # last in-order block accepted.  Without them a silently lost or
+        # duplicated block desynchronizes the mirrored §IV-D ID pools and
+        # responses pair with the *wrong* continuations — undetectably.
+        self._tx_seq = 0
+        self._rx_seq = 0
+        #: duplicate block deliveries dropped by the sequence check
+        self.duplicate_blocks = 0
         # Pre-post one receive WQE per possible in-flight block from the
         # peer (the peer's credit limit bounds that; the factory passes it
         # in), plus slack for the repost that replenishes.
+        self._recv_slots = recv_slots if recv_slots is not None else config.credits
         self._posted_recvs = 0
-        for _ in range((recv_slots if recv_slots is not None else config.credits) + 8):
+        for _ in range(self._recv_slots + 8):
             self._post_recv()
 
     # -- progress-engine integration -------------------------------------------
@@ -294,6 +330,30 @@ class _EndpointBase:
         self.qp.post_recv(next(self._wr_ids))
         self._posted_recvs += 1
 
+    # -- connection reset --------------------------------------------------------
+
+    def reset_connection_state(self) -> None:
+        """Rebuild the connection-scoped protocol state from scratch after
+        a transport reset: fresh allocator, credits, and request-ID pool
+        (both sides rebuild deterministically, so the §IV-D synchronized
+        sequences restart aligned), emptied send queue, reposted receive
+        WQEs.  The QP must already be back in RTS — the error flush tore
+        its receive queue down, so the WQEs are replenished here.  Drives
+        nothing itself; :class:`repro.core.recovery.ChannelRecovery`
+        sequences the two sides."""
+        self.allocator = OffsetAllocator(self.sbuf.size)
+        self.credits = CreditManager(self.config.credits)
+        self.id_pool = RequestIdPool(min(self.config.concurrency, 1 << 16))
+        self._send_queue.clear()
+        self.inbound_sends.clear()
+        self._open_since = None
+        self._tx_seq = 0
+        self._rx_seq = 0
+        self._posted_recvs = 0
+        for _ in range(self._recv_slots + 8):
+            self._post_recv()
+        self.resets += 1
+
     # -- block plumbing ----------------------------------------------------------
 
     def _alloc_block(self, capacity: int) -> int:
@@ -319,6 +379,15 @@ class _EndpointBase:
         offset = out.sbuf_addr - self.sbuf.base
         bucket = offset_to_bucket(offset, self.remote_block_alignment)
         out.bucket = bucket
+        # Stamp the block sequence now — post order *is* wire order on a
+        # reliable connection, and every block (data, response, pure ack)
+        # funnels through here.  Like the ack counter, the sequence lives
+        # outside the body checksum, so the sealed CRC stays valid.
+        self._tx_seq += 1
+        p = Preamble.read(self.space, out.sbuf_addr)
+        Preamble(
+            p.message_count, p.ack_blocks, p.block_length, p.checksum, self._tx_seq
+        ).pack_into(self.space, out.sbuf_addr)
         wr_id = next(self._wr_ids)
         self.qp.post_send(
             WorkRequest(
@@ -349,6 +418,11 @@ class _EndpointBase:
         """Poll received block notifications; drains send completions.
         ``limit`` caps the completions absorbed this pass (the engine's
         poll budget); the rest stay queued for the next pass."""
+        if self.qp.state is QpState.ERROR:
+            # Surface the dead connection as the typed transport fault —
+            # processing completions would trip on reposting receive WQEs
+            # into an errored QP with an untyped VerbsError.
+            raise TransportError(self.name, "qp in ERROR state")
         events = []
         for wc in self.recv_cq.poll(max_entries=limit if limit else 1 << 16):
             if wc.opcode is Opcode.RECV_RDMA_WITH_IMM and wc.ok:
@@ -361,7 +435,7 @@ class _EndpointBase:
                 self._posted_recvs -= 1
                 self._post_recv()
             elif not wc.ok:
-                raise ProtocolError(f"{self.name}: completion error {wc.status}")
+                raise TransportError(self.name, wc.status)
             else:
                 # Send completion: normal blocks are recycled by acks, but
                 # pure-ack blocks (client only) recycle here.
@@ -370,6 +444,27 @@ class _EndpointBase:
 
     def _on_send_complete(self, wc) -> None:
         """Hook for send completions (no-op by default)."""
+
+    def _accept_block_sequence(self, base: int) -> bool:
+        """Sequence-check a just-delivered block.  Returns False for a
+        duplicate delivery (drop it — the first delivery already did all
+        the accounting); raises :class:`TransportError` on a gap, because
+        a missing block means the mirrored ID pools can never re-align
+        without a connection reset.  Sequence 0 (hand-built test blocks)
+        bypasses the check."""
+        seq = Preamble.read(self.space, base).sequence
+        if seq == 0:
+            return True
+        if seq <= self._rx_seq:
+            self.duplicate_blocks += 1
+            return False
+        if seq != self._rx_seq + 1:
+            raise TransportError(
+                self.name,
+                f"block sequence gap: expected {self._rx_seq + 1}, got {seq}",
+            )
+        self._rx_seq = seq
+        return True
 
 
 class ClientEndpoint(_EndpointBase):
@@ -400,6 +495,21 @@ class ClientEndpoint(_EndpointBase):
         # SBuf addresses of in-flight pure-ack blocks, by send wr_id;
         # recycled at send completion (they carry no requests to answer).
         self._ackonly_in_flight: dict[int, int] = {}
+        # Deadline tracking (config.request_deadline_ticks): entries are
+        # (expiry_poll, rid, block_seq) in transmit order, so expiry is
+        # monotone and the scan is O(expired).  block_seq disambiguates a
+        # recycled rid: a stale entry whose rid now names a younger
+        # request fails the seq comparison and is dropped.
+        self._deadlines: deque[tuple[int, int, int]] = deque()
+        # Requests failed locally (deadline expiry) whose ID is still live
+        # in the synchronized pools: the late response, if it ever comes,
+        # is absorbed for protocol accounting but its continuation — long
+        # since fired with a typed error — is skipped.
+        self._tombstones: set[int] = set()
+        self.timeouts = 0  # requests failed by deadline expiry
+        self.late_responses = 0  # responses that arrived after their deadline
+        self.replayed = 0  # requests re-sent by a connection reset
+        self.aborted = 0  # requests failed by a non-replaying reset
 
     # -- enqueue ------------------------------------------------------------------
 
@@ -532,14 +642,20 @@ class ClientEndpoint(_EndpointBase):
         ack_blocks = self._flush_pending_acks()
         ids = self.id_pool.allocate_many(out.message_count)
         # Patch the preamble with the real ack count (the block still
-        # lives in our SBuf; the fabric snapshots it at post time).
-        Preamble(out.message_count, ack_blocks, out.length).pack_into(
+        # lives in our SBuf; the fabric snapshots it at post time).  The
+        # body checksum computed at seal time stays valid — it excludes
+        # the preamble — so carry it over.
+        crc = Preamble.read(self.space, out.sbuf_addr).checksum
+        Preamble(out.message_count, ack_blocks, out.length, crc).pack_into(
             self.space, out.sbuf_addr
         )
         seq = next(self._block_seq)
-        self._blocks[seq] = [out.sbuf_addr, len(ids)]
+        self._blocks[seq] = [out.sbuf_addr, len(ids), list(ids)]
+        deadline = self.config.request_deadline_ticks
         for rid, cont in zip(ids, out.continuations):
             self._pending[rid] = (cont, seq)
+            if deadline:
+                self._deadlines.append((self._polls + deadline, rid, seq))
         self._queued_messages -= out.message_count
 
     def _send_pure_ack(self) -> None:
@@ -557,7 +673,8 @@ class ClientEndpoint(_EndpointBase):
         writer = BlockWriter(self.space, addr, self.config.block_alignment)
         length = writer.seal(ack_blocks=0)
         ack_blocks = self._flush_pending_acks()
-        Preamble(0, ack_blocks, length).pack_into(self.space, addr)
+        crc = Preamble.read(self.space, addr).checksum
+        Preamble(0, ack_blocks, length, crc).pack_into(self.space, addr)
         wr_id = self._transmit(_OutBlock(addr, length, bucket=0))
         self._ackonly_in_flight[wr_id] = addr
 
@@ -584,10 +701,27 @@ class ClientEndpoint(_EndpointBase):
         :meth:`ProgressEngine.drain`)."""
         return bool(self.outstanding or self._send_queue or self._backlog)
 
+    def _expire_deadlines(self) -> None:
+        """Fail requests whose deadline passed (§IV-D keeps their IDs
+        allocated: the ID is only freed when the response block arrives,
+        or the connection resets — freeing early would desynchronize the
+        mirrored pools)."""
+        while self._deadlines and self._deadlines[0][0] <= self._polls:
+            _, rid, seq = self._deadlines.popleft()
+            entry = self._pending.get(rid)
+            if entry is None or entry[1] != seq or rid in self._tombstones:
+                continue  # answered in time (rid may even be reused by now)
+            cont, _ = entry
+            self._tombstones.add(rid)
+            self.timeouts += 1
+            _fail_continuation(cont, b"request deadline exceeded")
+
     def _progress_impl(self, budget: int | None = None) -> int:
         """One event-loop pass: flush per policy, then process arrived
         response blocks.  Returns the number of responses delivered."""
         self._polls += 1
+        if self._deadlines:
+            self._expire_deadlines()
         self._maybe_flush()
         delivered = 0
         for wc in self._drain_recv_cq(budget):
@@ -625,7 +759,12 @@ class ClientEndpoint(_EndpointBase):
 
     def _process_response_block(self, bucket: int, byte_len: int) -> int:
         base = self.rbuf.base + bucket_to_offset(bucket, self.config.block_alignment)
-        reader = BlockReader(self.space, base, self.rbuf.base + self.rbuf.size - base)
+        if not self._accept_block_sequence(base):
+            return 0
+        reader = BlockReader(
+            self.space, base, self.rbuf.base + self.rbuf.size - base,
+            verify_checksum=self.config.verify_checksums,
+        )
         self.stats.blocks_received += 1
         self.stats.bytes_received += reader.preamble.block_length
         answered: list[int] = []
@@ -636,7 +775,13 @@ class ClientEndpoint(_EndpointBase):
                 cont, seq = self._pending.pop(rid)
             except KeyError:
                 raise ProtocolError(f"{self.name}: response for unknown request {rid}")
-            if isinstance(cont, AddressContinuation):
+            if rid in self._tombstones:
+                # Late answer to a request already failed by its deadline:
+                # the continuation fired long ago; keep only the protocol
+                # accounting so IDs, acks, and credits stay synchronized.
+                self._tombstones.discard(rid)
+                self.late_responses += 1
+            elif isinstance(cont, AddressContinuation):
                 cont.fn(msg.payload_addr, msg.payload_size, msg.header.flags)
             else:
                 view = self.space.view(msg.payload_addr, msg.payload_size)
@@ -657,6 +802,93 @@ class ClientEndpoint(_EndpointBase):
         # toward the preamble ack counter.
         self._unacked_response_ids.append(answered)
         return count
+
+    # -- connection reset --------------------------------------------------------
+
+    def _snapshot_unanswered(self) -> list[tuple[int, bytes, Continuation, int]]:
+        """Copy every unanswered request — in flight, queued, or still in
+        the open block — out of the SBuf before the allocator is rebuilt.
+        Returned in original submission order as (method_id, payload,
+        continuation, flags) tuples ready for re-enqueueing."""
+        if self._writer is not None and self._writer.message_count:
+            self._record_flush("reset")
+            self._seal_current()
+        survivors: list[tuple[int, bytes, Continuation, int]] = []
+        strip = Flags.LARGE  # recomputed by the writer on re-send
+
+        def harvest(addr: int, conts, rids=None) -> None:
+            reader = BlockReader(
+                self.space, addr, self.sbuf.base + self.sbuf.size - addr
+            )
+            for i, msg in enumerate(reader.messages()):
+                if rids is not None:
+                    rid = rids[i]
+                    if rid not in self._pending or rid in self._tombstones:
+                        continue  # answered, or already failed by deadline
+                    cont = self._pending[rid][0]
+                else:
+                    cont = conts[i]
+                payload = bytes(self.space.view(msg.payload_addr, msg.payload_size))
+                survivors.append(
+                    (msg.header.method_or_id, payload, cont, msg.header.flags & ~strip)
+                )
+
+        for seq in sorted(self._blocks):
+            addr, _, rids = self._blocks[seq]
+            harvest(addr, None, rids)
+        for out in self._send_queue:
+            harvest(out.sbuf_addr, out.continuations)
+        return survivors
+
+    def begin_reset(self) -> tuple[list, list]:
+        """Phase one of a reset: snapshot every unanswered request, then
+        tear down and rebuild this side's connection state.  Returns the
+        snapshot for :meth:`finish_reset`.  Between the two phases both
+        sides are quiescent — the window where
+        :meth:`repro.core.recovery.ChannelRecovery.verify_invariants`
+        can prove the mirrored pools re-aligned."""
+        survivors = self._snapshot_unanswered()
+        backlog = list(self._backlog)
+        self._backlog.clear()
+        self._pending.clear()
+        self._blocks.clear()
+        self._block_seq = itertools.count()
+        self._unacked_response_ids.clear()
+        self._ackonly_in_flight.clear()
+        self._deadlines.clear()
+        self._tombstones.clear()
+        self._queued_messages = 0
+        self._writer = None
+        self._writer_continuations = []
+        super().reset_connection_state()
+        return survivors, backlog
+
+    def finish_reset(self, snapshot: tuple[list, list], replay: bool = True) -> int:
+        """Phase two: with ``replay`` (the default) every snapshotted
+        request is re-submitted through the fresh connection in original
+        submission order; otherwise all are failed with
+        ``Flags.ERROR | Flags.ABORTED``.  Requests already failed by
+        their deadline were dropped at snapshot time — continuations fire
+        exactly once.  Returns the number replayed or aborted."""
+        survivors, backlog = snapshot
+        if replay:
+            for method_id, payload, cont, flags in survivors:
+                # enqueue_bytes spills past-window requests to the (empty)
+                # new backlog itself, preserving submission order.
+                self.enqueue_bytes(method_id, payload, cont, flags)
+            self._backlog.extend(backlog)
+            self.replayed += len(survivors)
+            return len(survivors)
+        for _, _, cont, _ in survivors:
+            _fail_continuation(cont, b"connection reset")
+        for _, _, _, cont, _ in backlog:
+            _fail_continuation(cont, b"connection reset")
+        self.aborted += len(survivors) + len(backlog)
+        return len(survivors) + len(backlog)
+
+    def reset_connection_state(self, replay: bool = True) -> int:
+        """One-shot reset: :meth:`begin_reset` + :meth:`finish_reset`."""
+        return self.finish_reset(self.begin_reset(), replay)
 
     def run_until_complete(self, max_iters: int = 100_000) -> None:
         """Drive the loop until no requests are outstanding."""
@@ -724,7 +956,12 @@ class ServerEndpoint(_EndpointBase):
 
     def _process_request_block(self, bucket: int) -> int:
         base = self.rbuf.base + bucket_to_offset(bucket, self.config.block_alignment)
-        reader = BlockReader(self.space, base, self.rbuf.base + self.rbuf.size - base)
+        if not self._accept_block_sequence(base):
+            return 0
+        reader = BlockReader(
+            self.space, base, self.rbuf.base + self.rbuf.size - base,
+            verify_checksum=self.config.verify_checksums,
+        )
         self.stats.blocks_received += 1
         self.stats.bytes_received += reader.preamble.block_length
 
@@ -840,6 +1077,16 @@ class ServerEndpoint(_EndpointBase):
         self._current_block_ids = []
         self._open_since = None
         self._send_queue.append(out)
+
+    def reset_connection_state(self) -> None:
+        """Server-side reset: drop every half-built or outstanding
+        response (the client replays the requests, so the answers are
+        regenerated) and rebuild the shared connection state."""
+        self._writer = None
+        self._current_block_ids = []
+        self._outstanding_responses.clear()
+        self._background_results.clear()
+        super().reset_connection_state()
 
     def _flush_responses(self, reason: str = "explicit") -> None:
         """Force-seal the partial response block, bypassing the policy."""

@@ -9,10 +9,19 @@ to 1024 bytes so the bucket index fits the 4-byte immediate (§IV-E).
 
 Layout (little-endian)::
 
-    preamble (8 bytes):
+    preamble (16 bytes):
         u16 message_count     # max 2^16 messages per block
         u16 ack_blocks        # response blocks processed since last send
         u32 block_length      # total bytes incl. preamble (validation)
+        u32 checksum          # CRC-32 of the block body (everything after
+                              # the preamble); 0 = unchecksummed block
+        u32 sequence          # per-direction block sequence number
+                              # (1-based; 0 = unsequenced block): receivers
+                              # drop duplicates and treat gaps as transport
+                              # faults — without it, a lost block silently
+                              # desynchronizes the mirrored ID pools of
+                              # §IV-D and responses pair with the wrong
+                              # requests
 
     header (8 bytes, precedes every message):
         u16 payload_size      # user payload bytes (max 2^16 - 1)
@@ -28,6 +37,7 @@ the request ID because responses may complete out of order.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 __all__ = [
@@ -41,22 +51,41 @@ __all__ = [
     "BlockWriter",
     "BlockReader",
     "BlockFormatError",
+    "ChecksumError",
+    "compute_block_checksum",
     "bucket_to_offset",
     "offset_to_bucket",
 ]
 
-PREAMBLE_SIZE = 8
+PREAMBLE_SIZE = 16
 HEADER_SIZE = 8
 PAYLOAD_ALIGN = 8
 #: 64-bit size-extension word used by LARGE messages (§IV-E)
 SIZE_EXT_SIZE = 8
 
-_PREAMBLE = struct.Struct("<HHI")
+_PREAMBLE = struct.Struct("<HHIII")
 _HEADER = struct.Struct("<HHHH")
 
 
 class BlockFormatError(RuntimeError):
     """A received block violates the wire format."""
+
+
+class ChecksumError(BlockFormatError):
+    """The block body does not match its preamble checksum — payload
+    corruption in flight (real RDMA leaves end-to-end integrity beyond
+    the link CRC to the application; this is that check)."""
+
+
+def compute_block_checksum(space, addr: int, block_length: int) -> int:
+    """CRC-32 of the block *body* — every byte after the preamble.  The
+    preamble itself is excluded so the ack counter can be patched at
+    transmit time (§IV-D) without resealing; its fields are structurally
+    validated by :class:`BlockReader` instead.  Never returns 0 (0 marks
+    an unchecksummed block, e.g. one hand-built by tests)."""
+    body = space.view(addr + PREAMBLE_SIZE, block_length - PREAMBLE_SIZE)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return crc or 1
 
 
 class Flags:
@@ -76,6 +105,13 @@ class Flags:
     #: "larger messages are more likely to be computationally expensive,
     #: making this cost negligible")
     LARGE = 1 << 3
+    #: response synthesized by the recovery machinery (deadline expiry or
+    #: connection reset) rather than by the peer; always paired with ERROR
+    ABORTED = 1 << 4
+    #: request payload is serialized protobuf wire bytes, not a
+    #: deserialized object — set when a crashed DPU engine fails over to
+    #: host-side deserialization (docs/FAULTS.md)
+    WIRE_PAYLOAD = 1 << 5
 
 
 def _align_up(value: int, alignment: int) -> int:
@@ -101,6 +137,13 @@ class Preamble:
     message_count: int
     ack_blocks: int
     block_length: int
+    #: CRC-32 of the block body; 0 marks an unchecksummed block.
+    checksum: int = 0
+    #: per-direction block sequence (1-based); 0 marks an unsequenced
+    #: block.  Stamped at transmit time — like the ack counter it lives
+    #: outside the body checksum, so patching it never invalidates a
+    #: sealed block.
+    sequence: int = 0
 
     def pack_into(self, space, addr: int) -> None:
         _PREAMBLE.pack_into(
@@ -109,6 +152,8 @@ class Preamble:
             self.message_count,
             self.ack_blocks,
             self.block_length,
+            self.checksum,
+            self.sequence,
         )
 
     @classmethod
@@ -232,12 +277,18 @@ class BlockWriter:
         object to copy."""
         return self.space.view(payload_addr, size)
 
-    def seal(self, ack_blocks: int = 0) -> int:
-        """Write the preamble; returns the total block length in bytes."""
+    def seal(self, ack_blocks: int = 0, sequence: int = 0) -> int:
+        """Write the preamble (body checksum included); returns the total
+        block length in bytes.  The sequence defaults to 0 (unsequenced)
+        because the endpoints stamp it at transmit time, when wire order
+        is actually decided."""
         if self._open is not None:
             raise BlockFormatError("cannot seal with a message in progress")
         length = self.bytes_used
-        Preamble(len(self._messages), ack_blocks, length).pack_into(self.space, self.base)
+        crc = compute_block_checksum(self.space, self.base, length)
+        Preamble(len(self._messages), ack_blocks, length, crc, sequence).pack_into(
+            self.space, self.base
+        )
         return length
 
 
@@ -257,9 +308,18 @@ class ReceivedMessage:
 
 
 class BlockReader:
-    """Parses a received block in place."""
+    """Parses a received block in place.
 
-    def __init__(self, space, base_addr: int, max_length: int) -> None:
+    With ``verify_checksum=True`` the body CRC is recomputed and compared
+    against the preamble's (skipped for checksum 0, the unchecksummed
+    marker): the endpoints enable it so in-flight payload corruption
+    surfaces as a :class:`ChecksumError` instead of a downstream parse
+    failure or — worse — a silently wrong object.
+    """
+
+    def __init__(
+        self, space, base_addr: int, max_length: int, verify_checksum: bool = False
+    ) -> None:
         self.space = space
         self.base = base_addr
         self.preamble = Preamble.read(space, base_addr)
@@ -270,6 +330,13 @@ class BlockReader:
                 f"block claims {self.preamble.block_length} bytes, "
                 f"only {max_length} are addressable"
             )
+        if verify_checksum and self.preamble.checksum:
+            actual = compute_block_checksum(space, base_addr, self.preamble.block_length)
+            if actual != self.preamble.checksum:
+                raise ChecksumError(
+                    f"block checksum mismatch: preamble says "
+                    f"{self.preamble.checksum:#010x}, body is {actual:#010x}"
+                )
 
     def messages(self) -> list[ReceivedMessage]:
         out: list[ReceivedMessage] = []

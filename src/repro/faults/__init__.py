@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the RDMA datapath (docs/FAULTS.md).
+
+* :mod:`repro.faults.plan` — seeded fault plans: which fault kinds fire,
+  at which opportunity, on which side.
+* :mod:`repro.faults.injector` — executes a plan through the hooks the
+  RDMA layer exposes (``Fabric.injector``, ``QueuePair.injector``,
+  ``ProtectionDomain.injector``), logging every fired fault for
+  byte-for-byte reproducibility.
+* :mod:`repro.faults.campaign` — seeded campaigns over both deployments
+  with the recovery machinery armed; checks the no-hang / typed-failure /
+  bit-exact / reproducible invariants.
+"""
+
+from .campaign import (
+    CampaignReport,
+    ScenarioResult,
+    child_seed,
+    run_campaign,
+    run_core_scenario,
+    run_offloaded_scenario,
+    run_scenario,
+)
+from .injector import FaultEvent, FaultInjector
+from .plan import (
+    COMPLETION_KINDS,
+    CONTROL_KINDS,
+    DATAPATH_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "DATAPATH_KINDS",
+    "COMPLETION_KINDS",
+    "CONTROL_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultInjector",
+    "ScenarioResult",
+    "CampaignReport",
+    "run_scenario",
+    "run_core_scenario",
+    "run_offloaded_scenario",
+    "run_campaign",
+    "child_seed",
+]

@@ -1,0 +1,156 @@
+"""Deterministic fault plans: what goes wrong, and exactly when.
+
+A :class:`FaultPlan` is the seed-derived script for one fault-injection
+run.  It owns the only RNG the injector ever consults, so a (seed, spec
+list) pair fully determines every fault decision — re-running the same
+plan against the same workload reproduces the same event sequence
+byte-for-byte, which is what makes campaign failures debuggable
+(docs/FAULTS.md).
+
+Each :class:`FaultSpec` names one fault *kind* and its trigger: either a
+deterministic opportunity index (``at_count`` — "the 7th fabric
+operation") or a per-opportunity probability drawn from the plan RNG.
+Kinds map onto the injection hooks threaded through ``repro.rdma``:
+
+========================  =====================  ==========================
+kind                      hook (opportunity)     models
+========================  =====================  ==========================
+``bitflip``               ``on_transmit``        payload corruption in flight
+``drop_op``               ``on_op``              a lost operation + both WCs
+``qp_error``              ``on_op``              async QP fatal mid-delivery
+``drop_completion``       ``deliver_completion`` a lost CQE
+``duplicate_completion``  ``deliver_completion`` a replayed CQE
+``delay_completion``      ``deliver_completion`` a CQE stuck behind the door
+``registration_failure``  ``on_register_memory`` pinning denied (memlock)
+``dpu_crash``             control callback       the offload engine dying
+``dpu_revive``            control callback       the offload engine returning
+========================  =====================  ==========================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_KINDS",
+    "DATAPATH_KINDS",
+    "COMPLETION_KINDS",
+    "CONTROL_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+]
+
+#: kinds handled inside the RDMA hooks (opportunity category in parens)
+DATAPATH_KINDS = (
+    "bitflip",  # transmit
+    "drop_op",  # op
+    "qp_error",  # op
+    "drop_completion",  # completion
+    "duplicate_completion",  # completion
+    "delay_completion",  # completion
+)
+COMPLETION_KINDS = ("drop_completion", "duplicate_completion", "delay_completion")
+#: kinds the injector only *announces* (via its control callback); the
+#: harness decides what they mean (crash/revive the DPU engine).
+CONTROL_KINDS = ("dpu_crash", "dpu_revive")
+FAULT_KINDS = DATAPATH_KINDS + ("registration_failure",) + CONTROL_KINDS
+
+#: opportunity category each kind triggers against
+_CATEGORY = {
+    "bitflip": "transmit",
+    "drop_op": "op",
+    "qp_error": "op",
+    "drop_completion": "completion",
+    "duplicate_completion": "completion",
+    "delay_completion": "completion",
+    "registration_failure": "registration",
+    "dpu_crash": "op",
+    "dpu_revive": "op",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault.
+
+    Exactly one trigger applies: ``at_count`` fires when the injector's
+    counter for this kind's opportunity category reaches that value
+    (1-based: the first fabric operation is count 1); otherwise
+    ``probability`` is evaluated against the plan RNG at every
+    opportunity.  ``side`` restricts the fault to QPs/PDs whose name
+    contains the substring (e.g. ``".client."``).
+    """
+
+    kind: str
+    at_count: int | None = None
+    probability: float = 0.0
+    side: str | None = None
+    #: ticks a ``delay_completion`` holds its CQE back
+    delay_ticks: int = 4
+    #: byte to corrupt for ``bitflip``; None lets the plan RNG pick
+    byte_offset: int | None = None
+    max_fires: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_count is None and not self.probability:
+            raise ValueError(f"{self.kind}: needs at_count or probability")
+        if self.at_count is not None and self.at_count < 1:
+            raise ValueError("at_count is 1-based")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay_ticks < 1:
+            raise ValueError("delay_ticks must be >= 1")
+
+    @property
+    def category(self) -> str:
+        return _CATEGORY[self.kind]
+
+
+class FaultPlan:
+    """A seeded list of :class:`FaultSpec`; owns the injection RNG."""
+
+    def __init__(self, seed: int, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()) -> None:
+        self.seed = seed
+        self.specs = list(specs)
+        self.rng = random.Random(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, specs={self.specs!r})"
+
+    def describe(self) -> str:
+        lines = [f"plan seed={self.seed}"]
+        for i, s in enumerate(self.specs):
+            trigger = (
+                f"at {s.category} #{s.at_count}"
+                if s.at_count is not None
+                else f"p={s.probability} per {s.category}"
+            )
+            lines.append(f"  [{i}] {s.kind} {trigger}" + (f" side={s.side}" if s.side else ""))
+        return "\n".join(lines)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_faults: int = 2,
+        kinds: tuple[str, ...] = DATAPATH_KINDS,
+        horizon: int = 64,
+    ) -> "FaultPlan":
+        """Derive a random plan from ``seed``: ``n_faults`` specs with
+        deterministic ``at_count`` triggers scattered over the first
+        ``horizon`` opportunities.  The generator RNG is independent of
+        the plan's injection RNG (both derive from ``seed``), so adding
+        specs never shifts probability draws."""
+        gen = random.Random((seed << 1) ^ 0x5DEECE66D)
+        specs = [
+            FaultSpec(
+                kind=gen.choice(kinds),
+                at_count=gen.randrange(1, max(2, horizon)),
+                delay_ticks=gen.randrange(2, 12),
+            )
+            for _ in range(n_faults)
+        ]
+        return cls(seed, specs)

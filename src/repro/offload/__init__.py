@@ -26,7 +26,13 @@ from .adt import (
 )
 from .arena_deserializer import ArenaDeserializer, DeserializeError, DeserializeStats
 from .arena_plan import ArenaEntryPlan, ArenaPlanCache
-from .engine import DpuEngine, HostEngine, OffloadPair, create_offload_pair
+from .engine import (
+    DpuEngine,
+    EngineCrashedError,
+    HostEngine,
+    OffloadPair,
+    create_offload_pair,
+)
 from .materialize import CppMessageView, read_message, verify_object
 
 __all__ = [
@@ -47,6 +53,7 @@ __all__ = [
     "read_message",
     "verify_object",
     "DpuEngine",
+    "EngineCrashedError",
     "HostEngine",
     "OffloadPair",
     "create_offload_pair",

@@ -44,7 +44,7 @@ from repro.core import (
 )
 from repro.core.config import CLIENT_DEFAULTS, SERVER_DEFAULTS
 from repro.memory import Arena
-from repro.proto import CompiledSchema, Message, emit_writer, serialize
+from repro.proto import CompiledSchema, Message, emit_writer, parse, serialize
 from repro.proto.descriptor import MessageDescriptor
 from repro.rdma import Opcode, WorkRequest
 
@@ -54,6 +54,7 @@ from .materialize import CppMessageView
 
 __all__ = [
     "MethodSpec",
+    "EngineCrashedError",
     "HostEngine",
     "DpuEngine",
     "OffloadPair",
@@ -61,6 +62,13 @@ __all__ = [
     "encode_bootstrap",
     "decode_bootstrap",
 ]
+
+
+class EngineCrashedError(RuntimeError):
+    """The DPU deserialization engine is down (injected crash or real
+    fault).  Callers that can degrade — the xRPC front end — catch this
+    and fail over to :meth:`DpuEngine.call_raw`, shipping wire bytes for
+    *host-side* deserialization instead of refusing service."""
 
 
 @dataclass(frozen=True)
@@ -154,6 +162,10 @@ class HostEngine:
         #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
         #: the process-wide default (see repro.proto.set_encode_mode).
         self.encode_mode = encode_mode
+        #: requests that arrived as wire bytes (Flags.WIRE_PAYLOAD) and
+        #: were deserialized *here* — the degraded mode that keeps the
+        #: service alive while the DPU engine is down.
+        self.host_deserialized = 0
 
     def register_method(self, method_id: int, input_type: str, callback: HostCallback,
                         name: str | None = None, output_type: str | None = None) -> None:
@@ -174,13 +186,27 @@ class HostEngine:
         layout = self.universe.layouts.layout(desc)
         output_desc = self.schema.pool.message(output_type) if output_type else None
 
+        input_cls = self.schema.factory.get_class(desc)
+
         def handler(request: IncomingRequest) -> Response:
-            view = CppMessageView(self.universe, layout, request.payload_addr)
+            degraded = bool(request.flags & Flags.WIRE_PAYLOAD)
+            if degraded:
+                # Failover path: the DPU engine is down, the payload is
+                # raw protobuf.  Deserialize here — the parsed Message
+                # duck-types field access exactly like the CppMessageView,
+                # so the business callback runs unchanged.
+                self.host_deserialized += 1
+                view = parse(input_cls, request.payload_bytes())
+            else:
+                view = CppMessageView(self.universe, layout, request.payload_addr)
             result = callback(view, request)
             if isinstance(result, Response):
                 return result
             if isinstance(result, Message):
-                if output_desc is not None:
+                if output_desc is not None and not degraded:
+                    # (Degraded requests always get wire-byte responses:
+                    # with the DPU engine down there is nothing on the
+                    # other side to serialize an object payload.)
                     if result.DESCRIPTOR.full_name != output_desc.full_name:
                         raise TypeError(
                             f"method {method_id}: expected {output_desc.full_name} "
@@ -272,6 +298,13 @@ class DpuEngine:
         self.method_outputs: dict[int, int] = {}
         self.deserializer: ArenaDeserializer | None = None
         self.stats = DeserializeStats()
+        #: crash simulation (docs/FAULTS.md): while set, :meth:`call`
+        #: raises EngineCrashedError; the transport underneath stays up,
+        #: so :meth:`call_raw` keeps working.
+        self.crashed = False
+        self.crash_reason = ""
+        self.crashes = 0
+        self.fallback_calls = 0
 
     # -- bootstrap -------------------------------------------------------------
 
@@ -301,7 +334,38 @@ class DpuEngine:
             adt, self.stats, use_plans=self.decode_mode == "plan"
         )
 
+    # -- crash simulation --------------------------------------------------------
+
+    def crash(self, reason: str = "injected") -> None:
+        """Take the deserialization engine down (the DPU-engine-crash
+        fault).  Idempotent; the channel underneath is untouched."""
+        if not self.crashed:
+            self.crashed = True
+            self.crashes += 1
+        self.crash_reason = reason
+
+    def revive(self) -> None:
+        """Bring the engine back (simulating a restart; the bootstrap
+        state survives, as a real restart would re-receive it)."""
+        self.crashed = False
+        self.crash_reason = ""
+
     # -- datapath ----------------------------------------------------------------
+
+    def call_raw(
+        self,
+        method_id: int,
+        wire_bytes: bytes,
+        on_response: Callable[[memoryview, int], None],
+        background: bool = False,
+    ) -> None:
+        """Degraded-mode request: ship the serialized payload as-is with
+        ``Flags.WIRE_PAYLOAD`` so the *host* deserializes it.  This is
+        the pre-offload baseline datapath, kept alive as the failover
+        target — it needs no deserializer and works while crashed."""
+        self.fallback_calls += 1
+        flags = Flags.WIRE_PAYLOAD | (Flags.BACKGROUND if background else Flags.NONE)
+        self.channel.client.enqueue_bytes(method_id, wire_bytes, on_response, flags)
 
     def call(
         self,
@@ -312,6 +376,8 @@ class DpuEngine:
     ) -> None:
         """Offload one request: deserialize ``wire_bytes`` straight into
         the outgoing block and enqueue it."""
+        if self.crashed:
+            raise EngineCrashedError(f"dpu engine crashed: {self.crash_reason}")
         if self.deserializer is None:
             raise AdtError("bootstrap not received yet")
         try:
@@ -341,7 +407,11 @@ class DpuEngine:
             space = self.channel.client.space
 
             def on_object(payload_addr: int, payload_size: int, flags: int) -> None:
-                if flags & Flags.OBJECT_PAYLOAD:
+                if flags & Flags.ABORTED:
+                    # Locally synthesized failure (deadline, reset): there
+                    # is no payload at all — address 0 must not be read.
+                    on_response(memoryview(b"request aborted"), flags)
+                elif flags & Flags.OBJECT_PAYLOAD:
                     wire = serialize_object(self.adt, output_idx, space, payload_addr)
                     on_response(memoryview(wire), flags & ~Flags.OBJECT_PAYLOAD)
                 else:

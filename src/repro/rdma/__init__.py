@@ -18,6 +18,7 @@ from .verbs import (
     ProtectionError,
     QueueOverflowError,
     RegisteredMemory,
+    RegistrationError,
     VerbsError,
     WcStatus,
     WorkCompletion,
@@ -36,6 +37,7 @@ __all__ = [
     "ProtectionError",
     "QueueOverflowError",
     "RegisteredMemory",
+    "RegistrationError",
     "VerbsError",
     "WcStatus",
     "WorkCompletion",

@@ -24,8 +24,8 @@ from __future__ import annotations
 
 from collections import deque
 
-from .qp import QueuePair
-from .verbs import Opcode, VerbsError, WcStatus, WorkRequest
+from .qp import QpState, QueuePair
+from .verbs import Opcode, VerbsError, WcStatus, WorkCompletion, WorkRequest
 
 __all__ = ["Fabric"]
 
@@ -33,13 +33,18 @@ __all__ = ["Fabric"]
 class Fabric:
     """Connects QP pairs and moves bytes between them."""
 
-    def __init__(self, auto_flush: bool = True) -> None:
+    def __init__(self, auto_flush: bool = True, injector=None) -> None:
         self.auto_flush = auto_flush
+        #: optional fault-injection hook (see repro.faults.injector): may
+        #: corrupt payload snapshots at post time, drop whole operations,
+        #: or force a QP into ERROR mid-delivery.
+        self.injector = injector
         self._wire: deque[tuple[QueuePair, WorkRequest, bytes | None, int]] = deque()
         # -- statistics -------------------------------------------------------
         self.total_bytes = 0
         self.total_operations = 0
         self.rnr_retransmissions = 0
+        self.flushed_operations = 0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -57,6 +62,8 @@ class Fabric:
         payload = None
         if wr.length:
             payload = bytes(sender.pd.space.read(wr.local_addr, wr.length))
+        if self.injector is not None:
+            payload = self.injector.on_transmit(sender, wr, payload)
         self._wire.append((sender, wr, payload, 0))
         if self.auto_flush:
             self.flush()
@@ -64,12 +71,32 @@ class Fabric:
     def step(self) -> bool:
         """Deliver the oldest in-flight operation.  Returns False when the
         wire is idle."""
+        if self.injector is not None:
+            self.injector.tick(self)
         if not self._wire:
             return False
         sender, wr, payload, attempts = self._wire.popleft()
         receiver = sender.peer
         if receiver is None:
             raise VerbsError("QP is not connected")
+        if self.injector is not None:
+            verdict = self.injector.on_op(self, sender, wr)
+            if verdict == "drop_op":
+                # The operation (and both completions) vanish: the lost-
+                # completion fault the recovery machinery must detect.
+                return True
+            if verdict == "qp_error":
+                # The popped op is already off the wire; to_error flushes
+                # the rest, complete_send flushes this one.
+                sender.to_error()
+                sender.complete_send(wr, WcStatus.WR_FLUSH_ERROR)
+                return True
+        if sender.state is not QpState.RTS or receiver.state is not QpState.RTS:
+            # One side died while the op was in flight: the requester sees
+            # a flush, never a silent loss (RC semantics).
+            self.flushed_operations += 1
+            sender.complete_send(wr, WcStatus.WR_FLUSH_ERROR)
+            return True
         if wr.opcode in (Opcode.SEND, Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM):
             delivered = receiver.deliver(wr, payload)
             if not delivered:
@@ -96,6 +123,33 @@ class Fabric:
                 break
             steps += 1
         return steps
+
+    def flush_qp(self, qp: QueuePair) -> int:
+        """Flush every in-flight operation posted by ``qp`` with
+        ``WR_FLUSH_ERROR`` (called from :meth:`QueuePair.to_error`); the
+        send completions land on the requester's send CQ so it learns
+        which sends died.  Returns the number flushed."""
+        kept, flushed = deque(), 0
+        while self._wire:
+            sender, wr, payload, attempts = self._wire.popleft()
+            if sender is qp:
+                flushed += 1
+                self.flushed_operations += 1
+                qp._push_completion(
+                    qp.send_cq,
+                    WorkCompletion(wr.wr_id, wr.opcode, WcStatus.WR_FLUSH_ERROR),
+                )
+            else:
+                kept.append((sender, wr, payload, attempts))
+        self._wire = kept
+        return flushed
+
+    def discard_in_flight(self) -> int:
+        """Drop every queued operation without completions — the recovery
+        teardown's 'cable pull' before both QPs are rebuilt."""
+        n = len(self._wire)
+        self._wire.clear()
+        return n
 
     @property
     def in_flight(self) -> int:

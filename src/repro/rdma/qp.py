@@ -62,11 +62,16 @@ class QueuePair:
         self.peer: QueuePair | None = None
         self.fabric = None  # set by Fabric.connect
         self._recv_queue: deque[WorkRequest] = deque()
+        #: optional fault-injection hook (see repro.faults.injector):
+        #: every completion this QP would push is offered to the injector
+        #: first, which may drop, delay, or duplicate it.
+        self.injector = None
         # -- statistics ------------------------------------------------------
         self.bytes_sent = 0
         self.bytes_received = 0
         self.sends_posted = 0
         self.rnr_events = 0
+        self.error_transitions = 0
 
     # -- connection management ----------------------------------------------
 
@@ -81,13 +86,44 @@ class QueuePair:
         self.state = QpState.RTS
 
     def to_error(self) -> None:
-        """Transition to error: flush outstanding receives."""
+        """Transition to error: flush outstanding receives *and* any sends
+        the fabric still holds in flight for this QP, all with
+        ``WR_FLUSH_ERROR``.  Idempotent — completion-error paths call it
+        re-entrantly."""
+        if self.state is QpState.ERROR:
+            return
         self.state = QpState.ERROR
+        self.error_transitions += 1
         while self._recv_queue:
             wr = self._recv_queue.popleft()
-            self.recv_cq.push(
-                WorkCompletion(wr.wr_id, Opcode.RECV, WcStatus.WR_FLUSH_ERROR)
+            self._push_completion(
+                self.recv_cq,
+                WorkCompletion(wr.wr_id, Opcode.RECV, WcStatus.WR_FLUSH_ERROR),
             )
+        # Without this, send completions for fabric-held WRs were silently
+        # lost on error: the requester could never learn those sends died.
+        if self.fabric is not None:
+            self.fabric.flush_qp(self)
+
+    def reset_to_init(self) -> None:
+        """ERROR → INIT, the recovery transition (real QPs go through
+        RESET; we fold it in).  Drops any still-queued receives without
+        completions — the caller already consumed the flush — and detaches
+        from the peer; :meth:`connect` re-arms the pair."""
+        self._require_state(QpState.ERROR, QpState.INIT)
+        self._recv_queue.clear()
+        self.peer = None
+        self.fabric = None
+        self.state = QpState.INIT
+
+    # -- completion delivery ---------------------------------------------------
+
+    def _push_completion(self, cq, wc: WorkCompletion) -> None:
+        """Push through the fault injector when one is attached; the
+        injector may swallow (drop/delay) or multiply (duplicate) it."""
+        if self.injector is not None and self.injector.deliver_completion(self, cq, wc):
+            return
+        cq.push(wc)
 
     # -- posting --------------------------------------------------------------
 
@@ -113,8 +149,9 @@ class QueuePair:
         try:
             self.pd.check_local(wr.local_addr, wr.length)
         except ProtectionError:
-            self.send_cq.push(
-                WorkCompletion(wr.wr_id, wr.opcode, WcStatus.LOCAL_PROTECTION_ERROR)
+            self._push_completion(
+                self.send_cq,
+                WorkCompletion(wr.wr_id, wr.opcode, WcStatus.LOCAL_PROTECTION_ERROR),
             )
             self.to_error()
             raise
@@ -143,7 +180,7 @@ class QueuePair:
             wc = WorkCompletion(rwr.wr_id, Opcode.RECV, byte_len=wr.length)
             wc.payload = payload  # type: ignore[attr-defined]
             self.bytes_received += wr.length
-            self.recv_cq.push(wc)
+            self._push_completion(self.recv_cq, wc)
             return True
         if wr.opcode is Opcode.RDMA_WRITE_WITH_IMM:
             rwr = self._consume_recv_wqe()
@@ -153,13 +190,14 @@ class QueuePair:
             if payload:
                 mr.region.write(wr.remote_addr, payload)
             self.bytes_received += wr.length
-            self.recv_cq.push(
+            self._push_completion(
+                self.recv_cq,
                 WorkCompletion(
                     rwr.wr_id,
                     Opcode.RECV_RDMA_WITH_IMM,
                     byte_len=wr.length,
                     imm_data=wr.imm_data,
-                )
+                ),
             )
             return True
         if wr.opcode is Opcode.RDMA_WRITE:
@@ -173,6 +211,8 @@ class QueuePair:
     def complete_send(self, wr: WorkRequest, status: WcStatus) -> None:
         """Called by the fabric on the requester once delivery resolves."""
         self.bytes_sent += wr.length if status is WcStatus.SUCCESS else 0
-        self.send_cq.push(WorkCompletion(wr.wr_id, wr.opcode, status, wr.length))
+        self._push_completion(
+            self.send_cq, WorkCompletion(wr.wr_id, wr.opcode, status, wr.length)
+        )
         if status is not WcStatus.SUCCESS:
             self.to_error()

@@ -25,6 +25,7 @@ __all__ = [
     "VerbsError",
     "ProtectionError",
     "QueueOverflowError",
+    "RegistrationError",
     "Access",
     "Opcode",
     "WcStatus",
@@ -80,6 +81,10 @@ class WcStatus(enum.Enum):
 _key_counter = itertools.count(0x1000)
 
 
+class RegistrationError(VerbsError):
+    """Memory registration failed (pinning limit, injected fault...)."""
+
+
 class ProtectionDomain:
     """Groups MRs and QPs that may work together (§II-A)."""
 
@@ -87,11 +92,18 @@ class ProtectionDomain:
         self.space = space
         self.name = name
         self._regions: list[RegisteredMemory] = []
+        #: optional fault-injection hook (see repro.faults.injector); when
+        #: set, registration consults it and may fail with
+        #: :class:`RegistrationError` — the "pinning denied" hazard real
+        #: drivers hit under memlock limits.
+        self.injector = None
 
     def register_memory(
         self, region: MemoryRegion, access: Access = Access.LOCAL_WRITE
     ) -> "RegisteredMemory":
         """Register (pin) ``region`` for RDMA with the given access."""
+        if self.injector is not None:
+            self.injector.on_register_memory(self, region)
         mr = RegisteredMemory(self, region, access, next(_key_counter), next(_key_counter))
         self._regions.append(mr)
         return mr

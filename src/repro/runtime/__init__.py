@@ -32,6 +32,7 @@ from .scheduling import (
     WeightedPolicy,
     make_scheduler,
 )
+from .supervisor import EngineSupervisor, SupervisorEvent
 
 __all__ = [
     "EngineError",
@@ -56,4 +57,6 @@ __all__ = [
     "SchedulingPolicy",
     "WeightedPolicy",
     "make_scheduler",
+    "EngineSupervisor",
+    "SupervisorEvent",
 ]

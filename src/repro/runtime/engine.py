@@ -87,6 +87,10 @@ class ProgressEngine:
             self.metrics.bind_registry(registry, metrics_prefix)
         self.state = EngineState.NEW
         self.tick = 0
+        #: optional EngineSupervisor (repro.runtime.supervisor): receives
+        #: poll exceptions (may contain them) and end-of-tick progress
+        #: reports for stall detection.  Set by the supervisor itself.
+        self.supervisor = None
         self._handles: list[Registration] = []
         self._by_pollable: dict[int, Registration] = {}
         self._index = 0
@@ -147,11 +151,19 @@ class ProgressEngine:
     # -- the loop ------------------------------------------------------------------
 
     def _poll(self, reg: Registration, budget: int | None) -> int:
-        if self.tracer is not None:
-            with self.tracer.span(f"poll/{reg.name}", tick=self.tick):
+        try:
+            if self.tracer is not None:
+                with self.tracer.span(f"poll/{reg.name}", tick=self.tick):
+                    work = reg.poll_fn(budget)
+            else:
                 work = reg.poll_fn(budget)
-        else:
-            work = reg.poll_fn(budget)
+        except Exception as exc:
+            # A supervisor may contain the fault (recovery/quarantine);
+            # unsupervised engines keep the old fail-fast behavior.
+            if self.supervisor is not None and self.supervisor.on_poll_error(reg, exc):
+                work = 0
+            else:
+                raise
         work = int(work or 0)
         reg.metrics.record(work)
         self.scheduler.observe(reg, work)
@@ -166,6 +178,8 @@ class ProgressEngine:
         total = 0
         for reg in self.scheduler.plan(self._handles, self.tick):
             total += self._poll(reg, budget)
+        if self.supervisor is not None:
+            self.supervisor.after_tick(self.tick)
         self.metrics.sync()
         return total
 

@@ -7,7 +7,13 @@ two halves that move the server onto the DPU — the
 (:func:`register_offloaded_servicer`).
 """
 
-from .channel import RpcError, XrpcChannel
+from .channel import (
+    RetryPolicy,
+    RpcError,
+    RpcTimeoutError,
+    RpcTransportError,
+    XrpcChannel,
+)
 from .dpu_frontend import OffloadedXrpcServer, register_offloaded_servicer
 from .framing import (
     Frame,
@@ -30,7 +36,10 @@ from .service import (
 from .transport import ConnectionClosed, Listener, Network, SimSocket, TransportError
 
 __all__ = [
+    "RetryPolicy",
     "RpcError",
+    "RpcTimeoutError",
+    "RpcTransportError",
     "XrpcChannel",
     "OffloadedXrpcServer",
     "register_offloaded_servicer",

@@ -10,6 +10,7 @@ to modify the xRPC server address").
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.proto import Message, parse, prepare_emit
@@ -23,7 +24,7 @@ from .framing import (
 )
 from .transport import Network, SimSocket
 
-__all__ = ["RpcError", "XrpcChannel"]
+__all__ = ["RpcError", "RpcTimeoutError", "RpcTransportError", "RetryPolicy", "XrpcChannel"]
 
 
 class RpcError(RuntimeError):
@@ -33,6 +34,47 @@ class RpcError(RuntimeError):
         super().__init__(f"rpc failed with status {status}: {detail}")
         self.status = status
         self.detail = detail
+
+
+class RpcTimeoutError(RpcError):
+    """No response arrived within the call's iteration budget.  The
+    pending-call entry is cleaned up before this is raised — a response
+    that straggles in later is dropped by :meth:`XrpcChannel.poll`
+    instead of firing a dead callback."""
+
+    def __init__(self, method: str, iterations: int) -> None:
+        super().__init__(
+            StatusCode.DEADLINE_EXCEEDED,
+            f"no response to {method} after {iterations} iterations",
+        )
+        self.method = method
+        self.iterations = iterations
+
+
+class RpcTransportError(RpcError):
+    """The connection under the call failed (the datapath aborted it, or
+    the server became unreachable) — retryable for idempotent methods."""
+
+    def __init__(self, detail: str = "") -> None:
+        super().__init__(StatusCode.UNAVAILABLE, detail)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for idempotent calls.
+
+    Attempt *n* (0-based) waits ``min(base_iters * 2**n, cap_iters)``
+    drive iterations before re-sending.  Only timeouts and transport
+    failures are retried — application-level statuses never are — and
+    only when the caller marked the call idempotent, since a timed-out
+    request may still execute on the server."""
+
+    max_retries: int = 3
+    base_iters: int = 64
+    cap_iters: int = 4096
+
+    def backoff(self, attempt: int) -> int:
+        return min(self.base_iters * (1 << attempt), self.cap_iters)
 
 
 class XrpcChannel:
@@ -58,6 +100,12 @@ class XrpcChannel:
         #: hook the caller uses to advance the rest of the simulated world
         #: while waiting synchronously (the server must run somewhere).
         self.drive: Callable[[], None] | None = None
+        #: backoff schedule used by call_sync for idempotent retries
+        self.retry_policy = RetryPolicy()
+        # -- failure statistics ----------------------------------------------
+        self.timeouts = 0
+        self.retries = 0
+        self.transport_errors = 0
 
     @property
     def outstanding(self) -> int:
@@ -85,27 +133,69 @@ class XrpcChannel:
         self.socket.send(frame)
         return call_id
 
-    def call_sync(self, method: str, request: Message, response_cls: type[Message],
-                  max_iters: int = 100_000) -> Message:
+    def cancel(self, call_id: int) -> bool:
+        """Forget a pending call; its callback will never fire and a late
+        response frame is silently dropped.  Returns whether the id was
+        still pending."""
+        return self._pending.pop(call_id, None) is not None
+
+    def call_sync(
+        self,
+        method: str,
+        request: Message,
+        response_cls: type[Message],
+        max_iters: int = 100_000,
+        idempotent: bool = False,
+    ) -> Message:
         """Synchronous unary call.  Requires :attr:`drive` so the server
-        (and the DPU/host datapath behind it) can make progress."""
+        (and the DPU/host datapath behind it) can make progress.
+
+        Failure semantics: no response within ``max_iters`` raises
+        :class:`RpcTimeoutError` (after cleaning up the pending call);
+        UNAVAILABLE/ABORTED statuses raise :class:`RpcTransportError`.
+        With ``idempotent=True`` both are retried per
+        :attr:`retry_policy` — capped exponential backoff, then the last
+        error propagates.  Non-idempotent calls never retry: a timed-out
+        request may still execute server-side."""
         if self.drive is None:
             raise RuntimeError("call_sync needs channel.drive to advance the server")
+        attempts = self.retry_policy.max_retries + 1 if idempotent else 1
+        last_error: RpcError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.retries += 1
+                for _ in range(self.retry_policy.backoff(attempt - 1)):
+                    self.drive()
+                    self.poll()
+            try:
+                return self._call_sync_once(method, request, response_cls, max_iters)
+            except (RpcTimeoutError, RpcTransportError) as exc:
+                last_error = exc
+        raise last_error
+
+    def _call_sync_once(
+        self, method: str, request: Message, response_cls: type[Message], max_iters: int
+    ) -> Message:
         result: list = []
 
         def done(response: Message | None, status: int) -> None:
             result.append((response, status))
 
-        self.call(method, request, response_cls, done)
+        call_id = self.call(method, request, response_cls, done)
         for _ in range(max_iters):
             self.drive()
             self.poll()
             if result:
                 response, status = result[0]
+                if status in (StatusCode.UNAVAILABLE, StatusCode.ABORTED):
+                    self.transport_errors += 1
+                    raise RpcTransportError(f"{method}: status {status}")
                 if status != StatusCode.OK:
                     raise RpcError(status, repr(response))
                 return response
-        raise TimeoutError(f"no response to {method} after {max_iters} iterations")
+        self.cancel(call_id)
+        self.timeouts += 1
+        raise RpcTimeoutError(method, max_iters)
 
     def pending(self) -> bool:
         return bool(self._pending)

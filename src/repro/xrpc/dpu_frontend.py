@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core import Flags, IncomingRequest
-from repro.offload.engine import DpuEngine, HostEngine
+from repro.offload.engine import DpuEngine, EngineCrashedError, HostEngine
 from repro.proto.descriptor import ServiceDescriptor
 
 from .framing import (
@@ -63,6 +63,9 @@ class OffloadedXrpcServer:
         self._connections: list[_Connection] = []
         self.requests_forwarded = 0
         self.responses_returned = 0
+        #: requests served through the degraded path (DPU engine down →
+        #: wire bytes forwarded for host-side deserialization)
+        self.fallback_requests = 0
 
     def poll(self) -> int:
         """Deprecation shim for the historical name; the front end is a
@@ -108,14 +111,33 @@ class OffloadedXrpcServer:
             # is copied exactly once — from the protocol block straight
             # into the outgoing frame, with no intermediate bytes object.
             self.responses_returned += 1
-            status = StatusCode.INTERNAL if flags & Flags.ERROR else StatusCode.OK
+            if flags & Flags.ABORTED:
+                # The datapath gave up on this request (deadline expiry,
+                # connection reset without replay): ABORTED is retryable,
+                # INTERNAL would not be.
+                status = StatusCode.ABORTED
+            elif flags & Flags.ERROR:
+                status = StatusCode.INTERNAL
+            else:
+                status = StatusCode.OK
             frame = bytearray(response_frame_size(len(view)))
             payload_at = write_response_header(frame, call_id, status, len(view))
             frame[payload_at:] = view
             conn.socket.send(frame)
 
         try:
-            self.dpu.call(method_id, payload, on_response)
+            if self.dpu.crashed:
+                # Graceful degradation (docs/FAULTS.md): with the DPU
+                # engine down, keep serving by shipping wire bytes for
+                # host-side deserialization — slower, never unavailable.
+                self.fallback_requests += 1
+                self.dpu.call_raw(method_id, payload, on_response)
+            else:
+                self.dpu.call(method_id, payload, on_response)
+        except EngineCrashedError:
+            # Crash raced the check: same degradation, same request.
+            self.fallback_requests += 1
+            self.dpu.call_raw(method_id, payload, on_response)
         except Exception:  # noqa: BLE001 — malformed request payloads
             conn.socket.send(encode_response(call_id, StatusCode.INVALID_ARGUMENT, b""))
 

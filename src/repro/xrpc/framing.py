@@ -54,9 +54,12 @@ class StatusCode:
     OK = 0
     UNKNOWN = 2
     INVALID_ARGUMENT = 3
+    DEADLINE_EXCEEDED = 4
     NOT_FOUND = 5
+    ABORTED = 10
     UNIMPLEMENTED = 12
     INTERNAL = 13
+    UNAVAILABLE = 14
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,12 @@ from repro.core.wire import (
     BlockFormatError,
     BlockReader,
     BlockWriter,
+    ChecksumError,
     Flags,
     MessageHeader,
     Preamble,
     bucket_to_offset,
+    compute_block_checksum,
     offset_to_bucket,
 )
 from repro.memory import AddressSpace, MemoryRegion
@@ -43,8 +45,18 @@ class TestStructs:
         assert (h.payload_size, h.method_or_id, h.flags) == (500, 7, Flags.ERROR)
 
     def test_sizes(self):
-        assert PREAMBLE_SIZE == 8
+        # 16 = count/acks/length (8) + body CRC-32 (4) + sequence (4);
+        # stays a multiple of PAYLOAD_ALIGN so headers stay aligned.
+        assert PREAMBLE_SIZE == 16
+        assert PREAMBLE_SIZE % PAYLOAD_ALIGN == 0
         assert HEADER_SIZE == 8
+
+    def test_preamble_sequence_roundtrip(self, space):
+        Preamble(1, 0, 64, 0, sequence=0xDEAD_BEEF).pack_into(space, BASE)
+        assert Preamble.read(space, BASE).sequence == 0xDEAD_BEEF
+        # Default stays 0: the unsequenced form, accepted by any receiver.
+        Preamble(1, 0, 64).pack_into(space, BASE)
+        assert Preamble.read(space, BASE).sequence == 0
 
     def test_bucket_formula(self):
         # §IV-E: offset = bucket * alignment
@@ -215,3 +227,57 @@ class TestPropertyRoundTrip:
             assert m.payload_size == len(data)
             assert space.read(m.payload_addr, len(data)) == data
             assert m.header.method_or_id == i % 65536
+
+
+class TestChecksums:
+    def seal_block(self, space, payload=b"checksummed", sequence=0):
+        w = BlockWriter(space, BASE, 4096)
+        _, addr = w.begin_message(len(payload))
+        space.write(addr, payload)
+        w.commit_message(len(payload), 1)
+        return w.seal(sequence=sequence)
+
+    def test_seal_writes_body_crc(self, space):
+        length = self.seal_block(space)
+        p = Preamble.read(space, BASE)
+        assert p.checksum != 0
+        assert p.checksum == compute_block_checksum(space, BASE, length)
+
+    def test_verifying_reader_accepts_clean_block(self, space):
+        self.seal_block(space)
+        r = BlockReader(space, BASE, 4096, verify_checksum=True)
+        assert r.messages()[0].payload_size == len(b"checksummed")
+
+    def test_body_corruption_detected(self, space):
+        self.seal_block(space)
+        # Flip one bit inside the body (past the 16-byte preamble).
+        addr = BASE + PREAMBLE_SIZE + HEADER_SIZE
+        space.write(addr, bytes([space.read(addr, 1)[0] ^ 0x01]))
+        with pytest.raises(ChecksumError, match="mismatch"):
+            BlockReader(space, BASE, 4096, verify_checksum=True)
+        # A non-verifying reader (the pre-fault-model behavior) misses it.
+        BlockReader(space, BASE, 4096)
+
+    def test_checksum_zero_skips_verification(self, space):
+        """Hand-built blocks with checksum 0 (the unchecksummed marker)
+        stay readable under verification — compatibility with pre-CRC
+        peers and tests."""
+        length = self.seal_block(space)
+        p = Preamble.read(space, BASE)
+        Preamble(p.message_count, p.ack_blocks, p.block_length, 0, p.sequence).pack_into(
+            space, BASE
+        )
+        BlockReader(space, BASE, 4096, verify_checksum=True)
+
+    def test_ack_and_sequence_patch_outside_checksum(self, space):
+        """The transmit path patches ack counts and stamps sequences
+        *after* seal; both live outside the body CRC, so the patch must
+        not invalidate a verifying receiver."""
+        self.seal_block(space, sequence=7)
+        p = Preamble.read(space, BASE)
+        Preamble(p.message_count, 42, p.block_length, p.checksum, 99).pack_into(
+            space, BASE
+        )
+        r = BlockReader(space, BASE, 4096, verify_checksum=True)
+        assert r.preamble.ack_blocks == 42
+        assert r.preamble.sequence == 99

@@ -1,0 +1,251 @@
+"""Tests for the fault injector: every hook, every kind, and the
+determinism contract (docs/FAULTS.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Flags, Response, TransportError, create_channel
+from repro.core.channel import Channel
+from repro.core.config import CLIENT_DEFAULTS, SERVER_DEFAULTS
+from repro.core.wire import ChecksumError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.memory import AddressSpace, MemoryRegion
+from repro.rdma import ProtectionDomain, QpState, RegistrationError
+
+from dataclasses import replace
+
+METHOD = 3
+
+
+def checked_channel() -> Channel:
+    return create_channel(
+        client_config=replace(CLIENT_DEFAULTS, verify_checksums=True),
+        server_config=replace(SERVER_DEFAULTS, verify_checksums=True),
+    )
+
+
+def armed(specs, seed: int = 42, on_control=None):
+    """A checksum-verifying echo channel with an injector attached.
+    ``ch.handled`` counts server-side handler invocations."""
+    ch = checked_channel()
+    handled = []
+
+    def echo(req):
+        handled.append(req.method_id)
+        return Response.from_bytes(req.payload_bytes())
+
+    ch.server.register(METHOD, echo)
+    ch.handled = handled
+    injector = FaultInjector(FaultPlan(seed, specs), on_control=on_control).attach(ch)
+    return ch, injector
+
+
+def run(ch, iters: int = 30) -> None:
+    for _ in range(iters):
+        ch.client.progress()
+        ch.server.progress()
+
+
+class TestAttachment:
+    def test_attach_wires_fabric_qps_and_pds(self):
+        ch, injector = armed([])
+        assert ch.fabric.injector is injector
+        for side in (ch.client, ch.server):
+            assert side.qp.injector is injector
+            assert side.qp.pd.injector is injector
+        injector.detach(ch)
+        assert ch.fabric.injector is None
+        assert ch.client.qp.injector is None
+
+    def test_no_faults_is_a_noop(self):
+        ch, injector = armed([])
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"hello", lambda v, f: out.append(bytes(v)))
+        run(ch)
+        assert out == [b"hello"]
+        assert injector.faults_fired == 0
+        assert injector.ops > 0 and injector.completions > 0 and injector.transmits > 0
+
+
+class TestBitflip:
+    def test_body_corruption_caught_by_checksum(self):
+        # Byte 20 is inside the block body (the 16-byte preamble ends at
+        # 15), so the per-block CRC must catch the flip server-side.
+        ch, injector = armed([FaultSpec("bitflip", at_count=1, byte_offset=20)])
+        ch.client.enqueue_bytes(METHOD, b"payload", lambda v, f: None)
+        with pytest.raises(ChecksumError):
+            run(ch)
+        assert injector.faults_fired == 1
+        assert injector.events[0].kind == "bitflip"
+        assert "byte=20" in injector.events[0].detail
+
+    def test_fires_at_most_max_fires(self):
+        ch, injector = armed(
+            [FaultSpec("bitflip", probability=1.0, byte_offset=20, max_fires=1)]
+        )
+        ch.client.enqueue_bytes(METHOD, b"x", lambda v, f: None)
+        with pytest.raises(ChecksumError):
+            run(ch)
+        assert injector.faults_fired == 1
+
+
+class TestOpFaults:
+    def test_drop_op_loses_request_silently(self):
+        ch, injector = armed([FaultSpec("drop_op", at_count=1)])
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"gone", lambda v, f: out.append(f))
+        run(ch)
+        assert out == []  # no response, no completion: a true silent loss
+        assert ch.fabric.in_flight == 0
+        assert injector.events[0].kind == "drop_op"
+
+    def test_sequence_gap_detected_after_drop(self):
+        """The block after a dropped one trips the receiver's sequence
+        check — the silent loss becomes a typed TransportError instead of
+        a desynchronized §IV-D ID pool."""
+        ch, injector = armed([FaultSpec("drop_op", at_count=1)])
+        ch.client.enqueue_bytes(METHOD, b"first", lambda v, f: None)
+        run(ch, iters=2)
+        ch.client.enqueue_bytes(METHOD, b"second", lambda v, f: None)
+        with pytest.raises(TransportError, match="sequence gap"):
+            run(ch)
+
+    def test_qp_error_breaks_the_sender(self):
+        ch, injector = armed([FaultSpec("qp_error", at_count=1)])
+        ch.client.enqueue_bytes(METHOD, b"doomed", lambda v, f: None)
+        with pytest.raises(TransportError):
+            run(ch)
+        assert ch.client.qp.state is QpState.ERROR
+        assert injector.events[0].kind == "qp_error"
+
+
+class TestCompletionFaults:
+    def test_drop_completion_swallows_the_cqe(self):
+        # Completion #1 is the server's receive CQE for the first block.
+        ch, injector = armed([FaultSpec("drop_completion", at_count=1, side=".server.")])
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"lost", lambda v, f: out.append(f))
+        run(ch)
+        assert out == []
+        assert ch.handled == []
+        assert injector.events[0].kind == "drop_completion"
+
+    def test_duplicate_completion_dropped_by_sequence_check(self):
+        """A replayed receive CQE re-presents the same block; the
+        receiver's sequence check absorbs it — the continuation fires
+        exactly once and the duplicate is counted."""
+        ch, injector = armed(
+            [FaultSpec("duplicate_completion", at_count=1, side=".server.")]
+        )
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"twice?", lambda v, f: out.append(bytes(v)))
+        run(ch)
+        assert out == [b"twice?"]
+        assert ch.server.duplicate_blocks == 1
+        assert len(ch.handled) == 1
+
+    def test_delay_completion_held_then_released(self):
+        ch, injector = armed(
+            [FaultSpec("delay_completion", at_count=1, side=".server.", delay_ticks=3)]
+        )
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"late", lambda v, f: out.append(bytes(v)))
+        run(ch, iters=3)
+        assert out == [] and injector.delayed_held == 1
+        for _ in range(3):
+            injector.tick()
+        run(ch)
+        assert out == [b"late"] and injector.delayed_held == 0
+
+    def test_discard_delayed_destroys_held_cqes(self):
+        ch, injector = armed(
+            [FaultSpec("delay_completion", at_count=1, side=".server.", delay_ticks=2)]
+        )
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"never", lambda v, f: out.append(f))
+        run(ch, iters=2)
+        assert injector.delayed_held == 1
+        assert injector.discard_delayed() == 1
+        for _ in range(5):
+            injector.tick()
+        run(ch)
+        assert out == [] and injector.delayed_held == 0
+
+
+class TestRegistrationFaults:
+    def test_registration_failure_raises(self):
+        space = AddressSpace("t")
+        region = space.map(MemoryRegion(0x1000, 0x1000, "t.buf"))
+        pd = ProtectionDomain(space, "t.pd")
+        pd.injector = FaultInjector(
+            FaultPlan(0, [FaultSpec("registration_failure", at_count=1)])
+        )
+        with pytest.raises(RegistrationError, match="denied"):
+            pd.register_memory(region)
+        assert pd.injector.events[0].kind == "registration_failure"
+        # The next registration (count 2) is allowed through.
+        pd.register_memory(region)
+
+
+class TestControlFaults:
+    def test_dpu_crash_announced_not_enacted(self):
+        fired = []
+        ch, injector = armed(
+            [FaultSpec("dpu_crash", at_count=2)], on_control=fired.append
+        )
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"fine", lambda v, f: out.append(bytes(v)))
+        run(ch)
+        # The datapath is untouched: the injector only announces the event.
+        assert out == [b"fine"]
+        assert [spec.kind for spec in fired] == ["dpu_crash"]
+        assert injector.events[0].kind == "dpu_crash"
+
+
+class TestSideFilter:
+    def test_side_substring_restricts_targets(self):
+        # drop every completion on the client QP only: the server still
+        # receives and answers; the client never sees the response CQE.
+        ch, injector = armed(
+            [FaultSpec("drop_completion", probability=1.0, side=".client.", max_fires=99)]
+        )
+        out = []
+        ch.client.enqueue_bytes(METHOD, b"half", lambda v, f: out.append(f))
+        run(ch)
+        assert len(ch.handled) == 1
+        assert out == []
+        assert all(".client." in e.target for e in injector.events)
+
+
+class TestDeterminism:
+    def _run_once(self, seed: int):
+        ch, injector = armed(
+            [
+                FaultSpec("drop_completion", probability=0.3, max_fires=4),
+                FaultSpec("bitflip", probability=0.1, byte_offset=20, max_fires=2),
+            ],
+            seed=seed,
+        )
+        for i in range(6):
+            ch.client.enqueue_bytes(METHOD, bytes([i]) * 10, lambda v, f: None)
+            try:
+                run(ch, iters=4)
+            except Exception:
+                break
+        return injector
+
+    def test_same_seed_same_fingerprint(self):
+        a, b = self._run_once(7), self._run_once(7)
+        assert a.events == b.events
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_diverges(self):
+        a, b = self._run_once(7), self._run_once(8)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_summary_and_render(self):
+        injector = self._run_once(7)
+        assert "injector[seed=7]" in injector.summary()
+        for event in injector.events:
+            assert event.kind in event.render()

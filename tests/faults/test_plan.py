@@ -1,0 +1,84 @@
+"""Tests for the fault-plan layer: spec validation, categories, and
+seed-derived plan generation (docs/FAULTS.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import CONTROL_KINDS, DATAPATH_KINDS, FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor_strike", at_count=1)
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="at_count or probability"):
+            FaultSpec("drop_op")
+
+    def test_at_count_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("drop_op", at_count=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("bitflip", probability=1.5)
+        FaultSpec("bitflip", probability=1.0)  # boundary is fine
+
+    def test_delay_ticks_positive(self):
+        with pytest.raises(ValueError, match="delay_ticks"):
+            FaultSpec("delay_completion", at_count=1, delay_ticks=0)
+
+    def test_categories(self):
+        assert FaultSpec("bitflip", at_count=1).category == "transmit"
+        assert FaultSpec("drop_op", at_count=1).category == "op"
+        assert FaultSpec("qp_error", at_count=1).category == "op"
+        assert FaultSpec("drop_completion", at_count=1).category == "completion"
+        assert FaultSpec("registration_failure", at_count=1).category == "registration"
+        # Control faults ride the op counter — the campaign's timeline.
+        assert FaultSpec("dpu_crash", at_count=1).category == "op"
+
+    def test_kind_tuples_are_consistent(self):
+        assert set(DATAPATH_KINDS) < set(FAULT_KINDS)
+        assert set(CONTROL_KINDS) < set(FAULT_KINDS)
+        assert set(DATAPATH_KINDS).isdisjoint(CONTROL_KINDS)
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(1234, n_faults=4)
+        b = FaultPlan.generate(1234, n_faults=4)
+        assert a.specs == b.specs
+
+    def test_generate_varies_with_seed(self):
+        a = FaultPlan.generate(1, n_faults=6)
+        b = FaultPlan.generate(2, n_faults=6)
+        assert a.specs != b.specs
+
+    def test_generate_respects_kinds_and_horizon(self):
+        plan = FaultPlan.generate(7, n_faults=16, kinds=("drop_op",), horizon=10)
+        assert all(s.kind == "drop_op" for s in plan.specs)
+        assert all(1 <= s.at_count < 10 for s in plan.specs)
+
+    def test_generator_rng_independent_of_injection_rng(self):
+        """Generating more specs must not shift the plan's probability
+        draws — both RNGs derive from the seed but stay independent."""
+        a = FaultPlan.generate(99, n_faults=1)
+        b = FaultPlan.generate(99, n_faults=3)
+        assert a.specs == b.specs[:1]
+        assert [a.rng.random() for _ in range(4)] == [b.rng.random() for _ in range(4)]
+
+    def test_describe_lists_every_spec(self):
+        plan = FaultPlan(
+            5,
+            [
+                FaultSpec("drop_op", at_count=3),
+                FaultSpec("bitflip", probability=0.25, side=".client."),
+            ],
+        )
+        text = plan.describe()
+        assert "seed=5" in text
+        assert "drop_op at op #3" in text
+        assert "p=0.25 per transmit" in text
+        assert "side=.client." in text

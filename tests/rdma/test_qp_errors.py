@@ -1,0 +1,203 @@
+"""QP error-path tests: ERROR-state posting rules, flush semantics for
+receives *and* fabric-held sends, protection faults, RNR exhaustion, and
+the ERROR → INIT → RTS recovery cycle (docs/FAULTS.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import AddressSpace, MemoryRegion
+from repro.rdma import (
+    Access,
+    CompletionQueue,
+    Fabric,
+    Opcode,
+    ProtectionDomain,
+    ProtectionError,
+    QpState,
+    QueuePair,
+    VerbsError,
+    WcStatus,
+    WorkRequest,
+)
+
+SBUF = 0x10_0000
+RBUF = 0x20_0000
+SIZE = 0x1000
+
+
+def make_pair(auto_flush: bool = True, rnr_retry: int = 7):
+    """Same mirrored-buffer topology as test_qp_fabric.make_pair."""
+    fabric = Fabric(auto_flush=auto_flush)
+    sides = []
+    for name in ("dpu", "host"):
+        space = AddressSpace(name)
+        sbuf = space.map(MemoryRegion(SBUF if name == "dpu" else RBUF, SIZE, f"{name}.sbuf"))
+        rbuf = space.map(MemoryRegion(RBUF if name == "dpu" else SBUF, SIZE, f"{name}.rbuf"))
+        pd = ProtectionDomain(space, f"{name}.pd")
+        pd.register_memory(sbuf, Access.LOCAL_WRITE)
+        pd.register_memory(rbuf, Access.LOCAL_WRITE | Access.REMOTE_WRITE)
+        cq = CompletionQueue(capacity=256, name=f"{name}.cq")
+        qp = QueuePair(pd, cq, cq, rnr_retry=rnr_retry, name=f"{name}.qp")
+        sides.append((space, pd, cq, qp))
+    fabric.connect(sides[0][3], sides[1][3])
+    return fabric, sides[0], sides[1]
+
+
+def write_wr(wr_id: int, offset: int = 0, length: int = 8, imm: int = 0) -> WorkRequest:
+    return WorkRequest(
+        wr_id, Opcode.RDMA_WRITE_WITH_IMM, SBUF + offset, length, SBUF + offset, imm_data=imm
+    )
+
+
+class TestErrorStatePosting:
+    def test_post_send_rejected_in_error(self):
+        _, (dspace, _, _, dqp), _ = make_pair()
+        dqp.to_error()
+        with pytest.raises(VerbsError):
+            dqp.post_send(write_wr(1))
+
+    def test_post_recv_rejected_in_error(self):
+        _, _, (_, _, _, hqp) = make_pair()
+        hqp.to_error()
+        with pytest.raises(VerbsError):
+            hqp.post_recv(1)
+
+    def test_delivery_into_non_rts_qp_flushes_sender(self):
+        """RC semantics: the requester sees WR_FLUSH_ERROR, never a
+        silent loss, when the responder died while the op was in flight."""
+        fabric, (dspace, _, dcq, dqp), (_, _, _, hqp) = make_pair(auto_flush=False)
+        hqp.post_recv(1)
+        dspace.write(SBUF, b"x" * 8)
+        dqp.post_send(write_wr(1))
+        hqp.to_error()
+        fabric.flush()
+        assert [w.status for w in dcq.poll()] == [WcStatus.WR_FLUSH_ERROR]
+        assert fabric.flushed_operations == 1
+        # The failed send errors the requester QP too.
+        assert dqp.state is QpState.ERROR
+
+
+class TestToErrorFlush:
+    def test_flushes_posted_receives(self):
+        _, _, (_, _, hcq, hqp) = make_pair()
+        for i in range(3):
+            hqp.post_recv(i)
+        hqp.to_error()
+        wcs = hcq.poll()
+        assert [w.wr_id for w in wcs] == [0, 1, 2]
+        assert all(w.status is WcStatus.WR_FLUSH_ERROR for w in wcs)
+        assert all(w.opcode is Opcode.RECV for w in wcs)
+        assert hqp.recv_outstanding() == 0
+
+    def test_flushes_fabric_held_sends(self):
+        """The to_error fix: sends still sitting on the wire complete
+        with WR_FLUSH_ERROR instead of vanishing."""
+        fabric, (dspace, _, dcq, dqp), (_, _, _, hqp) = make_pair(auto_flush=False)
+        hqp.post_recv(1)
+        hqp.post_recv(2)
+        dspace.write(SBUF, b"ab" * 8)
+        dqp.post_send(write_wr(10))
+        dqp.post_send(write_wr(11))
+        assert fabric.in_flight == 2
+        dqp.to_error()
+        assert fabric.in_flight == 0
+        wcs = dcq.poll()
+        assert [w.wr_id for w in wcs] == [10, 11]
+        assert all(w.status is WcStatus.WR_FLUSH_ERROR for w in wcs)
+
+    def test_only_own_sends_flushed(self):
+        """Erroring one QP leaves the peer's in-flight traffic alone."""
+        fabric, (dspace, _, dcq, dqp), (hspace, _, hcq, hqp) = make_pair(auto_flush=False)
+        dqp.post_recv(1)
+        hqp.post_recv(1)
+        dspace.write(SBUF, b"d" * 8)
+        hspace.write(RBUF, b"h" * 8)
+        dqp.post_send(write_wr(10))
+        hqp.post_send(WorkRequest(20, Opcode.RDMA_WRITE_WITH_IMM, RBUF, 8, RBUF))
+        dqp.to_error()
+        # Only the dpu-side send was flushed; host's op is still queued.
+        assert [w.wr_id for w in dcq.poll() if w.opcode is not Opcode.RECV] == [10]
+        assert fabric.in_flight == 1
+
+    def test_idempotent(self):
+        _, _, (_, _, hcq, hqp) = make_pair()
+        hqp.post_recv(1)
+        hqp.to_error()
+        hqp.to_error()
+        hqp.to_error()
+        assert hqp.error_transitions == 1
+        assert len(hcq.poll()) == 1
+
+
+class TestCompletionErrors:
+    def test_local_protection_error_completes_and_errors_qp(self):
+        """Posting from unregistered memory: a LOCAL_PROTECTION_ERROR
+        completion lands on the send CQ and the QP transitions to ERROR
+        (mirroring how real HCAs fail the WQE asynchronously)."""
+        _, (dspace, _, dcq, dqp), (_, _, _, hqp) = make_pair()
+        hqp.post_recv(1)
+        with pytest.raises(ProtectionError):
+            dqp.post_send(
+                WorkRequest(9, Opcode.RDMA_WRITE_WITH_IMM, 0xDEAD_0000, 8, SBUF)
+            )
+        wcs = dcq.poll()
+        assert [w.status for w in wcs] == [WcStatus.LOCAL_PROTECTION_ERROR]
+        assert wcs[0].wr_id == 9
+        assert dqp.state is QpState.ERROR
+
+    def test_rnr_retry_exhaustion_errors_qp(self):
+        """No receive WQE and no retry budget left: the send completes
+        RNR_RETRY_EXCEEDED and the QP breaks (§IV-C's disaster case)."""
+        fabric, (dspace, _, dcq, dqp), _ = make_pair(auto_flush=False, rnr_retry=2)
+        dspace.write(SBUF, b"x" * 4)
+        dqp.post_send(write_wr(5, length=4))
+        fabric.flush()
+        assert [w.status for w in dcq.poll()] == [WcStatus.RNR_RETRY_EXCEEDED]
+        assert dqp.state is QpState.ERROR
+        assert dqp.rnr_events == 3  # initial attempt + 2 retries
+        assert fabric.rnr_retransmissions == 3
+
+
+class TestResetCycle:
+    def test_error_to_init_to_rts(self):
+        fabric, (dspace, _, dcq, dqp), (_, _, hcq, hqp) = make_pair()
+        dqp.to_error()
+        hqp.to_error()
+        dqp.reset_to_init()
+        hqp.reset_to_init()
+        assert dqp.state is QpState.INIT
+        assert dqp.peer is None and dqp.fabric is None
+        fabric.connect(dqp, hqp)
+        assert dqp.state is QpState.RTS and hqp.state is QpState.RTS
+        # The reconnected pair carries traffic again.
+        hqp.post_recv(1)
+        dspace.write(SBUF, b"again!")
+        dqp.post_send(write_wr(1, length=6))
+        assert [w.status for w in dcq.poll()] == [WcStatus.SUCCESS]
+        assert hcq.poll()[0].byte_len == 6
+
+    def test_reset_drops_stale_receives_silently(self):
+        """reset_to_init assumes the flush storm was already consumed:
+        anything still queued is dropped without completions."""
+        _, _, (_, _, hcq, hqp) = make_pair()
+        hqp.to_error()
+        hcq.poll()  # absorb any flushes
+        hqp.reset_to_init()
+        assert hqp.recv_outstanding() == 0
+        assert hcq.poll() == []
+
+    def test_reset_from_rts_rejected(self):
+        _, (_, _, _, dqp), _ = make_pair()
+        assert dqp.state is QpState.RTS
+        with pytest.raises(VerbsError):
+            dqp.reset_to_init()
+
+    def test_discard_in_flight_drops_without_completions(self):
+        fabric, (dspace, _, dcq, dqp), (_, _, _, hqp) = make_pair(auto_flush=False)
+        hqp.post_recv(1)
+        dspace.write(SBUF, b"z" * 8)
+        dqp.post_send(write_wr(1))
+        assert fabric.discard_in_flight() == 1
+        assert fabric.in_flight == 0
+        assert dcq.poll() == []
