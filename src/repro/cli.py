@@ -9,6 +9,9 @@ code generator from a shell.
     python -m repro workloads                  # message size accounting
     python -m repro protoc FILE [--adt] [-o DIR]
     python -m repro faults [--seed N] [--scenarios N]   # fault campaign
+    python -m repro trace [--deployment D] [-o FILE]    # Perfetto trace
+    python -m repro top [--batches N]                   # stage latency table
+    python -m repro metrics [--deployment D]            # Prometheus scrape
 """
 
 from __future__ import annotations
@@ -136,6 +139,77 @@ def _cmd_faults(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.perfetto import validate_trace_events, write_trace
+
+    if args.check:
+        doc = json.loads(pathlib.Path(args.check).read_text())
+        problems = validate_trace_events(doc)
+        if problems:
+            for p in problems:
+                print(f"invalid: {p}", file=sys.stderr)
+            return 1
+        n = len(doc["traceEvents"]) if isinstance(doc, dict) else len(doc)
+        print(f"{args.check}: valid ({n} events)")
+        return 0
+
+    from repro.obs.runner import run_traced_workload
+
+    res = run_traced_workload(
+        deployment=args.deployment,
+        requests=args.requests,
+        explicit_context=args.explicit_context,
+        keep_slowest=args.slowest,
+    )
+    doc = res.trace_events()
+    problems = validate_trace_events(doc)
+    if problems:
+        for p in problems:
+            print(f"exporter bug: {p}", file=sys.stderr)
+        return 1
+    if args.output:
+        write_trace(args.output, doc)
+        print(f"wrote {args.output}: {len(doc['traceEvents'])} events, "
+              f"{len(res.sampled)} sampled of {len(res.timelines)} timelines")
+    else:
+        print(json.dumps(doc, indent=1))
+    slowest = res.slowest()
+    if slowest is not None:
+        print(slowest.render(), file=sys.stderr)
+    print(res.latency.table(), file=sys.stderr)
+    return 0 if res.errors == 0 else 1
+
+
+def _cmd_top(args) -> int:
+    from repro.metrics import MetricsRegistry
+    from repro.obs.runner import run_traced_workload
+    from repro.obs.timeline import StageLatencyExporter
+
+    registry = MetricsRegistry()
+    latency = StageLatencyExporter(registry)
+    errors = 0
+    for batch in range(args.batches):
+        res = run_traced_workload(
+            deployment=args.deployment, requests=args.requests_per_batch
+        )
+        latency.observe(res.timelines)
+        errors += res.errors
+        print(f"batch {batch + 1}/{args.batches}: "
+              f"{res.requests - res.errors}/{res.requests} ok", file=sys.stderr)
+    print(latency.table())
+    return 0 if errors == 0 else 1
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.runner import run_traced_workload
+
+    res = run_traced_workload(deployment=args.deployment, requests=args.requests)
+    print(res.registry.expose(), end="")
+    return 0 if res.errors == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +263,50 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="print every scenario verdict"
     )
     faults.set_defaults(fn=_cmd_faults)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload and export a Perfetto trace "
+        "(docs/OBSERVABILITY.md)",
+    )
+    trace.add_argument(
+        "--deployment", choices=["offloaded", "core"], default="offloaded",
+        help="which datapath to trace (default: offloaded)",
+    )
+    trace.add_argument("--requests", type=int, default=60,
+                       help="requests to push through (default 60)")
+    trace.add_argument("-o", "--output", help="write Perfetto JSON here "
+                       "(default: print to stdout)")
+    trace.add_argument(
+        "--explicit-context", action="store_true",
+        help="carry an 8-byte trace-context word on the wire instead of "
+        "deriving ids from transmit order",
+    )
+    trace.add_argument("--slowest", type=int, default=10,
+                       help="tail-sample size: keep the N slowest requests")
+    trace.add_argument("--check", metavar="FILE",
+                       help="validate an existing trace file and exit")
+    trace.set_defaults(fn=_cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="aggregate per-stage latency quantiles over several runs"
+    )
+    top.add_argument("--deployment", choices=["offloaded", "core"],
+                     default="offloaded")
+    top.add_argument("--batches", type=int, default=3,
+                     help="number of traced runs to aggregate (default 3)")
+    top.add_argument("--requests-per-batch", type=int, default=40,
+                     help="requests per run (default 40)")
+    top.set_defaults(fn=_cmd_top)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a traced workload and dump the Prometheus exposition",
+    )
+    metrics.add_argument("--deployment", choices=["offloaded", "core"],
+                         default="offloaded")
+    metrics.add_argument("--requests", type=int, default=60)
+    metrics.set_defaults(fn=_cmd_metrics)
 
     args = parser.parse_args(argv)
     return args.fn(args)

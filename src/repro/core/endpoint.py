@@ -145,6 +145,8 @@ class IncomingRequest:
     payload_addr: int
     payload_size: int
     flags: int = Flags.NONE
+    #: request trace context (repro.obs), None unless tracing is attached
+    trace: object | None = None
 
     def payload_view(self) -> memoryview:
         return self.space.view(self.payload_addr, self.payload_size)
@@ -225,6 +227,9 @@ class _OutBlock:
     bucket: int
     message_count: int = 0
     continuations: list = field(default_factory=list)
+    #: per-message trace contexts, parallel to ``continuations``; empty
+    #: unless tracing is attached (repro.obs)
+    traces: list = field(default_factory=list)
 
 
 class _EndpointBase:
@@ -277,6 +282,18 @@ class _EndpointBase:
         self._rx_seq = 0
         #: duplicate block deliveries dropped by the sequence check
         self.duplicate_blocks = 0
+        # Request-scoped tracing (repro.obs, docs/OBSERVABILITY.md).
+        # ``trace`` stays None unless obs.attach_endpoint wires in a
+        # StageRecorder; every hook below is a single is-not-None test so
+        # the disabled path costs nothing.  The derived trace id is
+        # (stream, serial): both sides count messages in wire order —
+        # the same determinism §IV-D exploits for request IDs — so the
+        # id propagates with zero wire bytes.
+        self.trace = None
+        self._trace_stream = ""
+        self._trace_explicit = False  # client only: on-wire context word
+        self._trace_serial = 0  # tx-serial (client) / rx-serial (server)
+        self._trace_by_rid: dict[int, object] = {}
         # Pre-post one receive WQE per possible in-flight block from the
         # peer (the peer's credit limit bounds that; the factory passes it
         # in), plus slack for the repost that replenishes.
@@ -478,6 +495,9 @@ class ClientEndpoint(_EndpointBase):
         self._writer_addr = 0
         self._writer_capacity = 0
         self._writer_continuations: list[Continuation] = []
+        # Trace contexts of the open block's messages, parallel to
+        # _writer_continuations; only populated while tracing is attached.
+        self._writer_traces: list = []
         # rid -> (continuation, block_seq)
         self._pending: dict[int, tuple[Continuation, int]] = {}
         # block_seq -> [sbuf_addr, outstanding_count]
@@ -520,7 +540,7 @@ class ClientEndpoint(_EndpointBase):
 
     def enqueue_bytes(
         self, method_id: int, payload: bytes, continuation: Continuation,
-        flags: int = Flags.NONE,
+        flags: int = Flags.NONE, trace_ctx=None,
     ) -> None:
         self.enqueue(
             method_id,
@@ -529,11 +549,12 @@ class ClientEndpoint(_EndpointBase):
                                  len(payload))[1],
             continuation,
             flags,
+            trace_ctx=trace_ctx,
         )
 
     def enqueue_emit(
         self, method_id: int, size: int, emit, continuation: Continuation,
-        flags: int = Flags.NONE,
+        flags: int = Flags.NONE, trace_ctx=None,
     ) -> None:
         """Queue one request whose payload is written in place: ``size``
         bytes are reserved inside the outgoing block and ``emit(view)``
@@ -544,7 +565,7 @@ class ClientEndpoint(_EndpointBase):
             emit(space.view(addr, size))
             return size
 
-        self.enqueue(method_id, size, writer, continuation, flags)
+        self.enqueue(method_id, size, writer, continuation, flags, trace_ctx=trace_ctx)
 
     def enqueue(
         self,
@@ -553,23 +574,33 @@ class ClientEndpoint(_EndpointBase):
         writer: PayloadWriter,
         continuation: Continuation,
         flags: int = Flags.NONE,
+        trace_ctx=None,
     ) -> None:
         """Queue one request.  ``writer`` constructs the payload in place
         inside the outgoing block (this is where the offloaded
         deserializer writes the C++ object).  ``continuation`` fires when
-        the response arrives (§III-D)."""
+        the response arrives (§III-D).  ``trace_ctx`` carries an upper
+        layer's trace context through to the wire stages (repro.obs); a
+        fresh one is created here when tracing is on and none was given."""
         if max_payload > self.config.max_message_size:
             raise ProtocolError(
                 f"payload of {max_payload} exceeds max_message_size "
                 f"{self.config.max_message_size}"
             )
+        if self.trace is not None:
+            if trace_ctx is None:
+                trace_ctx = self.trace.context()
+            self.trace.event(trace_ctx, "enqueue", method=method_id,
+                             bytes=max_payload)
         if self._backlog or self.outstanding >= min(
             self.config.concurrency, self.id_pool.capacity
         ):
             # Concurrency window full: defer, preserving FIFO order.
-            self._backlog.append((method_id, max_payload, writer, continuation, flags))
+            self._backlog.append(
+                (method_id, max_payload, writer, continuation, flags, trace_ctx)
+            )
             return
-        self._enqueue_now(method_id, max_payload, writer, continuation, flags)
+        self._enqueue_now(method_id, max_payload, writer, continuation, flags, trace_ctx)
 
     def _enqueue_now(
         self,
@@ -578,7 +609,28 @@ class ClientEndpoint(_EndpointBase):
         writer: PayloadWriter,
         continuation: Continuation,
         flags: int,
+        trace_ctx=None,
     ) -> None:
+        if (
+            self._trace_explicit
+            and self.trace is not None
+            and not flags & Flags.TRACE_CTX
+        ):
+            # Explicit-context mode: bind the trace id now and spend 8
+            # bytes ahead of the payload to carry it (the only mode that
+            # keeps replayed/retried requests correlated).  The server
+            # strips the word before the handler sees the payload.
+            word = self.trace.collector.next_context_word()
+            if trace_ctx is not None and trace_ctx.tid is None:
+                trace_ctx.tid = ("ctx", word)
+            inner = writer
+
+            def writer(space, addr, _inner=inner, _w=word):
+                space.write_u64(addr, _w)
+                return _inner(space, addr + 8) + 8
+
+            max_payload += 8
+            flags |= Flags.TRACE_CTX
         if self._writer is not None and self._writer.remaining() < max_payload + 32:
             self._record_flush("block_full")
             self._seal_current()
@@ -591,6 +643,8 @@ class ClientEndpoint(_EndpointBase):
             raise ProtocolError(f"writer produced {actual} > reserved {max_payload}")
         self._writer.commit_message(actual, method_id, flags)
         self._writer_continuations.append(continuation)
+        if self.trace is not None:
+            self._writer_traces.append(trace_ctx)
         self._note_open_message()
         self.stats.requests_sent += 1
         if self._writer.bytes_used >= self.config.block_size:
@@ -614,16 +668,22 @@ class ClientEndpoint(_EndpointBase):
             return
         assert writer.message_count == len(self._writer_continuations)
         length = writer.seal(ack_blocks=0)  # placeholder; patched on send
+        if self.trace is not None:
+            for ctx in self._writer_traces:
+                self.trace.event(ctx, "block_seal", bytes=length,
+                                 messages=writer.message_count)
         out = _OutBlock(
             self._writer_addr,
             length,
             bucket=0,
             message_count=writer.message_count,
             continuations=self._writer_continuations,
+            traces=self._writer_traces,
         )
         self._queued_messages += writer.message_count
         self._writer = None
         self._writer_continuations = []
+        self._writer_traces = []
         self._open_since = None
         self._send_queue.append(out)
 
@@ -656,6 +716,22 @@ class ClientEndpoint(_EndpointBase):
             self._pending[rid] = (cont, seq)
             if deadline:
                 self._deadlines.append((self._polls + deadline, rid, seq))
+        if self.trace is not None:
+            # Transmit time is where the derived trace id binds: both
+            # sides count wire-order messages, so the client's n-th
+            # transmitted message is the server's n-th received one
+            # (same determinism as the §IV-D ID pools).  Events recorded
+            # before this point reference the context and pick the id up
+            # retroactively.
+            traces = out.traces or [None] * out.message_count
+            for rid, ctx in zip(ids, traces):
+                self._trace_serial += 1
+                if ctx is None:
+                    continue
+                if ctx.tid is None:
+                    ctx.tid = (self._trace_stream, self._trace_serial)
+                self.trace.event(ctx, "transmit", rid=rid, seq=seq)
+                self._trace_by_rid[rid] = ctx
         self._queued_messages -= out.message_count
 
     def _send_pure_ack(self) -> None:
@@ -714,6 +790,10 @@ class ClientEndpoint(_EndpointBase):
             cont, _ = entry
             self._tombstones.add(rid)
             self.timeouts += 1
+            if self.trace is not None:
+                ctx = self._trace_by_rid.get(rid)
+                if ctx is not None:
+                    self.trace.event(ctx, "timeout", rid=rid)
             _fail_continuation(cont, b"request deadline exceeded")
 
     def _progress_impl(self, budget: int | None = None) -> int:
@@ -775,6 +855,14 @@ class ClientEndpoint(_EndpointBase):
                 cont, seq = self._pending.pop(rid)
             except KeyError:
                 raise ProtocolError(f"{self.name}: response for unknown request {rid}")
+            if self.trace is not None:
+                ctx = self._trace_by_rid.pop(rid, None)
+                if ctx is not None:
+                    self.trace.event(
+                        ctx, "response_deliver", rid=rid,
+                        flags=msg.header.flags, bytes=msg.payload_size,
+                        late=rid in self._tombstones,
+                    )
             if rid in self._tombstones:
                 # Late answer to a request already failed by its deadline:
                 # the continuation fired long ago; keep only the protocol
@@ -814,7 +902,10 @@ class ClientEndpoint(_EndpointBase):
             self._record_flush("reset")
             self._seal_current()
         survivors: list[tuple[int, bytes, Continuation, int]] = []
-        strip = Flags.LARGE  # recomputed by the writer on re-send
+        # LARGE is recomputed by the writer on re-send; TRACE_CTX (and its
+        # 8-byte word) is stripped so the replay gets a *fresh* context
+        # word instead of double-prepending the old one.
+        strip = Flags.LARGE | Flags.TRACE_CTX
 
         def harvest(addr: int, conts, rids=None) -> None:
             reader = BlockReader(
@@ -829,6 +920,8 @@ class ClientEndpoint(_EndpointBase):
                 else:
                     cont = conts[i]
                 payload = bytes(self.space.view(msg.payload_addr, msg.payload_size))
+                if msg.header.flags & Flags.TRACE_CTX:
+                    payload = payload[8:]
                 survivors.append(
                     (msg.header.method_or_id, payload, cont, msg.header.flags & ~strip)
                 )
@@ -849,6 +942,10 @@ class ClientEndpoint(_EndpointBase):
         can prove the mirrored pools re-aligned."""
         survivors = self._snapshot_unanswered()
         backlog = list(self._backlog)
+        if self.trace is not None:
+            for ctx in self._trace_by_rid.values():
+                self.trace.event(ctx, "reset")
+            self._trace_by_rid.clear()
         self._backlog.clear()
         self._pending.clear()
         self._blocks.clear()
@@ -860,6 +957,7 @@ class ClientEndpoint(_EndpointBase):
         self._queued_messages = 0
         self._writer = None
         self._writer_continuations = []
+        self._writer_traces = []
         super().reset_connection_state()
         return survivors, backlog
 
@@ -881,8 +979,10 @@ class ClientEndpoint(_EndpointBase):
             return len(survivors)
         for _, _, cont, _ in survivors:
             _fail_continuation(cont, b"connection reset")
-        for _, _, _, cont, _ in backlog:
-            _fail_continuation(cont, b"connection reset")
+        for entry in backlog:
+            if self.trace is not None and entry[5] is not None:
+                self.trace.event(entry[5], "abort")
+            _fail_continuation(entry[3], b"connection reset")
         self.aborted += len(survivors) + len(backlog)
         return len(survivors) + len(backlog)
 
@@ -984,22 +1084,58 @@ class ServerEndpoint(_EndpointBase):
 
         count = 0
         for rid, msg in zip(ids, messages):
+            payload_addr = msg.payload_addr
+            payload_size = msg.payload_size
+            flags = msg.header.flags
+            word = 0
+            if flags & Flags.TRACE_CTX:
+                # Strip the explicit trace-context word unconditionally —
+                # the client opted into it, and the handler must see the
+                # undecorated payload even when this side isn't tracing.
+                word = self.space.read_u64(payload_addr)
+                payload_addr += 8
+                payload_size -= 8
+                flags &= ~Flags.TRACE_CTX
+            ctx = None
+            if self.trace is not None:
+                # rx-serial mirrors the client's tx-serial (wire order on
+                # a reliable connection); the explicit word, when present,
+                # wins so replayed requests still correlate.
+                self._trace_serial += 1
+                tid = ("ctx", word) if word else (
+                    self._trace_stream, self._trace_serial
+                )
+                ctx = self.trace.context()
+                ctx.tid = tid
+                self.trace.event(ctx, "deliver", rid=rid,
+                                 method=msg.header.method_or_id,
+                                 bytes=payload_size)
+                self._trace_by_rid[rid] = ctx
             request = IncomingRequest(
                 space=self.space,
                 method_id=msg.header.method_or_id,
                 request_id=rid,
-                payload_addr=msg.payload_addr,
-                payload_size=msg.payload_size,
-                flags=msg.header.flags,
+                payload_addr=payload_addr,
+                payload_size=payload_size,
+                flags=flags,
+                trace=ctx,
             )
             self.stats.requests_received += 1
             if (
-                msg.header.flags & Flags.BACKGROUND
+                flags & Flags.BACKGROUND
                 and self._background_executor is not None
             ):
                 self._spawn_background(request)
             else:
-                response = self._invoke(request)
+                if self.trace is not None and ctx is not None:
+                    t0 = self.trace.now()
+                    response = self._invoke(request)
+                    self.trace.event(ctx, "dispatch", ts=t0,
+                                     dur=self.trace.now() - t0,
+                                     method=request.method_id,
+                                     flags=response.flags)
+                else:
+                    response = self._invoke(request)
                 self._enqueue_response(rid, response)
             count += 1
         return count
@@ -1027,6 +1163,7 @@ class ServerEndpoint(_EndpointBase):
         detached = IncomingRequest(
             space=None, method_id=request.method_id, request_id=rid,
             payload_addr=0, payload_size=len(payload), flags=request.flags,
+            trace=request.trace,
         )
 
         def run() -> None:
@@ -1055,6 +1192,11 @@ class ServerEndpoint(_EndpointBase):
         _, payload_addr = self._writer.begin_message(response.size)
         actual = response.write_to(self.space, payload_addr)
         self._writer.commit_message(actual, rid, response.flags)
+        if self.trace is not None:
+            ctx = self._trace_by_rid.pop(rid, None)
+            if ctx is not None:
+                self.trace.event(ctx, "response_emit", rid=rid,
+                                 bytes=actual, flags=response.flags)
         self._current_block_ids.append(rid)
         self._note_open_message()
         self.stats.responses_sent += 1
@@ -1086,6 +1228,7 @@ class ServerEndpoint(_EndpointBase):
         self._current_block_ids = []
         self._outstanding_responses.clear()
         self._background_results.clear()
+        self._trace_by_rid.clear()
         super().reset_connection_state()
 
     def _flush_responses(self, reason: str = "explicit") -> None:

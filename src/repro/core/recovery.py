@@ -85,9 +85,13 @@ class ChannelRecovery:
     ``repro.runtime.supervisor``).
     """
 
-    def __init__(self, channel, metrics=None, tracer=None) -> None:
+    def __init__(self, channel, metrics=None, tracer=None, trace=None) -> None:
         self.channel = channel
         self.tracer = tracer
+        #: StageRecorder (repro.obs): each reset lands in the request
+        #: trace as a timed recovery_reset span, so a recovered timeline
+        #: shows *when* the channel healed between its retries.
+        self.trace = trace
         self.reports: list[RecoveryReport] = []
         self._resets = self._replayed = self._aborted = None
         if metrics is not None:
@@ -107,11 +111,16 @@ class ChannelRecovery:
         """Run the full reset handshake; returns a report.  Safe to call
         with the QPs in any state — healthy QPs are errored first so the
         teardown is always the same sequence."""
+        t0 = self.trace.now() if self.trace is not None else 0.0
         if self.tracer is not None:
             with self.tracer.span("recovery.reset", reason=reason, replay=replay):
                 report = self._reset(reason, replay)
         else:
             report = self._reset(reason, replay)
+        if self.trace is not None:
+            self.trace.event(None, "recovery_reset", ts=t0,
+                             dur=self.trace.now() - t0, reason=reason,
+                             replayed=report.replayed, aborted=report.aborted)
         self.reports.append(report)
         if self._resets is not None:
             self._resets.inc()
@@ -207,6 +216,7 @@ def supervise_channel(
     metrics=None,
     tracer=None,
     fault_types: tuple[type, ...] | None = None,
+    trace=None,
 ):
     """Wire a channel for self-healing: an
     :class:`~repro.runtime.supervisor.EngineSupervisor` on the channel's
@@ -215,7 +225,7 @@ def supervise_channel(
     endpoints.  Returns ``(recovery, supervisor)``."""
     from repro.runtime.supervisor import EngineSupervisor
 
-    recovery = ChannelRecovery(channel, metrics=metrics, tracer=tracer)
+    recovery = ChannelRecovery(channel, metrics=metrics, tracer=tracer, trace=trace)
 
     def heal(reason: str) -> None:
         recovery.reset(reason=reason)
@@ -231,5 +241,6 @@ def supervise_channel(
         on_fault=lambda reg, exc: heal(f"fault:{reg.name}"),
         fault_types=fault_types if fault_types is not None else default_fault_types(),
         metrics=metrics,
+        trace=trace,
     )
     return recovery, supervisor

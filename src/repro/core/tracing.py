@@ -88,6 +88,9 @@ _FLAG_NAMES = [
     (Flags.BACKGROUND, "BACKGROUND"),
     (Flags.OBJECT_PAYLOAD, "OBJECT"),
     (Flags.LARGE, "LARGE"),
+    (Flags.ABORTED, "ABORTED"),
+    (Flags.WIRE_PAYLOAD, "WIRE"),
+    (Flags.TRACE_CTX, "TRACE_CTX"),
 ]
 
 

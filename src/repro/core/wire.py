@@ -112,6 +112,11 @@ class Flags:
     #: deserialized object — set when a crashed DPU engine fails over to
     #: host-side deserialization (docs/FAULTS.md)
     WIRE_PAYLOAD = 1 << 5
+    #: an 8-byte explicit trace-context word precedes the payload
+    #: (docs/OBSERVABILITY.md): the opt-in mode that keeps request traces
+    #: correlated across replays, when the derived — zero-byte — trace
+    #: ids could skew.  Stripped before the handler sees the payload.
+    TRACE_CTX = 1 << 6
 
 
 def _align_up(value: int, alignment: int) -> int:

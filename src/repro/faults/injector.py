@@ -58,6 +58,10 @@ class FaultInjector:
         #: engine object, the injector only announces the event.
         self.on_control = on_control
         self.events: list[FaultEvent] = []
+        #: StageRecorder (repro.obs): fault firings land in the same
+        #: collector as the request stages — a campaign fingerprint is
+        #: replayable as a trace (docs/OBSERVABILITY.md).
+        self.trace = None
         # -- opportunity counters (1-based at first opportunity) --------------
         self.transmits = 0
         self.ops = 0
@@ -93,6 +97,9 @@ class FaultInjector:
         self.events.append(
             FaultEvent(len(self.events), spec.kind, spec.category, count, target, detail)
         )
+        if self.trace is not None:
+            self.trace.instant(spec.kind, category=spec.category, count=count,
+                               target=target, detail=detail)
 
     def _matches(self, i: int, spec: FaultSpec, category: str, count: int, name: str) -> bool:
         if spec.category != category or self._fires[i] >= spec.max_fires:

@@ -36,6 +36,12 @@ class EndpointExporter:
     def __init__(self, registry: MetricsRegistry, endpoint, prefix: str) -> None:
         self.endpoint = endpoint
         self._counters = {}
+        # Last raw value seen per field: endpoint stats CAN regress — a
+        # connection reset or a swapped-in endpoint object restarts them
+        # at zero — and the exported counter must absorb that by
+        # re-basing, never by raising mid-scrape.
+        self._raw: dict[str, float] = {}
+        self.resets_detected = 0
         for field, help_text in _COUNTERS:
             self._counters[field] = registry.counter(
                 f"{prefix}_{field}_total", help_text
@@ -56,9 +62,16 @@ class EndpointExporter:
         stats = self.endpoint.stats
         for field, counter in self._counters.items():
             value = getattr(stats, field)
-            delta = value - counter.value
-            if delta < 0:  # pragma: no cover - stats never regress
-                raise RuntimeError(f"{field} went backwards")
+            last = self._raw.get(field, 0.0)
+            if value < last:
+                # The underlying stat restarted (endpoint reset/replaced):
+                # re-base on the new epoch — everything since the restart
+                # is new growth on top of the monotone exported counter.
+                self.resets_detected += 1
+                delta = value
+            else:
+                delta = value - last
+            self._raw[field] = value
             if delta:
                 counter.inc(delta)
         self._credits.set(self.endpoint.credits.available)

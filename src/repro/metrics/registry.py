@@ -54,10 +54,15 @@ class _MetricBase:
         key = tuple(str(v) for v in values)
         child = self._children.get(key)
         if child is None:
-            child = type(self)(self.name, self.help, ())
+            child = self._new_child()
             child._is_child = True
             self._children[key] = child
         return child
+
+    def _new_child(self) -> "_MetricBase":
+        """Construct one label-combination leaf (histograms override to
+        carry their bucket layout into children)."""
+        return type(self)(self.name, self.help, ())
 
     def _check_leaf(self) -> None:
         if self.label_names and not self._is_child:
@@ -140,6 +145,12 @@ class Histogram(_MetricBase):
         self.total = 0.0
         self.count = 0
 
+    #: quantiles rendered into the text exposition alongside the buckets
+    EXPOSED_QUANTILES = (0.5, 0.95, 0.99)
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, (), self.buckets)
+
     def observe(self, value: float) -> None:
         self._check_leaf()
         self.total += value
@@ -148,6 +159,30 @@ class Histogram(_MetricBase):
             if value <= bound:
                 self.counts[i] += 1
                 break
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile via linear interpolation inside the
+        owning bucket (``histogram_quantile`` semantics).  Returns 0.0
+        for an empty histogram; a quantile landing in the ``+Inf`` bucket
+        clamps to the highest finite bound — the estimate cannot exceed
+        what the layout can resolve."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"{self.name}: quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lo = 0.0
+        for bound, c in zip(self.buckets, self.counts):
+            prev = cumulative
+            cumulative += c
+            if cumulative >= target and c:
+                if bound == float("inf"):
+                    return lo
+                return lo + (bound - lo) * ((target - prev) / c)
+            if bound != float("inf"):
+                lo = bound
+        return lo
 
     def samples(self) -> list[Sample]:
         out = []
@@ -161,6 +196,11 @@ class Histogram(_MetricBase):
                 )
             out.append(Sample(f"{self.name}_sum", labels, leaf.total))
             out.append(Sample(f"{self.name}_count", labels, leaf.count))
+            for q in self.EXPOSED_QUANTILES:
+                out.append(
+                    Sample(self.name, labels + (("quantile", str(q)),),
+                           leaf.quantile(q))
+                )
         return out
 
 

@@ -1,0 +1,202 @@
+"""Traced workload runner behind ``repro trace`` / ``repro top`` /
+``repro metrics``.
+
+Builds a real deployment — the full offloaded stack (xRPC client →
+DPU front end → arena deserializer → RPC-over-RDMA → host engine) or
+the bare core channel — with every layer's trace hook attached to one
+:class:`~repro.obs.trace.TraceCollector`, pushes a mixed workload
+through it, and returns the stitched timelines plus the per-stage
+latency histograms.  The CLI renders; this module runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics import MetricsRegistry
+
+from .perfetto import to_trace_events
+from .timeline import StageLatencyExporter, TailSampler, stitch
+from .trace import TraceCollector, attach_channel
+
+__all__ = ["TraceRunResult", "run_traced_workload", "DEPLOYMENTS"]
+
+DEPLOYMENTS = ("offloaded", "core")
+
+_SERVICE_PROTO_SUFFIX = """
+service Bench {
+  rpc PingSmall (Small) returns (Empty);
+  rpc SumInts (IntArray) returns (IntArray);
+  rpc Upper (CharArray) returns (CharArray);
+}
+"""
+
+
+@dataclass
+class TraceRunResult:
+    """Everything one traced run produced."""
+
+    deployment: str
+    requests: int
+    errors: int
+    collector: TraceCollector
+    registry: MetricsRegistry
+    latency: StageLatencyExporter
+    timelines: list = field(default_factory=list)
+    global_events: list = field(default_factory=list)
+    sampled: list = field(default_factory=list)
+
+    def trace_events(self) -> dict:
+        """The Perfetto document for the *sampled* timelines."""
+        return to_trace_events(self.sampled, self.global_events)
+
+    def slowest(self):
+        return max(self.timelines, key=lambda tl: tl.total, default=None)
+
+
+def _build_offloaded(collector: TraceCollector, explicit_context: bool):
+    from repro.core import create_channel
+    from repro.offload.engine import DpuEngine, HostEngine
+    from repro.proto import compile_schema
+    from repro.workloads import WORKLOAD_PROTO, WorkloadFactory
+    from repro.xrpc import (
+        Network,
+        OffloadedXrpcServer,
+        XrpcChannel,
+        make_stub_class,
+        register_offloaded_servicer,
+    )
+
+    schema = compile_schema(WORKLOAD_PROTO + _SERVICE_PROTO_SUFFIX)
+    Empty = schema["bench.Empty"]
+    IntArray = schema["bench.IntArray"]
+    CharArray = schema["bench.CharArray"]
+
+    class BenchServicer:
+        def PingSmall(self, request, context):
+            return Empty()
+
+        def SumInts(self, request, context):
+            values = list(request.values)
+            values.append(sum(values) % (1 << 32))
+            return IntArray(values=values)
+
+        def Upper(self, request, context):
+            return CharArray(data=request.data.upper())
+
+    service = schema.service("bench.Bench")
+    rdma = create_channel()
+    host = HostEngine(rdma, schema)
+    register_offloaded_servicer(host, service, BenchServicer())
+    dpu = DpuEngine(rdma)
+    host.send_bootstrap()
+    dpu.receive_bootstrap()
+    net = Network()
+    front = OffloadedXrpcServer(net, "dpu:50051", dpu, service)
+
+    # Attach every layer AFTER bootstrap (control traffic is not request
+    # scoped) and BEFORE the first request, so derived serials align.
+    attach_channel(collector, rdma, stream="rdma",
+                   client_component="dpu.rpc", server_component="host.rpc",
+                   explicit_context=explicit_context)
+    dpu.trace = collector.recorder("dpu.engine")
+    host.trace = collector.recorder("host.engine")
+    front.trace = collector.recorder("dpu.frontend")
+
+    channel = XrpcChannel(net, "dpu:50051", "trace-client")
+    channel.trace = collector.recorder("xrpc.client")
+    channel.drive = lambda: (front.progress(), host.progress())
+    stub = make_stub_class(service, schema.factory)(channel)
+    factory = WorkloadFactory(schema=schema)
+    calls = (
+        lambda: stub.PingSmall(factory.small()),
+        lambda: stub.SumInts(factory.int_array(128)),
+        lambda: stub.Upper(factory.char_array(256)),
+    )
+
+    def issue(i: int) -> bool:
+        calls[i % len(calls)]()
+        return True
+
+    endpoints = {"client": rdma.client, "server": rdma.server}
+    return issue, endpoints
+
+
+def _build_core(collector: TraceCollector, explicit_context: bool):
+    from repro.core import Flags, Response, create_channel
+
+    channel = create_channel()
+    attach_channel(collector, channel, stream="core",
+                   client_component="client.rpc", server_component="server.rpc",
+                   explicit_context=explicit_context)
+    channel.server.register(
+        1, lambda req: Response.from_bytes(req.payload_bytes().upper())
+    )
+    channel.server.register(
+        2, lambda req: Response.from_bytes(b"boom", flags=Flags.ERROR)
+    )
+
+    def issue(i: int) -> bool:
+        done: list = []
+        method = 2 if i % 16 == 15 else 1  # a sprinkle of error responses
+        channel.client.enqueue_bytes(
+            method, b"payload-%04d" % i, lambda view, flags: done.append(flags)
+        )
+        for _ in range(10_000):
+            channel.progress()
+            if done:
+                break
+        return bool(done) and not (done[0] & Flags.ERROR)
+
+    endpoints = {"client": channel.client, "server": channel.server}
+    return issue, endpoints
+
+
+def run_traced_workload(
+    deployment: str = "offloaded",
+    requests: int = 60,
+    explicit_context: bool = False,
+    keep_slowest: int = 10,
+    ring: int = 1 << 15,
+    registry: MetricsRegistry | None = None,
+    collector: TraceCollector | None = None,
+) -> TraceRunResult:
+    """Run ``requests`` RPCs through a fully traced deployment and
+    stitch the result.  Endpoint statistics are exported into the same
+    registry (``repro metrics`` dumps the combined scrape)."""
+    if deployment not in DEPLOYMENTS:
+        raise ValueError(f"unknown deployment {deployment!r}; pick from {DEPLOYMENTS}")
+    collector = collector or TraceCollector(ring=ring)
+    registry = registry or MetricsRegistry()
+    build = _build_offloaded if deployment == "offloaded" else _build_core
+    issue, endpoints = build(collector, explicit_context)
+
+    errors = 0
+    for i in range(requests):
+        try:
+            ok = issue(i)
+        except Exception:
+            ok = False
+        if not ok:
+            errors += 1
+
+    from repro.metrics import EndpointExporter
+
+    for label, endpoint in endpoints.items():
+        EndpointExporter(registry, endpoint, f"trace_{deployment}_{label}").update()
+
+    timelines, global_events = stitch(collector)
+    latency = StageLatencyExporter(registry)
+    latency.observe(timelines)
+    sampled = TailSampler(keep_slowest=keep_slowest).sample(timelines)
+    return TraceRunResult(
+        deployment=deployment,
+        requests=requests,
+        errors=errors,
+        collector=collector,
+        registry=registry,
+        latency=latency,
+        timelines=timelines,
+        global_events=global_events,
+        sampled=sampled,
+    )

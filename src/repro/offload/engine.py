@@ -166,6 +166,8 @@ class HostEngine:
         #: were deserialized *here* — the degraded mode that keeps the
         #: service alive while the DPU engine is down.
         self.host_deserialized = 0
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
 
     def register_method(self, method_id: int, input_type: str, callback: HostCallback,
                         name: str | None = None, output_type: str | None = None) -> None:
@@ -199,7 +201,15 @@ class HostEngine:
                 view = parse(input_cls, request.payload_bytes())
             else:
                 view = CppMessageView(self.universe, layout, request.payload_addr)
-            result = callback(view, request)
+            trace = self.trace
+            ctx = getattr(request, "trace", None)
+            if trace is not None and ctx is not None:
+                t0 = trace.now()
+                result = callback(view, request)
+                trace.event(ctx, "callback", ts=t0, dur=trace.now() - t0,
+                            method=method_id, degraded=degraded)
+            else:
+                result = callback(view, request)
             if isinstance(result, Response):
                 return result
             if isinstance(result, Message):
@@ -305,6 +315,8 @@ class DpuEngine:
         self.crash_reason = ""
         self.crashes = 0
         self.fallback_calls = 0
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
 
     # -- bootstrap -------------------------------------------------------------
 
@@ -342,11 +354,15 @@ class DpuEngine:
         if not self.crashed:
             self.crashed = True
             self.crashes += 1
+            if self.trace is not None:
+                self.trace.instant("engine_crash", reason=reason)
         self.crash_reason = reason
 
     def revive(self) -> None:
         """Bring the engine back (simulating a restart; the bootstrap
         state survives, as a real restart would re-receive it)."""
+        if self.crashed and self.trace is not None:
+            self.trace.instant("engine_revive")
         self.crashed = False
         self.crash_reason = ""
 
@@ -358,14 +374,20 @@ class DpuEngine:
         wire_bytes: bytes,
         on_response: Callable[[memoryview, int], None],
         background: bool = False,
+        trace_ctx=None,
     ) -> None:
         """Degraded-mode request: ship the serialized payload as-is with
         ``Flags.WIRE_PAYLOAD`` so the *host* deserializes it.  This is
         the pre-offload baseline datapath, kept alive as the failover
         target — it needs no deserializer and works while crashed."""
         self.fallback_calls += 1
+        if self.trace is not None and trace_ctx is not None:
+            trace_ctx.mark(degraded=True)
+            self.trace.event(trace_ctx, "failover", method=method_id,
+                             crashed=self.crashed)
         flags = Flags.WIRE_PAYLOAD | (Flags.BACKGROUND if background else Flags.NONE)
-        self.channel.client.enqueue_bytes(method_id, wire_bytes, on_response, flags)
+        self.channel.client.enqueue_bytes(method_id, wire_bytes, on_response, flags,
+                                          trace_ctx=trace_ctx)
 
     def call(
         self,
@@ -373,6 +395,7 @@ class DpuEngine:
         wire_bytes: bytes,
         on_response: Callable[[memoryview, int], None],
         background: bool = False,
+        trace_ctx=None,
     ) -> None:
         """Offload one request: deserialize ``wire_bytes`` straight into
         the outgoing block and enqueue it."""
@@ -386,10 +409,23 @@ class DpuEngine:
             raise AdtError(f"method {method_id} not in the offload table") from None
         deserializer = self.deserializer
         estimate = deserializer.estimate_size(root, wire_bytes)
+        trace = self.trace
+        if trace is not None and trace_ctx is None:
+            trace_ctx = trace.context()
 
         def writer(space, addr: int) -> int:
             arena = Arena(space, addr, estimate)
-            obj = deserializer.deserialize(root, wire_bytes, arena)
+            if trace is not None:
+                # The offloaded stage itself: wire bytes -> in-block C++
+                # object, timed from inside the block writer so the span
+                # covers exactly the arena deserialization.
+                t0 = trace.now()
+                obj = deserializer.deserialize(root, wire_bytes, arena)
+                trace.event(trace_ctx, "deserialize", ts=t0,
+                            dur=trace.now() - t0, bytes=len(wire_bytes),
+                            object=arena.used)
+            else:
+                obj = deserializer.deserialize(root, wire_bytes, arena)
             assert obj == addr, "root object must sit at the payload start"
             return arena.used
 
@@ -426,6 +462,7 @@ class DpuEngine:
             writer,
             continuation,
             flags=Flags.BACKGROUND if background else Flags.NONE,
+            trace_ctx=trace_ctx,
         )
 
     def call_message(self, method_id: int, message: Message, on_response) -> None:

@@ -40,6 +40,8 @@ class Fabric:
         #: or force a QP into ERROR mid-delivery.
         self.injector = injector
         self._wire: deque[tuple[QueuePair, WorkRequest, bytes | None, int]] = deque()
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
         # -- statistics -------------------------------------------------------
         self.total_bytes = 0
         self.total_operations = 0
@@ -111,6 +113,8 @@ class Fabric:
                 return True
             self.total_bytes += wr.length
             self.total_operations += 1
+            if self.trace is not None and wr.opcode is Opcode.RDMA_WRITE_WITH_IMM:
+                self.trace.instant("rdma_write", bytes=wr.length, imm=wr.imm_data)
             sender.complete_send(wr, WcStatus.SUCCESS)
             return True
         raise VerbsError(f"fabric cannot carry {wr.opcode}")

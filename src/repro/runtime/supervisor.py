@@ -74,9 +74,14 @@ class EngineSupervisor:
         fault_types: tuple[type, ...] | None = None,
         metrics=None,
         max_events: int = 256,
+        trace=None,
     ) -> None:
         if stall_ticks < 1:
             raise ValueError("stall_ticks must be >= 1")
+        #: StageRecorder (repro.obs): supervisor verdicts land in the same
+        #: collector as the request stages, so a stall/quarantine shows up
+        #: *between* the request timelines it interrupted.
+        self.trace = trace
         self.engine = engine
         self.stall_ticks = stall_ticks
         self.max_faults = max_faults
@@ -213,6 +218,9 @@ class EngineSupervisor:
         self.events.append(SupervisorEvent(self.engine.tick, kind, reg.name, detail))
         if len(self.events) > self._max_events:
             del self.events[: len(self.events) - self._max_events]
+        if self.trace is not None:
+            self.trace.instant(kind, pollable=reg.name, detail=detail,
+                               tick=self.engine.tick)
 
     def summary(self) -> str:
         return (

@@ -290,6 +290,10 @@ class DatapathSimulator:
         self.completed = 0
         self.credit_stalls = 0  # true starvation: empty pipeline at 0 credits
         self._latencies: list[float] = []  # per-job request->response times
+        #: StageRecorder (repro.obs): per-job stage events in *simulated*
+        #: seconds (explicit ts from the event queue's clock).  None keeps
+        #: the fig8 hot path untouched.
+        self.trace = None
 
         # -- engine-stepped run state (armed by begin()) ----------------------
         self._queue: EventQueue | None = None
@@ -346,6 +350,12 @@ class DatapathSimulator:
         resp_bytes = self.response_block_bytes * K
 
         issued_at = q.now
+        ctx = None
+        if self.trace is not None:
+            ctx = self.trace.context(job=self._job_seq, blocks=K,
+                                     messages=job_msgs)
+            ctx.tid = ("sim", self._job_seq)
+            self.trace.event(ctx, "enqueue", ts=q.now, bytes=wire_bytes)
 
         def complete() -> None:
             self.completed += job_msgs
@@ -354,6 +364,8 @@ class DatapathSimulator:
             self.blocks_in_flight -= K
             self.m_requests.inc(job_msgs)
             self._latencies.append(q.now - issued_at)
+            if ctx is not None:
+                self.trace.event(ctx, "response_deliver", ts=q.now)
             self._issue_blocks(q)
 
         # Bytes are counted at *delivery* time (the downstream stage), so
@@ -362,19 +374,28 @@ class DatapathSimulator:
         if self.scenario is Scenario.DPU_OFFLOAD:
 
             def stage_dpu() -> None:
+                if ctx is not None:
+                    self.trace.event(ctx, "deserialize", ts=q.now, dur=dpu_s)
                 done = self.dpu_pool.submit(q.now, dpu_s)
                 q.at(done, stage_link_out)
 
             def stage_link_out() -> None:
+                if ctx is not None:
+                    self.trace.event(ctx, "transmit", ts=q.now, bytes=wire_bytes)
                 done = self.link.transfer(q.now, wire_bytes)
                 q.at(done, stage_host)
 
             def stage_host() -> None:
                 self.m_bytes.inc(wire_bytes)
+                if ctx is not None:
+                    self.trace.event(ctx, "dispatch", ts=q.now, dur=host_s)
                 done = self.host_pool.submit(q.now, host_s)
                 q.at(done, stage_link_back)
 
             def stage_link_back() -> None:
+                if ctx is not None:
+                    self.trace.event(ctx, "response_emit", ts=q.now,
+                                     bytes=resp_bytes)
                 done = self.link.transfer(q.now, resp_bytes, direction=1)
                 q.at(done, stage_dpu_complete)
 
@@ -387,15 +408,22 @@ class DatapathSimulator:
         else:
 
             def stage_link_in() -> None:
+                if ctx is not None:
+                    self.trace.event(ctx, "transmit", ts=q.now, bytes=wire_bytes)
                 done = self.link.transfer(q.now, wire_bytes)
                 q.at(done, stage_host)
 
             def stage_host() -> None:
                 self.m_bytes.inc(wire_bytes)
+                if ctx is not None:
+                    self.trace.event(ctx, "dispatch", ts=q.now, dur=host_s)
                 done = self.host_pool.submit(q.now, host_s)
                 q.at(done, stage_link_back)
 
             def stage_link_back() -> None:
+                if ctx is not None:
+                    self.trace.event(ctx, "response_emit", ts=q.now,
+                                     bytes=resp_bytes)
                 done = self.link.transfer(q.now, resp_bytes, direction=1)
                 q.at(done, lambda: (self.m_bytes.inc(resp_bytes), complete()))
 

@@ -106,6 +106,9 @@ class XrpcChannel:
         self.timeouts = 0
         self.retries = 0
         self.transport_errors = 0
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
+        self._trace_by_call: dict[int, object] = {}
 
     @property
     def outstanding(self) -> int:
@@ -122,6 +125,16 @@ class XrpcChannel:
         completion (response is None unless status == OK)."""
         call_id = next(self._call_ids)
         self._pending[call_id] = (response_cls, callback)
+        if self.trace is not None:
+            # The client's view of the call is its own small timeline —
+            # the datapath behind the server address stitches by the
+            # derived (stream, serial) id instead, which this side cannot
+            # observe.  ("xrpc", call_id) keeps the two correlatable by
+            # the call_id attribute the front end records on ingress.
+            ctx = self.trace.context(method=method, call_id=call_id)
+            ctx.tid = ("xrpc", call_id)
+            self.trace.event(ctx, "xrpc_send", method=method)
+            self._trace_by_call[call_id] = ctx
         # Zero-copy framing: size the message first, build the frame in
         # one buffer, and have the encode plan emit the wire bytes in
         # place after the header — no intermediate serialized `bytes`.
@@ -137,6 +150,7 @@ class XrpcChannel:
         """Forget a pending call; its callback will never fire and a late
         response frame is silently dropped.  Returns whether the id was
         still pending."""
+        self._trace_by_call.pop(call_id, None)
         return self._pending.pop(call_id, None) is not None
 
     def call_sync(
@@ -164,6 +178,8 @@ class XrpcChannel:
         for attempt in range(attempts):
             if attempt:
                 self.retries += 1
+                if self.trace is not None:
+                    self.trace.instant("retry", method=method, attempt=attempt)
                 for _ in range(self.retry_policy.backoff(attempt - 1)):
                     self.drive()
                     self.poll()
@@ -216,8 +232,14 @@ class XrpcChannel:
                 continue  # a server would not send requests; ignore
             entry = self._pending.pop(frame.call_id, None)
             if entry is None:
+                self._trace_by_call.pop(frame.call_id, None)
                 continue  # response to a cancelled/unknown call
             response_cls, callback = entry
+            if self.trace is not None:
+                ctx = self._trace_by_call.pop(frame.call_id, None)
+                if ctx is not None:
+                    self.trace.event(ctx, "xrpc_complete", status=frame.status,
+                                     bytes=len(frame.message))
             if frame.status == StatusCode.OK:
                 callback(parse(response_cls, frame.message), StatusCode.OK)
             else:

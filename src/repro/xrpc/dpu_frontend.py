@@ -66,6 +66,8 @@ class OffloadedXrpcServer:
         #: requests served through the degraded path (DPU engine down →
         #: wire bytes forwarded for host-side deserialization)
         self.fallback_requests = 0
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
 
     def poll(self) -> int:
         """Deprecation shim for the historical name; the front end is a
@@ -104,6 +106,10 @@ class OffloadedXrpcServer:
             conn.socket.send(encode_response(call_id, StatusCode.UNIMPLEMENTED, b""))
             return
         self.requests_forwarded += 1
+        ctx = None
+        if self.trace is not None:
+            ctx = self.trace.context(method=method, call_id=call_id)
+            self.trace.event(ctx, "ingress", bytes=len(payload))
 
         def on_response(view: memoryview, flags: int) -> None:
             # The host's response is already serialized protobuf; the DPU
@@ -120,6 +126,9 @@ class OffloadedXrpcServer:
                 status = StatusCode.INTERNAL
             else:
                 status = StatusCode.OK
+            if self.trace is not None and ctx is not None:
+                self.trace.event(ctx, "respond", status=int(status),
+                                 flags=flags, bytes=len(view))
             frame = bytearray(response_frame_size(len(view)))
             payload_at = write_response_header(frame, call_id, status, len(view))
             frame[payload_at:] = view
@@ -131,13 +140,13 @@ class OffloadedXrpcServer:
                 # engine down, keep serving by shipping wire bytes for
                 # host-side deserialization — slower, never unavailable.
                 self.fallback_requests += 1
-                self.dpu.call_raw(method_id, payload, on_response)
+                self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx)
             else:
-                self.dpu.call(method_id, payload, on_response)
+                self.dpu.call(method_id, payload, on_response, trace_ctx=ctx)
         except EngineCrashedError:
             # Crash raced the check: same degradation, same request.
             self.fallback_requests += 1
-            self.dpu.call_raw(method_id, payload, on_response)
+            self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx)
         except Exception:  # noqa: BLE001 — malformed request payloads
             conn.socket.send(encode_response(call_id, StatusCode.INVALID_ARGUMENT, b""))
 

@@ -68,6 +68,8 @@ class XrpcServer:
         self._methods: dict[str, MethodBinding] = {}
         self._connections: list[_Connection] = []
         self.stats = ServerStats()
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
 
     def add_service(self, service: ServiceDescriptor, servicer: object) -> None:
         """Register a servicer (the generated-code
@@ -113,6 +115,12 @@ class XrpcServer:
     def _serve(self, conn: _Connection, call_id: int, method: str, payload: bytes) -> None:
         self.stats.requests += 1
         self.stats.request_bytes += len(payload)
+        trace = self.trace
+        ctx = None
+        if trace is not None:
+            ctx = trace.context(method=method, call_id=call_id)
+            ctx.tid = ("xrpc-srv", call_id)
+            trace.event(ctx, "ingress", bytes=len(payload))
         binding = self._methods.get(method)
         if binding is None:
             self._respond(conn, call_id, StatusCode.UNIMPLEMENTED, b"")
@@ -120,12 +128,24 @@ class XrpcServer:
         request_cls = self.factory.get_class(binding.method.input_type)
         try:
             # The host-CPU deserialization the offload eliminates:
-            request = parse(request_cls, payload, mode=self.decode_mode)
+            if trace is not None:
+                t0 = trace.now()
+                request = parse(request_cls, payload, mode=self.decode_mode)
+                trace.event(ctx, "deserialize", ts=t0, dur=trace.now() - t0,
+                            bytes=len(payload))
+            else:
+                request = parse(request_cls, payload, mode=self.decode_mode)
         except WireFormatError:
             self._respond(conn, call_id, StatusCode.INVALID_ARGUMENT, b"")
             return
         try:
-            response = binding.handler(request, None)
+            if trace is not None:
+                t0 = trace.now()
+                response = binding.handler(request, None)
+                trace.event(ctx, "dispatch", ts=t0, dur=trace.now() - t0,
+                            method=method)
+            else:
+                response = binding.handler(request, None)
         except Exception:  # noqa: BLE001 — servicer faults become INTERNAL
             self._respond(conn, call_id, StatusCode.INTERNAL, b"")
             return
@@ -135,6 +155,8 @@ class XrpcServer:
             self._respond(conn, call_id, StatusCode.INTERNAL, b"")
             return
         self._respond_message(conn, call_id, response)
+        if trace is not None:
+            trace.event(ctx, "respond", status=int(StatusCode.OK))
 
     def _respond_message(self, conn: _Connection, call_id: int, response: Message) -> None:
         """OK response: size the message, build the frame in one buffer,

@@ -81,6 +81,55 @@ class TestHistogram:
             Histogram("lat", buckets=(0.1, 0.01))
 
 
+class TestHistogramQuantiles:
+    def test_empty_is_zero(self):
+        assert Histogram("lat").quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("lat")
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in the (0.0, 0.1] bucket: the median is
+        # interpolated halfway through it.
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        for _ in range(10):
+            h.observe(0.05)
+        assert h.quantile(0.5) == pytest.approx(0.05)
+        assert h.quantile(1.0) == pytest.approx(0.1)
+
+    def test_spans_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # p50 target = 2nd observation: second bucket (1, 2], first of 2.
+        assert 1.0 < h.quantile(0.5) <= 2.0
+        assert 2.0 < h.quantile(0.99) <= 4.0
+
+    def test_inf_bucket_clamps_to_highest_finite(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_exposed_in_samples(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        quantiles = {
+            s.labels[-1][1]: s.value
+            for s in h.samples()
+            if s.name == "lat" and s.labels and s.labels[-1][0] == "quantile"
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99"}
+
+    def test_labeled_children_keep_custom_buckets(self):
+        h = Histogram("lat", label_names=("stage",), buckets=(0.25, 0.5))
+        child = h.labels("decode")
+        assert child.buckets == (0.25, 0.5, float("inf"))
+        child.observe(0.3)
+        assert 0.25 < child.quantile(0.5) <= 0.5
+
+
 class TestRegistry:
     def test_duplicate_rejected(self):
         reg = MetricsRegistry()

@@ -1,0 +1,84 @@
+"""The "free when disabled" contract: with no recorder attached, the
+instrumented datapath allocates nothing and emits nothing on behalf of
+tracing, and the fig8a-style request path costs what it did before."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.core import Response, create_channel
+
+METHOD = 1
+
+
+def make_channel():
+    ch = create_channel()
+    ch.server.register(METHOD, lambda req: Response.from_bytes(req.payload_bytes()))
+    return ch
+
+
+def drive(ch, n: int) -> int:
+    done = []
+    for i in range(n):
+        ch.client.enqueue_bytes(METHOD, b"x" * 32, lambda v, f: done.append(f))
+    for _ in range(40 * n):
+        ch.client.progress()
+        ch.server.progress()
+        if len(done) == n:
+            break
+    return len(done)
+
+
+class TestDisabledPath:
+    def test_trace_attrs_default_none(self):
+        ch = make_channel()
+        assert ch.client.trace is None
+        assert ch.server.trace is None
+        assert ch.fabric.trace is None
+
+    def test_zero_obs_allocations_when_disabled(self):
+        # Warm up so lazy imports/caches do not pollute the measurement.
+        drive(make_channel(), 4)
+        ch = make_channel()
+
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        assert drive(ch, 8) == 8
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+
+        obs_allocs = [
+            stat
+            for stat in after.compare_to(before, "filename")
+            if "/obs/" in stat.traceback[0].filename and stat.size_diff > 0
+        ]
+        assert obs_allocs == [], [str(s) for s in obs_allocs]
+
+    def test_no_trace_state_accumulates(self):
+        ch = make_channel()
+        assert drive(ch, 8) == 8
+        assert ch.client._trace_by_rid == {}
+        assert ch.server._trace_by_rid == {}
+        assert ch.client._writer_traces == []
+        # Serial never advanced: the disabled path did not even count.
+        assert ch.client._trace_serial == 0
+        assert ch.server._trace_serial == 0
+
+
+class TestDisabledThroughput:
+    def test_disabled_run_matches_untraced_message_flow(self):
+        # Same message/block accounting whether the hooks exist unarmed
+        # or armed-then-detached: the disabled predicates are inert.
+        a = make_channel()
+        drive(a, 16)
+
+        from repro.obs import TraceCollector, attach_channel
+
+        b = make_channel()
+        attach_channel(TraceCollector(), b, stream="t")
+        b.client.trace = None  # detach: back to the disabled path
+        b.server.trace = None
+        drive(b, 16)
+        assert a.client.stats.requests_sent == b.client.stats.requests_sent
+        assert a.client.stats.bytes_sent == b.client.stats.bytes_sent
+        assert a.client.stats.blocks_sent == b.client.stats.blocks_sent

@@ -1,0 +1,129 @@
+"""Perfetto trace_event export shape and the structural validator the
+CI trace-smoke job runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    RequestTimeline,
+    StageEvent,
+    TraceContext,
+    to_trace_events,
+    validate_trace_events,
+    write_trace,
+)
+
+
+def make_timeline(tid=("t", 1)):
+    ctx = TraceContext(tid=tid, method=7)
+    return RequestTimeline(tid, [
+        StageEvent(ctx, "enqueue", "c", 1e-4, 0.0, {"bytes": 12}),
+        StageEvent(ctx, "dispatch", "s", 2e-4, 5e-5, {}),
+        StageEvent(ctx, "response_deliver", "c", 4e-4, 0.0, {}),
+    ])
+
+
+class TestExport:
+    def test_document_shape(self):
+        doc = to_trace_events([make_timeline()])
+        assert validate_trace_events(doc) == []
+        events = doc["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert "M" in phases        # process/thread names
+        assert "b" in phases and "e" in phases  # the request bracket
+        assert "X" in phases        # the timed dispatch
+        assert "i" in phases        # the instant stages
+
+    def test_components_become_named_threads(self):
+        doc = to_trace_events([make_timeline()])
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"c", "s"}
+
+    def test_timestamps_microseconds_and_sorted(self):
+        doc = to_trace_events([make_timeline()])
+        data = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        ts = [e["ts"] for e in data]
+        assert ts == sorted(ts)
+        # 1e-4 s = 100 µs.
+        assert any(t == 100.0 for t in ts)
+
+    def test_attrs_stringified_into_args(self):
+        doc = to_trace_events([make_timeline()])
+        enq = next(e for e in doc["traceEvents"] if e["name"] == "enqueue")
+        assert enq["args"]["bytes"] == "12"
+        assert enq["args"]["trace_id"] == str(("t", 1))
+
+    def test_global_events_exported_on_their_lane(self):
+        doc = to_trace_events(
+            [make_timeline()],
+            global_events=[StageEvent(None, "recovery_reset", "recovery",
+                                      3e-4, 0.0, {"reason": "x"})],
+        )
+        assert validate_trace_events(doc) == []
+        g = next(e for e in doc["traceEvents"] if e["name"] == "recovery_reset")
+        assert g["s"] == "g"
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = to_trace_events([make_timeline()])
+        write_trace(path, doc)
+        loaded = json.loads(path.read_text())
+        assert validate_trace_events(loaded) == []
+        assert loaded == doc
+
+
+class TestValidator:
+    def _valid(self):
+        return to_trace_events([make_timeline()])
+
+    def test_rejects_non_document(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": "nope"}) != []
+
+    def test_rejects_unknown_phase(self):
+        doc = self._valid()
+        doc["traceEvents"][-1]["ph"] = "Z"
+        assert any("unknown phase" in e for e in validate_trace_events(doc))
+
+    def test_rejects_negative_timestamp(self):
+        doc = self._valid()
+        doc["traceEvents"][-1]["ts"] = -5
+        assert any("bad ts" in e for e in validate_trace_events(doc))
+
+    def test_rejects_unsorted_timestamps(self):
+        doc = self._valid()
+        data = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        data[-1]["ts"] = 0.0
+        assert any("unsorted" in e for e in validate_trace_events(doc))
+
+    def test_rejects_dur_on_instant(self):
+        doc = self._valid()
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        instant["dur"] = 3.0
+        assert any("dur on non-X" in e for e in validate_trace_events(doc))
+
+    def test_rejects_missing_dur_on_complete(self):
+        doc = self._valid()
+        x = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        del x["dur"]
+        assert any("needs dur" in e for e in validate_trace_events(doc))
+
+    def test_rejects_unmatched_async_begin(self):
+        doc = self._valid()
+        doc["traceEvents"] = [e for e in doc["traceEvents"] if e["ph"] != "e"]
+        assert any("never ended" in e for e in validate_trace_events(doc))
+
+    def test_rejects_end_without_begin(self):
+        doc = self._valid()
+        doc["traceEvents"] = [e for e in doc["traceEvents"] if e["ph"] != "b"]
+        assert any("without begin" in e for e in validate_trace_events(doc))
+
+    def test_rejects_missing_name(self):
+        doc = self._valid()
+        doc["traceEvents"][-1]["name"] = ""
+        assert any("missing name" in e for e in validate_trace_events(doc))

@@ -1,0 +1,178 @@
+"""Stitching, stage-gap attribution, tail sampling, and the stage
+latency exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.obs import (
+    RequestTimeline,
+    StageEvent,
+    StageLatencyExporter,
+    TailSampler,
+    TraceContext,
+    stage_latencies,
+    stitch,
+)
+
+
+def ev(ctx, stage, component, ts, dur=0.0, **attrs):
+    return StageEvent(ctx, stage, component, ts, dur, attrs)
+
+
+def make_timeline(tid, specs):
+    ctx = TraceContext(tid=tid)
+    return RequestTimeline(tid, [ev(ctx, *spec) for spec in specs])
+
+
+class TestStitch:
+    def test_same_tid_contexts_merge(self):
+        # Client side and server side create contexts independently; the
+        # shared (derived) id stitches them into one timeline.
+        a = TraceContext(tid=("t", 1))
+        b = TraceContext(tid=("t", 1))
+        events = [
+            ev(a, "enqueue", "c", 1.0),
+            ev(b, "deliver", "s", 2.0),
+            ev(a, "response_deliver", "c", 3.0),
+        ]
+        timelines, global_events = stitch(events)
+        assert len(timelines) == 1
+        assert timelines[0].tid == ("t", 1)
+        assert timelines[0].stages() == ["enqueue", "deliver", "response_deliver"]
+        assert timelines[0].components() == {"c", "s"}
+        assert global_events == []
+
+    def test_unbound_contexts_stay_separate(self):
+        a, b = TraceContext(), TraceContext()
+        events = [ev(a, "enqueue", "c", 1.0), ev(b, "enqueue", "c", 2.0)]
+        timelines, _ = stitch(events)
+        assert len(timelines) == 2
+        assert all(tl.tid[0] == "unbound" for tl in timelines)
+
+    def test_ctxless_events_returned_separately(self):
+        events = [
+            ev(None, "recovery_reset", "recovery", 1.0, dur=0.5),
+            ev(TraceContext(tid=("t", 1)), "enqueue", "c", 2.0),
+        ]
+        timelines, global_events = stitch(events)
+        assert len(timelines) == 1
+        assert [g.stage for g in global_events] == ["recovery_reset"]
+
+    def test_timelines_sorted_by_start(self):
+        late = TraceContext(tid=("t", 2))
+        early = TraceContext(tid=("t", 1))
+        events = [ev(late, "enqueue", "c", 5.0), ev(early, "enqueue", "c", 1.0)]
+        timelines, _ = stitch(events)
+        assert [tl.tid for tl in timelines] == [("t", 1), ("t", 2)]
+
+
+class TestStageGaps:
+    def test_gap_attribution(self):
+        tl = make_timeline(("t", 1), [
+            ("enqueue", "c", 1.0),
+            ("transmit", "c", 3.0),
+            ("deliver", "s", 6.0),
+        ])
+        gaps = tl.stage_gaps()
+        # The first stage has no predecessor: nothing is attributed.
+        assert gaps == [("c", "transmit", 2.0), ("s", "deliver", 3.0)]
+        assert tl.total == 5.0
+
+    def test_timed_stage_contributes_its_duration(self):
+        tl = make_timeline(("t", 1), [
+            ("deliver", "s", 1.0),
+            ("dispatch", "s", 1.5, 2.0),  # timed: dur=2.0
+            ("response_emit", "s", 4.0),
+        ])
+        gaps = dict((stage, secs) for _, stage, secs in tl.stage_gaps())
+        assert gaps["dispatch"] == 2.0
+        # The follower's gap runs from the dispatch *end* (3.5), not its start.
+        assert gaps["response_emit"] == pytest.approx(0.5)
+
+    def test_aggregate_by_stage(self):
+        tls = [
+            make_timeline(("t", 1), [("a", "c", 0.0), ("b", "c", 1.0)]),
+            make_timeline(("t", 2), [("a", "c", 0.0), ("b", "c", 3.0)]),
+        ]
+        agg = stage_latencies(tls)
+        assert agg == {"b": [1.0, 3.0]}
+
+
+class TestTailSampler:
+    def _fleet(self):
+        tls = []
+        for i in range(20):
+            tls.append(make_timeline(("t", i), [
+                ("enqueue", "c", float(i)),
+                ("response_deliver", "c", float(i) + 0.001 * (i + 1)),
+            ]))
+        return tls
+
+    def test_keeps_slowest_n(self):
+        tls = self._fleet()
+        kept = TailSampler(keep_slowest=5).sample(tls)
+        assert len(kept) == 5
+        kept_ids = {tl.tid for tl in kept}
+        assert kept_ids == {("t", i) for i in range(15, 20)}
+
+    def test_errored_always_kept(self):
+        tls = self._fleet()
+        from repro.core.wire import Flags
+
+        fast_error = make_timeline(("t", 99), [
+            ("enqueue", "c", 0.0),
+        ])
+        fast_error.events.append(
+            ev(fast_error.events[0].ctx, "response_deliver", "c", 0.0001,
+               flags=int(Flags.ERROR))
+        )
+        kept = TailSampler(keep_slowest=3).sample(tls + [fast_error])
+        assert ("t", 99) in {tl.tid for tl in kept}
+
+    def test_exceptional_stage_kept_and_reason_marked(self):
+        tls = self._fleet()
+        retried = make_timeline(("t", 77), [
+            ("enqueue", "c", 0.0),
+            ("retry", "c", 0.001),
+        ])
+        kept = TailSampler(keep_slowest=2).sample(tls + [retried])
+        target = [tl for tl in kept if tl.tid == ("t", 77)]
+        assert target
+        assert target[0].attrs()["sampled_because"] == "retried"
+
+    def test_kept_in_start_order(self):
+        kept = TailSampler(keep_slowest=6).sample(self._fleet())
+        starts = [tl.start for tl in kept]
+        assert starts == sorted(starts)
+
+
+class TestStageLatencyExporter:
+    def test_quantile_table_and_exposition(self):
+        reg = MetricsRegistry()
+        exporter = StageLatencyExporter(reg)
+        tls = [
+            make_timeline(("t", i), [
+                ("enqueue", "c", 0.0),
+                ("transmit", "c", 1e-5 * (i + 1)),
+            ])
+            for i in range(10)
+        ]
+        assert exporter.observe(tls) == 10
+        table = exporter.table()
+        assert "transmit" in table
+        assert "(end-to-end)" in table
+        # Quantiles surface in the standard scrape too.
+        text = reg.expose()
+        assert 'trace_stage_latency_seconds{stage="transmit",quantile="0.95"}' in text
+        p95 = exporter.stage_hist.labels("transmit").quantile(0.95)
+        assert 0.0 < p95 < 1.0
+
+    def test_custom_buckets_survive_labeling(self):
+        from repro.obs.timeline import TRACE_LATENCY_BUCKETS
+
+        reg = MetricsRegistry()
+        exporter = StageLatencyExporter(reg)
+        child = exporter.stage_hist.labels("whatever")
+        assert child.buckets == TRACE_LATENCY_BUCKETS
