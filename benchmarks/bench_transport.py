@@ -1,0 +1,96 @@
+"""Transport backend comparison (not a paper figure; docs/TRANSPORT.md).
+
+Drives the identical traced workload mix (the runner's small / int-array
+/ char-array rotation) through the offloaded datapath on both fabric
+backends and records throughput plus tail latency:
+
+* ``inproc`` — the in-process simulation fabric, everything in one
+  interpreter (the configuration every other benchmark measures);
+* ``shm`` — the multiprocess deployment: one client process (this one),
+  one DPU-engine process, and one host-engine process, joined by
+  shared-memory RBuf segments and doorbell sockets.
+
+RPS comes from wall-clock over the issue loop; p50/p99 come from the
+same stage-latency histograms `repro top` renders.  Results land in
+``BENCH_transport.json`` at the repo root (consumed by the CI
+``transport-smoke`` job).  The shm numbers include real IPC and
+scheduling costs, so the gap to inproc is expected and large; the bench
+asserts liveness and accounting invariants, not a performance ratio
+between simulation and actual OS processes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.metrics import MetricsRegistry
+from repro.obs.runner import _BUILDERS
+from repro.obs.timeline import StageLatencyExporter, stitch
+from repro.obs.trace import TraceCollector
+
+BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_transport.json"
+REQUESTS = 150
+
+
+def run_backend(deployment: str, transport: str, requests: int = REQUESTS) -> dict:
+    collector = TraceCollector(ring=1 << 15)
+    registry = MetricsRegistry()
+    issue, _endpoints, finalize = _BUILDERS[deployment](collector, False, transport)
+    errors = 0
+    t0 = time.perf_counter()
+    try:
+        for i in range(requests):
+            try:
+                ok = issue(i)
+            except Exception:
+                ok = False
+            if not ok:
+                errors += 1
+        elapsed = time.perf_counter() - t0
+    finally:
+        if finalize is not None:
+            finalize()  # for the procs deployment: merge child traces, stop
+    timelines, _ = stitch(collector)
+    latency = StageLatencyExporter(registry)
+    latency.observe(timelines)
+    hist = latency.request_hist
+    return {
+        "deployment": deployment,
+        "transport": transport,
+        "requests": requests,
+        "errors": errors,
+        "elapsed_s": elapsed,
+        "rps": requests / elapsed if elapsed > 0 else 0.0,
+        "timelines": len(timelines),
+        "p50_us": hist.quantile(0.5) * 1e6,
+        "p99_us": hist.quantile(0.99) * 1e6,
+    }
+
+
+def test_transport_backends(report):
+    rows = {
+        "inproc": run_backend("offloaded", "inproc"),
+        "shm": run_backend("procs", "shm"),
+    }
+    BENCH_JSON.write_text(json.dumps(rows, indent=2) + "\n")
+
+    lines = [f"{'backend':<8} {'procs':>6} {'RPS':>10} {'p50 µs':>10} {'p99 µs':>10}"]
+    for label, row in rows.items():
+        procs = 3 if label == "shm" else 1
+        lines.append(
+            f"{label:<8} {procs:>6} {row['rps']:>10,.0f} "
+            f"{row['p50_us']:>10.1f} {row['p99_us']:>10.1f}"
+        )
+    lines.append(
+        "shm = 1 client + 1 DPU + 1 host OS process; includes real IPC cost"
+    )
+    lines.append(f"persisted to {BENCH_JSON}")
+    report("transport_backends", "\n".join(lines))
+
+    for label, row in rows.items():
+        assert row["errors"] == 0, (label, row)
+        assert row["timelines"] >= row["requests"], (label, row)
+        assert row["rps"] > 10, (label, row)
+        assert row["p99_us"] >= row["p50_us"] > 0, (label, row)

@@ -1,0 +1,91 @@
+"""Manual smoke: 3-process shm deployment round trip + kill/recover."""
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.proto import compile_schema
+from repro.runtime.procs import ProcSupervisor
+
+SRC = """
+syntax = "proto3";
+package calc;
+message BinOp { int64 a = 1; int64 b = 2; }
+message Value { int64 v = 1; }
+service Calc {
+  rpc Add (BinOp) returns (Value);
+  rpc Mul (BinOp) returns (Value);
+}
+"""
+
+
+def main() -> None:
+    schema = compile_schema(SRC)
+    Value, BinOp = schema["calc.Value"], schema["calc.BinOp"]
+
+    class CalcServicer:
+        def Add(self, request, context):
+            return Value(v=request.a + request.b)
+
+        def Mul(self, request, context):
+            return Value(v=request.a * request.b)
+
+    sup = ProcSupervisor(schema, schema.service("calc.Calc"), CalcServicer(),
+                         name="smoke", trace=True)
+    sup.start()
+    try:
+        chan = sup.xrpc_channel()
+        r = chan.call_sync("/calc.Calc/Add", BinOp(a=2, b=3), Value, max_iters=20000)
+        print("Add(2,3) =", r.v)
+        assert r.v == 5
+        r = chan.call_sync("/calc.Calc/Mul", BinOp(a=6, b=7), Value, max_iters=20000)
+        print("Mul(6,7) =", r.v)
+        assert r.v == 42
+        stats = sup.stats()
+        print("stats after offloaded calls:", stats)
+        assert stats["dpu"]["deserialized"] >= 2, stats
+        assert stats["dpu"]["fallback_requests"] == 0, stats
+
+        # --- kill the DPU process, recover degraded -----------------------
+        sup.kill_dpu()
+        import time
+        time.sleep(0.2)
+        # surface the death through the parent engine
+        sup.engine.step()
+        assert sup.supervisor.faults_contained >= 1, "death not contained"
+        print("death contained:", sup.supervisor.events[-1])
+        sup.recover_dpu(bootstrap=False)
+        chan2 = sup.xrpc_channel()
+        assert chan2 is not chan
+        r = chan2.call_sync("/calc.Calc/Add", BinOp(a=10, b=1), Value,
+                            max_iters=40000, idempotent=True)
+        print("degraded Add(10,1) =", r.v)
+        assert r.v == 11
+        stats = sup.stats()
+        print("degraded stats:", stats)
+        assert stats["dpu"]["fallback_requests"] >= 1, stats
+        assert stats["host"]["host_deserialized"] >= 1, stats
+        assert stats["dpu"]["ready"] is False
+
+        # --- re-bootstrap: offload resumes --------------------------------
+        sup.bootstrap()
+        r = chan2.call_sync("/calc.Calc/Mul", BinOp(a=3, b=3), Value, max_iters=40000)
+        assert r.v == 9
+        stats = sup.stats()
+        print("post-rebootstrap:", stats)
+        assert stats["dpu"]["ready"] is True
+
+        n = sup.collect_traces()
+        print("trace events imported:", n)
+        comps = sup.collector.components()
+        print("components:", comps)
+        assert any(c.startswith("host.") for c in comps)
+        assert any(c.startswith("dpu.") for c in comps)
+        assert "client.xrpc" in comps
+    finally:
+        results = sup.stop()
+        print("stop results keys:", {k: sorted(v) for k, v in results.items()})
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

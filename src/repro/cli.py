@@ -162,6 +162,7 @@ def _cmd_trace(args) -> int:
         requests=args.requests,
         explicit_context=args.explicit_context,
         keep_slowest=args.slowest,
+        transport=args.transport,
     )
     doc = res.trace_events()
     problems = validate_trace_events(doc)
@@ -192,7 +193,8 @@ def _cmd_top(args) -> int:
     errors = 0
     for batch in range(args.batches):
         res = run_traced_workload(
-            deployment=args.deployment, requests=args.requests_per_batch
+            deployment=args.deployment, requests=args.requests_per_batch,
+            transport=args.transport,
         )
         latency.observe(res.timelines)
         errors += res.errors
@@ -205,9 +207,18 @@ def _cmd_top(args) -> int:
 def _cmd_metrics(args) -> int:
     from repro.obs.runner import run_traced_workload
 
-    res = run_traced_workload(deployment=args.deployment, requests=args.requests)
+    res = run_traced_workload(deployment=args.deployment, requests=args.requests,
+                              transport=args.transport)
     print(res.registry.expose(), end="")
     return 0 if res.errors == 0 else 1
+
+
+def _add_transport_arg(subparser) -> None:
+    subparser.add_argument(
+        "--transport", choices=["inproc", "shm"], default=None,
+        help="fabric backend for the datapath (docs/TRANSPORT.md); default "
+        "inproc, except the procs deployment which is always shm",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -270,9 +281,11 @@ def main(argv: list[str] | None = None) -> int:
         "(docs/OBSERVABILITY.md)",
     )
     trace.add_argument(
-        "--deployment", choices=["offloaded", "core"], default="offloaded",
-        help="which datapath to trace (default: offloaded)",
+        "--deployment", choices=["offloaded", "core", "procs"], default="offloaded",
+        help="which datapath to trace (default: offloaded; procs = the "
+        "3-OS-process shm deployment)",
     )
+    _add_transport_arg(trace)
     trace.add_argument("--requests", type=int, default=60,
                        help="requests to push through (default 60)")
     trace.add_argument("-o", "--output", help="write Perfetto JSON here "
@@ -291,8 +304,9 @@ def main(argv: list[str] | None = None) -> int:
     top = sub.add_parser(
         "top", help="aggregate per-stage latency quantiles over several runs"
     )
-    top.add_argument("--deployment", choices=["offloaded", "core"],
+    top.add_argument("--deployment", choices=["offloaded", "core", "procs"],
                      default="offloaded")
+    _add_transport_arg(top)
     top.add_argument("--batches", type=int, default=3,
                      help="number of traced runs to aggregate (default 3)")
     top.add_argument("--requests-per-batch", type=int, default=40,
@@ -303,9 +317,10 @@ def main(argv: list[str] | None = None) -> int:
         "metrics",
         help="run a traced workload and dump the Prometheus exposition",
     )
-    metrics.add_argument("--deployment", choices=["offloaded", "core"],
+    metrics.add_argument("--deployment", choices=["offloaded", "core", "procs"],
                          default="offloaded")
     metrics.add_argument("--requests", type=int, default=60)
+    _add_transport_arg(metrics)
     metrics.set_defaults(fn=_cmd_metrics)
 
     args = parser.parse_args(argv)

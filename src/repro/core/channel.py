@@ -24,12 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.memory import AddressSpace, MemoryRegion
+from repro.memory import AddressSpace, MemoryRegion, SharedRegion
 from repro.rdma import (
+    TRANSPORTS,
     Access,
     CompletionChannel,
     CompletionQueue,
     Fabric,
+    FabricTransport,
     ProtectionDomain,
     QueuePair,
 )
@@ -38,7 +40,13 @@ from repro.runtime import ProgressEngine
 from .config import CLIENT_DEFAULTS, SERVER_DEFAULTS, ProtocolConfig
 from .endpoint import ClientEndpoint, ServerEndpoint
 
-__all__ = ["AddressPlanner", "Channel", "RpcServer", "create_channel"]
+__all__ = [
+    "AddressPlanner",
+    "Channel",
+    "RpcServer",
+    "create_channel",
+    "build_endpoint_side",
+]
 
 
 class AddressPlanner:
@@ -63,13 +71,19 @@ class AddressPlanner:
 class Channel:
     """Everything belonging to one connected client/server pair.  Both
     endpoints are registered with :attr:`engine`, the channel's progress
-    engine; one :meth:`progress` call is one engine scheduling pass."""
+    engine; one :meth:`progress` call is one engine scheduling pass.
 
-    fabric: Fabric
-    client: ClientEndpoint
-    server: ServerEndpoint
-    client_space: AddressSpace
-    server_space: AddressSpace
+    In a multiprocess deployment (``transport="shm"`` under
+    :mod:`repro.runtime.procs`) a channel is *one-sided*: the process
+    hosting the DPU engine holds only :attr:`client`, the host process
+    only :attr:`server` — the missing side is ``None`` because it lives
+    in another address space."""
+
+    fabric: FabricTransport
+    client: ClientEndpoint | None
+    server: ServerEndpoint | None
+    client_space: AddressSpace | None
+    server_space: AddressSpace | None
     engine: ProgressEngine | None = None
 
     def progress(self, iterations: int = 1) -> None:
@@ -77,97 +91,151 @@ class Channel:
         for _ in range(iterations):
             self.engine.step()
 
+    def close(self) -> None:
+        """Release transport resources: doorbell sockets and shared-memory
+        mappings (segments this process created are unlinked).  A no-op
+        for the in-process backend; idempotent everywhere."""
+        close = getattr(self.fabric, "close", None)
+        if callable(close):
+            close()
+        for space in (self.client_space, self.server_space):
+            if space is None:
+                continue
+            for region in space.regions():
+                if isinstance(region, SharedRegion):
+                    region.cleanup()
 
-def create_channel(
-    client_config: ProtocolConfig = CLIENT_DEFAULTS,
-    server_config: ProtocolConfig = SERVER_DEFAULTS,
-    fabric: Fabric | None = None,
-    planner: AddressPlanner | None = None,
-    client_space: AddressSpace | None = None,
-    server_space: AddressSpace | None = None,
-    name: str = "chan",
-    background_executor=None,
-) -> Channel:
-    """Create and connect one RPC-over-RDMA channel.
 
-    Pass existing spaces to add a connection to an existing side (the
-    multi-connection server case); a fresh space is created otherwise.
-    """
+def _check_config_pair(client_config: ProtocolConfig, server_config: ProtocolConfig) -> None:
     if client_config.block_alignment != server_config.block_alignment:
         raise ValueError("both sides must agree on block alignment")
     if client_config.recv_buffer_size < server_config.send_buffer_size:
         raise ValueError("client RBuf must cover the server SBuf it mirrors")
     if server_config.recv_buffer_size < client_config.send_buffer_size:
         raise ValueError("server RBuf must cover the client SBuf it mirrors")
+    if client_config.transport != server_config.transport:
+        raise ValueError(
+            f"both sides must agree on the transport "
+            f"(client={client_config.transport!r}, server={server_config.transport!r})"
+        )
 
-    fabric = fabric or Fabric()
-    planner = planner or AddressPlanner()
-    client_space = client_space or AddressSpace(f"{name}.client")
-    server_space = server_space or AddressSpace(f"{name}.server")
 
-    c2s_base = planner.take(client_config.send_buffer_size)
-    s2c_base = planner.take(server_config.send_buffer_size)
+def build_endpoint_side(
+    role: str,
+    name: str,
+    config: ProtocolConfig,
+    peer_config: ProtocolConfig,
+    sbuf_base: int,
+    rbuf_base: int,
+    space: AddressSpace | None = None,
+    rbuf_region: MemoryRegion | None = None,
+    background_executor=None,
+):
+    """Build one side's full resource stack — regions, PD, MRs, CQ, QP,
+    endpoint — without connecting it to anything.
 
-    client_sbuf = client_space.map(
-        MemoryRegion(c2s_base, client_config.send_buffer_size, f"{name}.client.sbuf")
-    )
-    server_rbuf = server_space.map(
-        MemoryRegion(c2s_base, client_config.send_buffer_size, f"{name}.server.rbuf")
-    )
-    server_sbuf = server_space.map(
-        MemoryRegion(s2c_base, server_config.send_buffer_size, f"{name}.server.sbuf")
-    )
-    client_rbuf = client_space.map(
-        MemoryRegion(s2c_base, server_config.send_buffer_size, f"{name}.client.rbuf")
-    )
+    This is the half of :func:`create_channel` a *one-sided* deployment
+    needs: a process that hosts only the DPU engine (``role="client"``)
+    or only the host engine (``role="server"``) builds its side against
+    the agreed virtual addresses, passing the shared-memory RBuf it
+    attached as ``rbuf_region`` (the SBuf stays process-private — only
+    the receive side of each mirrored pair must be physically shared).
 
-    client_pd = ProtectionDomain(client_space, f"{name}.client.pd")
-    server_pd = ProtectionDomain(server_space, f"{name}.server.pd")
-    client_pd.register_memory(client_sbuf, Access.LOCAL_READ | Access.LOCAL_WRITE)
-    client_pd.register_memory(
-        client_rbuf, Access.LOCAL_READ | Access.LOCAL_WRITE | Access.REMOTE_WRITE
+    Returns ``(endpoint, space)``; the caller connects the QP through its
+    fabric (``fabric.connect`` in-process, ``bind`` + ``handshake``
+    across processes).
+    """
+    if role not in ("client", "server"):
+        raise ValueError(f"unknown endpoint role {role!r}")
+    side_name = f"{name}.{role}"
+    space = space or AddressSpace(side_name)
+    sbuf = space.map(
+        MemoryRegion(sbuf_base, config.send_buffer_size, f"{side_name}.sbuf")
     )
-    server_pd.register_memory(server_sbuf, Access.LOCAL_READ | Access.LOCAL_WRITE)
-    server_pd.register_memory(
-        server_rbuf, Access.LOCAL_READ | Access.LOCAL_WRITE | Access.REMOTE_WRITE
-    )
+    if rbuf_region is None:
+        rbuf_region = MemoryRegion(
+            rbuf_base, peer_config.send_buffer_size, f"{side_name}.rbuf"
+        )
+    rbuf = space.map(rbuf_region)
+
+    pd = ProtectionDomain(space, f"{side_name}.pd")
+    pd.register_memory(sbuf, Access.LOCAL_READ | Access.LOCAL_WRITE)
+    pd.register_memory(rbuf, Access.LOCAL_READ | Access.LOCAL_WRITE | Access.REMOTE_WRITE)
 
     # CQ capacity must exceed everything that can complete at once:
     # receives bounded by the peer's credits, sends by ours.
-    client_cq = CompletionQueue(
-        capacity=2 * (client_config.credits + server_config.credits) + 64,
-        name=f"{name}.client.cq",
+    cq = CompletionQueue(
+        capacity=2 * (config.credits + peer_config.credits) + 64,
+        name=f"{side_name}.cq",
         channel=CompletionChannel(),
     )
-    server_cq = CompletionQueue(
-        capacity=2 * (client_config.credits + server_config.credits) + 64,
-        name=f"{name}.server.cq",
-        channel=CompletionChannel(),
+    qp = QueuePair(
+        pd, cq, cq, max_recv_wr=peer_config.credits + 16, name=f"{side_name}.qp"
     )
+    endpoint_cls = ClientEndpoint if role == "client" else ServerEndpoint
+    kwargs = {} if role == "client" else {"background_executor": background_executor}
+    endpoint = endpoint_cls(
+        side_name, space, qp, cq, sbuf, rbuf, config,
+        remote_block_alignment=peer_config.block_alignment,
+        recv_slots=peer_config.credits,
+        **kwargs,
+    )
+    return endpoint, space
 
-    client_qp = QueuePair(
-        client_pd, client_cq, client_cq,
-        max_recv_wr=server_config.credits + 16, name=f"{name}.client.qp",
-    )
-    server_qp = QueuePair(
-        server_pd, server_cq, server_cq,
-        max_recv_wr=client_config.credits + 16, name=f"{name}.server.qp",
-    )
-    fabric.connect(client_qp, server_qp)
 
-    client = ClientEndpoint(
-        f"{name}.client", client_space, client_qp, client_cq,
-        client_sbuf, client_rbuf, client_config,
-        remote_block_alignment=server_config.block_alignment,
-        recv_slots=server_config.credits,
+def create_channel(
+    client_config: ProtocolConfig = CLIENT_DEFAULTS,
+    server_config: ProtocolConfig = SERVER_DEFAULTS,
+    fabric: FabricTransport | None = None,
+    planner: AddressPlanner | None = None,
+    client_space: AddressSpace | None = None,
+    server_space: AddressSpace | None = None,
+    name: str = "chan",
+    background_executor=None,
+    transport: str | None = None,
+) -> Channel:
+    """Create and connect one RPC-over-RDMA channel.
+
+    Pass existing spaces to add a connection to an existing side (the
+    multi-connection server case); a fresh space is created otherwise.
+
+    The fabric backend follows ``client_config.transport`` (both sides
+    must agree; the ``transport`` argument overrides both).  With
+    ``"shm"`` the receive buffers are real shared-memory segments and the
+    doorbells run over a socketpair — the same mechanics as the
+    multiprocess deployment, inside one process.
+    """
+    _check_config_pair(client_config, server_config)
+    transport = transport or client_config.transport
+    if fabric is None:
+        factory = TRANSPORTS.get(transport)
+        if factory is None:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(expected one of {sorted(TRANSPORTS)})"
+            )
+        fabric = factory()
+    shared_rbufs = getattr(fabric, "transport", "inproc") == "shm"
+
+    planner = planner or AddressPlanner()
+    c2s_base = planner.take(client_config.send_buffer_size)
+    s2c_base = planner.take(server_config.send_buffer_size)
+
+    region_cls = SharedRegion if shared_rbufs else MemoryRegion
+    client_rbuf = region_cls(s2c_base, server_config.send_buffer_size, f"{name}.client.rbuf")
+    server_rbuf = region_cls(c2s_base, client_config.send_buffer_size, f"{name}.server.rbuf")
+
+    client, client_space = build_endpoint_side(
+        "client", name, client_config, server_config, c2s_base, s2c_base,
+        space=client_space, rbuf_region=client_rbuf,
     )
-    server = ServerEndpoint(
-        f"{name}.server", server_space, server_qp, server_cq,
-        server_sbuf, server_rbuf, server_config,
-        remote_block_alignment=client_config.block_alignment,
-        recv_slots=client_config.credits,
+    server, server_space = build_endpoint_side(
+        "server", name, server_config, client_config, s2c_base, c2s_base,
+        space=server_space, rbuf_region=server_rbuf,
         background_executor=background_executor,
     )
+    fabric.connect(client.qp, server.qp)
+
     engine = ProgressEngine(scheduler=client_config.scheduling, name=f"{name}.engine")
     engine.register(client, name=f"{name}.client")
     engine.register(server, name=f"{name}.server")

@@ -96,6 +96,12 @@ class ProtocolConfig:
     #: off by default — the checksum is always *written*, verification
     #: is opt-in for fault-injection runs.
     verify_checksums: bool = False
+    #: fabric backend carrying this side's verbs traffic
+    #: (docs/TRANSPORT.md): ``inproc`` (single-process simulated DMA, the
+    #: default) or ``shm`` (``multiprocessing.shared_memory`` mirrored
+    #: buffers + a doorbell socket per QP, usable across OS processes).
+    #: Both sides of a channel must agree.
+    transport: str = "inproc"
 
     def __post_init__(self) -> None:
         if self.block_alignment & (self.block_alignment - 1):
@@ -122,6 +128,10 @@ class ProtocolConfig:
             raise ValueError(f"unknown encode mode {self.encode_mode!r}")
         if self.request_deadline_ticks < 0:
             raise ValueError("request_deadline_ticks must be >= 0")
+        if self.transport not in ("inproc", "shm"):
+            raise ValueError(
+                f"unknown transport {self.transport!r} (expected 'inproc' or 'shm')"
+            )
 
     def credit_check(self, message_size: int) -> bool:
         """The paper's §VI-A sizing rule: for true concurrency,

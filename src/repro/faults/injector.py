@@ -77,18 +77,23 @@ class FaultInjector:
 
     def attach(self, channel) -> "FaultInjector":
         """Wire this injector into a :class:`~repro.core.channel.Channel`:
-        the fabric, both QPs, and both PDs."""
+        the fabric, both QPs, and both PDs.  A one-sided channel (the
+        multiprocess deployments of :mod:`repro.runtime.procs`) attaches
+        whatever sides are local — each process runs its own injector
+        against its own half of the connection."""
         channel.fabric.injector = self
         for side in (channel.client, channel.server):
-            side.qp.injector = self
-            side.qp.pd.injector = self
+            if side is not None:
+                side.qp.injector = self
+                side.qp.pd.injector = self
         return self
 
     def detach(self, channel) -> None:
         channel.fabric.injector = None
         for side in (channel.client, channel.server):
-            side.qp.injector = None
-            side.qp.pd.injector = None
+            if side is not None:
+                side.qp.injector = None
+                side.qp.pd.injector = None
 
     # -- trigger evaluation ------------------------------------------------------
 

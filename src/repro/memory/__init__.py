@@ -11,6 +11,7 @@ object construction.
 from .arena import Arena, ArenaExhausted
 from .offset_allocator import AllocationError, OffsetAllocator
 from .region import AddressSpace, MemoryError_, MemoryRegion
+from .shm import SharedRegion, segment_name
 
 __all__ = [
     "Arena",
@@ -20,4 +21,6 @@ __all__ = [
     "AddressSpace",
     "MemoryError_",
     "MemoryRegion",
+    "SharedRegion",
+    "segment_name",
 ]

@@ -29,6 +29,8 @@ from .trace import (
     TraceContext,
     attach_channel,
     attach_endpoint,
+    export_events,
+    import_events,
     import_fault_events,
 )
 
@@ -40,6 +42,8 @@ __all__ = [
     "TraceContext",
     "attach_channel",
     "attach_endpoint",
+    "export_events",
+    "import_events",
     "import_fault_events",
     "RequestTimeline",
     "StageLatencyExporter",

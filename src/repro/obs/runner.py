@@ -21,7 +21,9 @@ from .trace import TraceCollector, attach_channel
 
 __all__ = ["TraceRunResult", "run_traced_workload", "DEPLOYMENTS"]
 
-DEPLOYMENTS = ("offloaded", "core")
+#: ``procs`` is the 3-OS-process shm deployment (client = this process,
+#: DPU and host children); it implies ``transport="shm"``.
+DEPLOYMENTS = ("offloaded", "core", "procs")
 
 _SERVICE_PROTO_SUFFIX = """
 service Bench {
@@ -54,18 +56,10 @@ class TraceRunResult:
         return max(self.timelines, key=lambda tl: tl.total, default=None)
 
 
-def _build_offloaded(collector: TraceCollector, explicit_context: bool):
-    from repro.core import create_channel
-    from repro.offload.engine import DpuEngine, HostEngine
+def _bench_fixture():
+    """The shared workload schema + servicer every deployment serves."""
     from repro.proto import compile_schema
-    from repro.workloads import WORKLOAD_PROTO, WorkloadFactory
-    from repro.xrpc import (
-        Network,
-        OffloadedXrpcServer,
-        XrpcChannel,
-        make_stub_class,
-        register_offloaded_servicer,
-    )
+    from repro.workloads import WORKLOAD_PROTO
 
     schema = compile_schema(WORKLOAD_PROTO + _SERVICE_PROTO_SUFFIX)
     Empty = schema["bench.Empty"]
@@ -84,10 +78,37 @@ def _build_offloaded(collector: TraceCollector, explicit_context: bool):
         def Upper(self, request, context):
             return CharArray(data=request.data.upper())
 
-    service = schema.service("bench.Bench")
-    rdma = create_channel()
+    return schema, schema.service("bench.Bench"), BenchServicer()
+
+
+def _bench_calls(schema, service, channel):
+    from repro.workloads import WorkloadFactory
+    from repro.xrpc import make_stub_class
+
+    stub = make_stub_class(service, schema.factory)(channel)
+    factory = WorkloadFactory(schema=schema)
+    return (
+        lambda: stub.PingSmall(factory.small()),
+        lambda: stub.SumInts(factory.int_array(128)),
+        lambda: stub.Upper(factory.char_array(256)),
+    )
+
+
+def _build_offloaded(collector: TraceCollector, explicit_context: bool,
+                     transport: str = "inproc"):
+    from repro.core import create_channel
+    from repro.offload.engine import DpuEngine, HostEngine
+    from repro.xrpc import (
+        Network,
+        OffloadedXrpcServer,
+        XrpcChannel,
+        register_offloaded_servicer,
+    )
+
+    schema, service, servicer = _bench_fixture()
+    rdma = create_channel(transport=transport)
     host = HostEngine(rdma, schema)
-    register_offloaded_servicer(host, service, BenchServicer())
+    register_offloaded_servicer(host, service, servicer)
     dpu = DpuEngine(rdma)
     host.send_bootstrap()
     dpu.receive_bootstrap()
@@ -106,26 +127,48 @@ def _build_offloaded(collector: TraceCollector, explicit_context: bool):
     channel = XrpcChannel(net, "dpu:50051", "trace-client")
     channel.trace = collector.recorder("xrpc.client")
     channel.drive = lambda: (front.progress(), host.progress())
-    stub = make_stub_class(service, schema.factory)(channel)
-    factory = WorkloadFactory(schema=schema)
-    calls = (
-        lambda: stub.PingSmall(factory.small()),
-        lambda: stub.SumInts(factory.int_array(128)),
-        lambda: stub.Upper(factory.char_array(256)),
-    )
+    calls = _bench_calls(schema, service, channel)
 
     def issue(i: int) -> bool:
         calls[i % len(calls)]()
         return True
 
     endpoints = {"client": rdma.client, "server": rdma.server}
-    return issue, endpoints
+    return issue, endpoints, rdma.close
 
 
-def _build_core(collector: TraceCollector, explicit_context: bool):
+def _build_procs(collector: TraceCollector, explicit_context: bool,
+                 transport: str = "shm"):
+    """The 3-process deployment: every request really crosses two OS
+    process boundaries (client -> DPU via socketpair, DPU -> host via
+    shared-memory RDMA).  Child trace rings merge into ``collector`` at
+    teardown, re-based onto the parent's clock."""
+    from repro.runtime.procs import ProcSupervisor
+
+    if transport != "shm":
+        raise ValueError("the procs deployment only runs on the shm transport")
+    schema, service, servicer = _bench_fixture()
+    sup = ProcSupervisor(schema, service, servicer, name="traceprocs", trace=True)
+    sup.collector = collector
+    sup.start()
+    calls = _bench_calls(schema, service, sup.xrpc_channel())
+
+    def issue(i: int) -> bool:
+        calls[i % len(calls)]()
+        return True
+
+    def finalize() -> None:
+        sup.collect_traces()
+        sup.stop()
+
+    return issue, {}, finalize
+
+
+def _build_core(collector: TraceCollector, explicit_context: bool,
+                transport: str = "inproc"):
     from repro.core import Flags, Response, create_channel
 
-    channel = create_channel()
+    channel = create_channel(transport=transport)
     attach_channel(collector, channel, stream="core",
                    client_component="client.rpc", server_component="server.rpc",
                    explicit_context=explicit_context)
@@ -149,7 +192,14 @@ def _build_core(collector: TraceCollector, explicit_context: bool):
         return bool(done) and not (done[0] & Flags.ERROR)
 
     endpoints = {"client": channel.client, "server": channel.server}
-    return issue, endpoints
+    return issue, endpoints, channel.close
+
+
+_BUILDERS = {
+    "offloaded": _build_offloaded,
+    "core": _build_core,
+    "procs": _build_procs,
+}
 
 
 def run_traced_workload(
@@ -160,25 +210,36 @@ def run_traced_workload(
     ring: int = 1 << 15,
     registry: MetricsRegistry | None = None,
     collector: TraceCollector | None = None,
+    transport: str | None = None,
 ) -> TraceRunResult:
     """Run ``requests`` RPCs through a fully traced deployment and
     stitch the result.  Endpoint statistics are exported into the same
-    registry (``repro metrics`` dumps the combined scrape)."""
+    registry (``repro metrics`` dumps the combined scrape).
+
+    ``transport`` selects the fabric backend (docs/TRANSPORT.md) for the
+    in-process deployments; the ``procs`` deployment always runs shm."""
     if deployment not in DEPLOYMENTS:
         raise ValueError(f"unknown deployment {deployment!r}; pick from {DEPLOYMENTS}")
+    if transport is None:
+        transport = "shm" if deployment == "procs" else "inproc"
     collector = collector or TraceCollector(ring=ring)
     registry = registry or MetricsRegistry()
-    build = _build_offloaded if deployment == "offloaded" else _build_core
-    issue, endpoints = build(collector, explicit_context)
+    issue, endpoints, finalize = _BUILDERS[deployment](
+        collector, explicit_context, transport
+    )
 
     errors = 0
-    for i in range(requests):
-        try:
-            ok = issue(i)
-        except Exception:
-            ok = False
-        if not ok:
-            errors += 1
+    try:
+        for i in range(requests):
+            try:
+                ok = issue(i)
+            except Exception:
+                ok = False
+            if not ok:
+                errors += 1
+    finally:
+        if finalize is not None:
+            finalize()
 
     from repro.metrics import EndpointExporter
 

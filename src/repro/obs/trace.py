@@ -45,6 +45,8 @@ __all__ = [
     "TraceCollector",
     "attach_endpoint",
     "attach_channel",
+    "export_events",
+    "import_events",
     "import_fault_events",
 ]
 
@@ -249,12 +251,69 @@ def attach_channel(collector: TraceCollector, channel,
                    fabric_component: str | None = "fabric") -> None:
     """Wire a whole :class:`~repro.core.channel.Channel` for tracing:
     both endpoints on one shared stream, plus (optionally) the fabric's
-    WRITE_WITH_IMM delivery events."""
-    attach_endpoint(collector, channel.client, client_component, stream,
-                    explicit_context=explicit_context)
-    attach_endpoint(collector, channel.server, server_component, stream)
+    WRITE_WITH_IMM delivery events.  One-sided channels (the
+    multiprocess deployments) attach whatever sides are local; the other
+    process attaches its own half with the *same* ``stream`` name and the
+    two collectors merge afterwards via :func:`export_events` /
+    :func:`import_events`."""
+    if channel.client is not None:
+        attach_endpoint(collector, channel.client, client_component, stream,
+                        explicit_context=explicit_context)
+    if channel.server is not None:
+        attach_endpoint(collector, channel.server, server_component, stream)
     if fabric_component is not None:
         channel.fabric.trace = collector.recorder(fabric_component)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process merge
+# ---------------------------------------------------------------------------
+
+
+def export_events(collector: TraceCollector) -> dict:
+    """Snapshot a collector as a picklable structure for crossing a
+    process boundary: resolved trace ids, shared contexts expressed by
+    index, timestamps still relative to *this* collector's epoch (the
+    absolute epoch rides along so the importer can re-base).
+
+    ``clock`` must be the default ``time.perf_counter`` for cross-process
+    merging to be meaningful: on Linux it reads the system-wide
+    ``CLOCK_MONOTONIC``, so two processes' epochs are directly
+    comparable."""
+    ctx_index: dict[int, int] = {}
+    contexts: list[tuple] = []
+    events = []
+    for ring in collector._rings.values():
+        for ev in ring:
+            if ev.ctx is None:
+                key = None
+            else:
+                key = ctx_index.get(id(ev.ctx))
+                if key is None:
+                    key = ctx_index[id(ev.ctx)] = len(contexts)
+                    contexts.append((ev.ctx.tid, dict(ev.ctx.attrs)))
+            events.append((key, ev.stage, ev.component, ev.ts, ev.dur, ev.attrs))
+    return {"epoch": collector.epoch, "contexts": contexts, "events": events}
+
+
+def import_events(collector: TraceCollector, snapshot: dict,
+                  component_prefix: str = "") -> int:
+    """Merge a peer process's :func:`export_events` snapshot into this
+    collector, re-basing timestamps onto this collector's epoch via the
+    shared monotonic clock.  Context identity is preserved within the
+    snapshot (late-bound tids, identity-correlated unbound contexts), so
+    stitching sees the same shape it would have in-process.  Returns the
+    number of events imported."""
+    offset = snapshot["epoch"] - collector.epoch
+    contexts = [TraceContext(tid=tid, **attrs) for tid, attrs in snapshot["contexts"]]
+    n = 0
+    for key, stage, component, ts, dur, attrs in snapshot["events"]:
+        comp = component_prefix + component
+        ring = collector._rings.setdefault(comp, deque(maxlen=collector.ring))
+        ctx = contexts[key] if key is not None else None
+        ring.append(StageEvent(ctx, stage, comp, ts + offset, dur, attrs))
+        n += 1
+    return n
 
 
 def import_fault_events(collector: TraceCollector, events,

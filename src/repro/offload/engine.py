@@ -318,12 +318,27 @@ class DpuEngine:
         #: StageRecorder (repro.obs) — None keeps every hook free.
         self.trace = None
 
+    @property
+    def ready(self) -> bool:
+        """Can :meth:`call` succeed right now?  False while crashed *or*
+        before the bootstrap blob arrives — a freshly (re)spawned DPU
+        process serves through :meth:`call_raw` until both hold."""
+        return not self.crashed and self.deserializer is not None
+
     # -- bootstrap -------------------------------------------------------------
 
     def receive_bootstrap(self, max_polls: int = 1000) -> None:
-        """Wait for the host's bootstrap SEND and build the deserializer."""
+        """Wait for the host's bootstrap SEND and build the deserializer.
+
+        In a one-sided channel the peer is in another process, so nothing
+        advances the fabric for us between polls — pump it here so the
+        doorbell carrying the SEND can land."""
         client = self.channel.client
+        fabric = self.channel.fabric
+        pump_fabric = self.channel.server is None and hasattr(fabric, "progress")
         for _ in range(max_polls):
+            if pump_fabric:
+                fabric.progress()
             client.progress()
             if client.inbound_sends:
                 data = client.inbound_sends.popleft()

@@ -9,10 +9,13 @@ simulated memories.
 
 from .fabric import Fabric
 from .qp import QpState, QueuePair
+from .shm_fabric import HandshakeError, ShmFabric
 from .verbs import (
     Access,
     CompletionChannel,
     CompletionQueue,
+    FabricTransport,
+    FlushBudgetExceeded,
     Opcode,
     ProtectionDomain,
     ProtectionError,
@@ -25,8 +28,17 @@ from .verbs import (
     WorkRequest,
 )
 
+#: transport name -> fabric factory; ``ProtocolConfig.transport`` values
+#: resolve through this table (core/channel.py).
+TRANSPORTS = {"inproc": Fabric, "shm": ShmFabric}
+
 __all__ = [
     "Fabric",
+    "ShmFabric",
+    "HandshakeError",
+    "FabricTransport",
+    "FlushBudgetExceeded",
+    "TRANSPORTS",
     "QpState",
     "QueuePair",
     "Access",

@@ -25,28 +25,27 @@ from __future__ import annotations
 from collections import deque
 
 from .qp import QpState, QueuePair
-from .verbs import Opcode, VerbsError, WcStatus, WorkCompletion, WorkRequest
+from .verbs import (
+    FabricTransport,
+    Opcode,
+    VerbsError,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+)
 
 __all__ = ["Fabric"]
 
 
-class Fabric:
-    """Connects QP pairs and moves bytes between them."""
+class Fabric(FabricTransport):
+    """The ``inproc`` transport backend: connects QP pairs living in one
+    process and moves bytes between them directly."""
+
+    transport = "inproc"
 
     def __init__(self, auto_flush: bool = True, injector=None) -> None:
-        self.auto_flush = auto_flush
-        #: optional fault-injection hook (see repro.faults.injector): may
-        #: corrupt payload snapshots at post time, drop whole operations,
-        #: or force a QP into ERROR mid-delivery.
-        self.injector = injector
+        super().__init__(auto_flush=auto_flush, injector=injector)
         self._wire: deque[tuple[QueuePair, WorkRequest, bytes | None, int]] = deque()
-        #: StageRecorder (repro.obs) — None keeps every hook free.
-        self.trace = None
-        # -- statistics -------------------------------------------------------
-        self.total_bytes = 0
-        self.total_operations = 0
-        self.rnr_retransmissions = 0
-        self.flushed_operations = 0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -118,15 +117,6 @@ class Fabric:
             sender.complete_send(wr, WcStatus.SUCCESS)
             return True
         raise VerbsError(f"fabric cannot carry {wr.opcode}")
-
-    def flush(self, max_steps: int = 1_000_000) -> int:
-        """Deliver until the wire drains; returns operations delivered."""
-        steps = 0
-        while self._wire and steps < max_steps:
-            if not self.step():
-                break
-            steps += 1
-        return steps
 
     def flush_qp(self, qp: QueuePair) -> int:
         """Flush every in-flight operation posted by ``qp`` with

@@ -85,6 +85,17 @@ class QueuePair:
         self.fabric = fabric
         self.state = QpState.RTS
 
+    def connect_remote(self, fabric) -> None:
+        """RTS against a peer that lives in *another process*: there is no
+        local QP object to point at, so ``peer`` stays None and the fabric
+        (e.g. :class:`~repro.rdma.shm_fabric.ShmFabric`) owns delivery
+        end-to-end.  Only the in-process fabric ever dereferences
+        ``peer``."""
+        self._require_state(QpState.INIT)
+        self.peer = None
+        self.fabric = fabric
+        self.state = QpState.RTS
+
     def to_error(self) -> None:
         """Transition to error: flush outstanding receives *and* any sends
         the fabric still holds in flight for this QP, all with

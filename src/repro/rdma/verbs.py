@@ -26,6 +26,7 @@ __all__ = [
     "ProtectionError",
     "QueueOverflowError",
     "RegistrationError",
+    "FlushBudgetExceeded",
     "Access",
     "Opcode",
     "WcStatus",
@@ -35,6 +36,7 @@ __all__ = [
     "WorkCompletion",
     "CompletionQueue",
     "CompletionChannel",
+    "FabricTransport",
 ]
 
 
@@ -49,6 +51,23 @@ class ProtectionError(VerbsError):
 class QueueOverflowError(VerbsError):
     """A CQ or receive queue overflowed — the catastrophic event the
     paper's credit system prevents (§IV-C)."""
+
+
+class FlushBudgetExceeded(VerbsError):
+    """:meth:`FabricTransport.flush` ran out of step budget with work
+    still in flight.  Before this existed, an exhausted flush *silently
+    returned* and the caller proceeded on a half-drained wire — the worst
+    kind of transport bug, because nothing downstream can tell a drained
+    fabric from a wedged one.  The exception carries enough state for a
+    supervisor to decide between retrying and resetting the channel."""
+
+    def __init__(self, transport_name: str, steps: int, in_flight: int) -> None:
+        super().__init__(
+            f"{transport_name}: flush budget exhausted after {steps} steps "
+            f"with {in_flight} operation(s) still in flight"
+        )
+        self.steps = steps
+        self.in_flight = in_flight
 
 
 class Access(enum.Flag):
@@ -222,3 +241,115 @@ class CompletionChannel:
 
     def has_events(self) -> bool:
         return bool(self._ready)
+
+
+class FabricTransport:
+    """The verbs-provider contract every fabric backend implements.
+
+    A *fabric* is whatever moves posted work requests between connected
+    QPs and resolves them into completions: the in-process ``Fabric``
+    models the DMA engine with direct byte copies between the two
+    simulated memories; ``ShmFabric`` does the same across OS process
+    boundaries over ``multiprocessing.shared_memory`` plus a doorbell
+    socket per QP.  Everything above the QP layer — endpoints, recovery,
+    the fault injector, tracing — talks only to this interface, so a
+    backend swap is invisible to the protocol.
+
+    The contract, beyond the methods below:
+
+    * per-QP reliable-connection ordering (ops delivered in post order);
+    * ``WRITE_WITH_IMM`` delivers payload bytes into the responder's
+      registered memory *before* the ``RECV_RDMA_WITH_IMM`` completion
+      becomes pollable (completion-after-write visibility);
+    * RNR retries up to the sender QP's ``rnr_retry`` budget, then the
+      send completes ``RNR_RETRY_EXCEEDED``;
+    * injector hooks fire at the same points on every backend:
+      ``on_transmit`` (payload snapshot at post time), ``on_op``
+      (verdicts at delivery time), ``tick`` (once per :meth:`step`), and
+      completion delivery routed through ``QueuePair._push_completion``.
+    """
+
+    #: registry name of the backend ("inproc", "shm"); subclasses set it.
+    transport = "abstract"
+
+    def __init__(self, auto_flush: bool = True, injector=None) -> None:
+        self.auto_flush = auto_flush
+        #: optional fault-injection hook (see repro.faults.injector): may
+        #: corrupt payload snapshots at post time, drop whole operations,
+        #: or force a QP into ERROR mid-delivery.
+        self.injector = injector
+        #: StageRecorder (repro.obs) — None keeps every hook free.
+        self.trace = None
+        #: back-pointer set by ProgressEngine.register (pollable model).
+        self._runtime_engine = None
+        # -- statistics shared by every backend -------------------------------
+        self.total_bytes = 0
+        self.total_operations = 0
+        self.rnr_retransmissions = 0
+        self.flushed_operations = 0
+        #: times flush() exhausted its step budget with work in flight
+        #: (each raised a FlushBudgetExceeded at the caller).
+        self.flush_budget_exhausted = 0
+
+    # -- the backend contract --------------------------------------------------
+
+    def connect(self, a: QueuePair, b: QueuePair) -> None:  # noqa: F821
+        """Bring two INIT QPs to RTS, joined through this fabric."""
+        raise NotImplementedError
+
+    def transmit(self, sender, wr: WorkRequest) -> None:
+        """Accept a posted WR for in-order delivery; snapshots the payload
+        at post time (HCA semantics: the send buffer may be reused only
+        after the send completion)."""
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """Resolve at most one unit of transport work; False when idle."""
+        raise NotImplementedError
+
+    def flush_qp(self, qp) -> int:
+        """Complete every in-flight op posted by ``qp`` with
+        ``WR_FLUSH_ERROR`` (the QP's to_error storm); returns the count."""
+        raise NotImplementedError
+
+    def discard_in_flight(self) -> int:
+        """Drop all queued operations without completions — the recovery
+        teardown's 'cable pull'.  Returns the number discarded."""
+        raise NotImplementedError
+
+    @property
+    def in_flight(self) -> int:
+        """Operations accepted but not yet resolved into completions."""
+        raise NotImplementedError
+
+    # -- shared driving loop ---------------------------------------------------
+
+    def flush(self, max_steps: int = 1_000_000) -> int:
+        """Step until the wire drains (or goes quiet); returns steps taken.
+
+        Raises :class:`FlushBudgetExceeded` — and counts it in
+        ``flush_budget_exhausted`` — when the budget runs out with work
+        still in flight, instead of silently returning on a half-drained
+        wire."""
+        steps = 0
+        while self.in_flight and steps < max_steps:
+            if not self.step():
+                break
+            steps += 1
+        if self.in_flight and steps >= max_steps:
+            self.flush_budget_exhausted += 1
+            raise FlushBudgetExceeded(type(self).__name__, steps, self.in_flight)
+        return steps
+
+    # -- pollable protocol (repro.runtime) -------------------------------------
+
+    def pending(self) -> bool:
+        return self.in_flight > 0
+
+    def progress(self, budget: int | None = None) -> int:
+        """Drive the fabric as a ProgressEngine pollable: resolve up to
+        ``budget`` units of work (all ready work when None)."""
+        work = 0
+        while (budget is None or work < budget) and self.step():
+            work += 1
+        return work

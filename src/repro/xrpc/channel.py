@@ -82,13 +82,23 @@ class XrpcChannel:
 
     def __init__(
         self,
-        network: Network,
+        network: Network | None,
         address: str,
         name: str = "xrpc-client",
         encode_mode: str | None = None,
+        socket: SimSocket | None = None,
     ) -> None:
+        """``socket`` bypasses the network registry with a pre-established
+        stream (a :class:`~repro.xrpc.transport.StreamSocket` over an OS
+        socketpair in the multiprocess deployments); ``network`` may then
+        be None."""
         self.address = address
-        self.socket: SimSocket = network.connect(address, name)
+        if socket is not None:
+            self.socket: SimSocket = socket
+        else:
+            if network is None:
+                raise ValueError("XrpcChannel needs a network or an explicit socket")
+            self.socket = network.connect(address, name)
         #: Request-serialization path (``ProtocolConfig.encode_mode``):
         #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
         #: the process-wide default (see repro.proto.set_encode_mode).

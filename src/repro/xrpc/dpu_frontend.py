@@ -51,13 +51,17 @@ class OffloadedXrpcServer:
 
     def __init__(
         self,
-        network: Network,
+        network: Network | None,
         address: str,
         dpu: DpuEngine,
         service: ServiceDescriptor,
     ) -> None:
+        """With ``network=None`` the server starts without a listener;
+        connections arrive through :meth:`adopt` instead (the multiprocess
+        deployments hand it :class:`~repro.xrpc.transport.StreamSocket`
+        ends of pre-established OS socketpairs)."""
         self.address = address
-        self.listener: Listener = network.listen(address)
+        self.listener: Listener | None = network.listen(address) if network is not None else None
         self.dpu = dpu
         self._method_ids = assign_method_ids(service)
         self._connections: list[_Connection] = []
@@ -80,7 +84,7 @@ class OffloadedXrpcServer:
         advance the protocol (responses fire continuations that write
         back to the right client socket).  ``budget`` caps the requests
         forwarded in one pass."""
-        while True:
+        while self.listener is not None:
             sock = self.listener.accept()
             if sock is None:
                 break
@@ -99,6 +103,10 @@ class OffloadedXrpcServer:
         self.dpu.progress(budget)
         self._connections = [c for c in self._connections if not c.socket.eof()]
         return forwarded
+
+    def adopt(self, socket: SimSocket) -> None:
+        """Serve a pre-established connection (no listener involved)."""
+        self._connections.append(_Connection(socket))
 
     def _forward(self, conn: _Connection, call_id: int, method: str, payload: bytes) -> None:
         method_id = self._method_ids.get(method)
@@ -135,10 +143,12 @@ class OffloadedXrpcServer:
             conn.socket.send(frame)
 
         try:
-            if self.dpu.crashed:
+            if not self.dpu.ready:
                 # Graceful degradation (docs/FAULTS.md): with the DPU
-                # engine down, keep serving by shipping wire bytes for
-                # host-side deserialization — slower, never unavailable.
+                # engine down — or freshly respawned and still awaiting
+                # its bootstrap blob — keep serving by shipping wire
+                # bytes for host-side deserialization: slower, never
+                # unavailable.
                 self.fallback_requests += 1
                 self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx)
             else:

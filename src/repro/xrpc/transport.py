@@ -12,7 +12,14 @@ from __future__ import annotations
 
 from collections import deque
 
-__all__ = ["TransportError", "ConnectionClosed", "SimSocket", "Listener", "Network"]
+__all__ = [
+    "TransportError",
+    "ConnectionClosed",
+    "SimSocket",
+    "StreamSocket",
+    "Listener",
+    "Network",
+]
 
 
 class TransportError(RuntimeError):
@@ -78,6 +85,103 @@ class SimSocket:
     @property
     def closed(self) -> bool:
         return self._closed
+
+
+class StreamSocket:
+    """:class:`SimSocket`-compatible adapter over a real OS socket.
+
+    The multiprocess deployments (:mod:`repro.runtime.procs`) carry the
+    xRPC byte stream over an ``AF_UNIX`` socketpair between the client
+    process and the DPU frontend; this adapter gives that stream the same
+    non-blocking partial-read surface the framing layer already handles,
+    so :class:`~repro.xrpc.channel.XrpcChannel` and the frontend run
+    unchanged over either.
+    """
+
+    def __init__(self, sock, name: str = "stream") -> None:
+        sock.setblocking(False)
+        self._sock = sock
+        self.name = name
+        self._rx = bytearray()
+        self._txq = bytearray()
+        self._closed = False
+        self._peer_closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- byte stream ------------------------------------------------------------
+
+    def send(self, data: bytes) -> int:
+        if self._closed:
+            raise ConnectionClosed(f"{self.name}: send on closed socket")
+        if self._peer_closed:
+            raise ConnectionClosed(f"{self.name}: peer closed")
+        self._txq += data
+        self._drain_tx()
+        if self._peer_closed:
+            raise ConnectionClosed(f"{self.name}: peer closed")
+        self.bytes_sent += len(data)
+        return len(data)
+
+    def _drain_tx(self) -> None:
+        while self._txq and not self._peer_closed:
+            try:
+                n = self._sock.send(self._txq)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._peer_closed = True
+                break
+            del self._txq[:n]
+
+    def _pump(self) -> None:
+        if self._closed:
+            return
+        self._drain_tx()
+        while not self._peer_closed:
+            try:
+                data = self._sock.recv(65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._peer_closed = True
+                break
+            if not data:
+                self._peer_closed = True
+                break
+            self._rx += data
+            self.bytes_received += len(data)
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        if max_bytes <= 0:
+            return b""
+        self._pump()
+        n = min(max_bytes, len(self._rx))
+        out = bytes(self._rx[:n])
+        del self._rx[:n]
+        return out
+
+    def pending(self) -> int:
+        self._pump()
+        return len(self._rx)
+
+    def eof(self) -> bool:
+        self._pump()
+        return self._peer_closed and not self._rx
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
 
 
 class Listener:

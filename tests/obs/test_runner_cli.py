@@ -81,7 +81,39 @@ class TestCoreRun:
     def test_unknown_deployment_rejected(self):
         with pytest.raises(ValueError):
             run_traced_workload("gpu")
-        assert DEPLOYMENTS == ("offloaded", "core")
+        assert DEPLOYMENTS == ("offloaded", "core", "procs")
+
+
+class TestProcsRun:
+    """The 3-OS-process deployment: child trace rings merge into the
+    parent collector and the export shows client/DPU/host lanes."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_traced_workload("procs", requests=9)
+
+    def test_no_errors(self, result):
+        assert result.errors == 0
+        assert result.requests == 9
+
+    def test_three_process_lanes(self, result):
+        comps = result.collector.components()
+        assert "client.xrpc" in comps
+        assert any(c.startswith("dpu.") for c in comps), comps
+        assert any(c.startswith("host.") for c in comps), comps
+
+    def test_trace_events_validate(self, result):
+        doc = result.trace_events()
+        assert validate_trace_events(doc) == []
+        lanes = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e.get("name") == "thread_name"}
+        assert "client.xrpc" in lanes
+        assert any(lane.startswith("dpu.") for lane in lanes), lanes
+        assert any(lane.startswith("host.") for lane in lanes), lanes
+
+    def test_procs_requires_shm(self):
+        with pytest.raises(ValueError):
+            run_traced_workload("procs", requests=1, transport="inproc")
 
 
 class TestCli:
@@ -126,3 +158,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "trace_stage_latency_seconds_bucket" in out
         assert "# HELP" in out
+
+    def test_trace_shm_transport_flag(self, tmp_path, capsys):
+        out = tmp_path / "shm.json"
+        rc = main(["trace", "--deployment", "offloaded", "--transport", "shm",
+                   "--requests", "6", "-o", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["trace", "--check", str(out)]) == 0
+
+    def test_trace_procs_deployment(self, tmp_path, capsys):
+        out = tmp_path / "procs.json"
+        rc = main(["trace", "--deployment", "procs",
+                   "--requests", "6", "-o", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["trace", "--check", str(out)]) == 0
+        assert "valid" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Tests for the multiprocess supervisor: 3-OS-process deployment over
+the shm transport — spawn/handshake, offloaded round trips, crash
+propagation into the parent EngineSupervisor, DPU respawn with host-parse
+failover, cross-process fault injection, and trace merging."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.proto import compile_schema
+from repro.runtime.procs import ProcError, ProcSupervisor
+
+CALC_PROTO = """
+syntax = "proto3";
+package calc;
+message BinOp { int64 a = 1; int64 b = 2; }
+message Value { int64 v = 1; }
+service Calc {
+  rpc Add (BinOp) returns (Value);
+  rpc Mul (BinOp) returns (Value);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def calc_schema():
+    return compile_schema(CALC_PROTO)
+
+
+def make_servicer(schema):
+    Value = schema["calc.Value"]
+
+    class Servicer:
+        def Add(self, request, context):
+            return Value(v=request.a + request.b)
+
+        def Mul(self, request, context):
+            return Value(v=request.a * request.b)
+
+    return Servicer()
+
+
+@pytest.fixture
+def supervisor(calc_schema):
+    sup = ProcSupervisor(
+        calc_schema, calc_schema.service("calc.Calc"), make_servicer(calc_schema),
+        name="testprocs", trace=True,
+    )
+    yield sup
+    sup.stop()
+
+
+def test_offloaded_round_trip_and_traces(supervisor, calc_schema):
+    BinOp, Value = calc_schema["calc.BinOp"], calc_schema["calc.Value"]
+    supervisor.start()
+    chan = supervisor.xrpc_channel()
+    r = chan.call_sync("/calc.Calc/Add", BinOp(a=2, b=3), Value, max_iters=20000)
+    assert r.v == 5
+    r = chan.call_sync("/calc.Calc/Mul", BinOp(a=6, b=7), Value, max_iters=20000)
+    assert r.v == 42
+
+    stats = supervisor.stats()
+    assert stats["dpu"]["ready"] is True
+    assert stats["dpu"]["deserialized"] >= 2  # parsed in the DPU process
+    assert stats["dpu"]["fallback_requests"] == 0
+    assert stats["host"]["host_deserialized"] == 0  # host never parsed
+
+    n = supervisor.collect_traces()
+    assert n > 0
+    comps = supervisor.collector.components()
+    assert any(c.startswith("host.") for c in comps)
+    assert any(c.startswith("dpu.") for c in comps)
+    assert "client.xrpc" in comps
+
+    # Teardown returns each child's final stats; stop() is idempotent.
+    results = supervisor.stop()
+    assert set(results) >= {"host", "dpu"}
+    assert supervisor.stop() == {}
+
+
+def test_dpu_kill_failover_and_rebootstrap(supervisor, calc_schema):
+    BinOp, Value = calc_schema["calc.BinOp"], calc_schema["calc.Value"]
+    supervisor.start()
+    chan = supervisor.xrpc_channel()
+    assert chan.call_sync("/calc.Calc/Add", BinOp(a=1, b=1), Value,
+                          max_iters=20000).v == 2
+
+    supervisor.kill_dpu()
+    deadline = time.monotonic() + 5.0
+    while supervisor.supervisor.faults_contained == 0:
+        supervisor.engine.step()
+        if time.monotonic() > deadline:
+            pytest.fail("DPU death never surfaced in the parent supervisor")
+        time.sleep(0.01)
+
+    supervisor.recover_dpu(bootstrap=False)
+    chan2 = supervisor.xrpc_channel()
+    assert chan2 is not chan  # the old client socket died with the child
+    r = chan2.call_sync("/calc.Calc/Add", BinOp(a=10, b=1), Value,
+                        max_iters=40000, idempotent=True)
+    assert r.v == 11
+    stats = supervisor.stats()
+    assert stats["dpu"]["ready"] is False  # degraded until re-bootstrap
+    assert stats["dpu"]["fallback_requests"] >= 1
+    assert stats["host"]["host_deserialized"] >= 1  # host-parse failover
+
+    supervisor.bootstrap()
+    assert chan2.call_sync("/calc.Calc/Mul", BinOp(a=3, b=4), Value,
+                           max_iters=40000).v == 12
+    stats = supervisor.stats()
+    assert stats["dpu"]["ready"] is True
+    assert stats["dpu"]["deserialized"] >= 1
+
+
+def test_cross_process_fault_injection(calc_schema):
+    BinOp, Value = calc_schema["calc.BinOp"], calc_schema["calc.Value"]
+    plan = FaultPlan(11, [FaultSpec("delay_completion", at_count=1, delay_ticks=3)])
+    sup = ProcSupervisor(
+        calc_schema, calc_schema.service("calc.Calc"), make_servicer(calc_schema),
+        name="faultprocs", host_fault_plan=plan,
+    )
+    try:
+        sup.start()
+        chan = sup.xrpc_channel()
+        r = chan.call_sync("/calc.Calc/Add", BinOp(a=4, b=5), Value,
+                           max_iters=40000, idempotent=True)
+        assert r.v == 9
+        stats = sup.stats()
+        # The injector lives (and fired) inside the host child process.
+        assert stats["host"]["injector_events"] >= 1
+        assert stats["host"]["injector_fingerprint"]
+    finally:
+        sup.stop()
+
+
+def test_start_twice_rejected(supervisor):
+    supervisor.start()
+    with pytest.raises(ProcError):
+        supervisor.start()
