@@ -113,14 +113,16 @@ def test_bench_char_array_deserialize(benchmark, count):
 
 
 def test_fig7_decode_plan_speedup(report, benchmark):
-    """Compiled decode plans vs the interpretive loop on the paper's
-    standard workload mix (Small, x512 Ints, x8000 Chars).
+    """All three codec tiers — interpretive, compiled plans, generated
+    per-type codecs — plus the negotiated WIRE_FIXED branchless wire, on
+    the paper's standard workload mix (Small, x512 Ints, x8000 Chars).
 
-    Times the reference deserializer in both decode modes and the arena
-    deserializer in both decode modes, persists the numbers to
-    ``BENCH_fig7.json`` at the repo root (consumed by the CI bench-smoke
-    job), and asserts the headline claim: the compiled-plan reference
-    decoder is at least 2x faster than the interpretive one on the mix.
+    Times the reference deserializer and the arena deserializer in every
+    decode mode, persists the numbers to ``BENCH_fig7.json`` at the repo
+    root (consumed by the CI bench-smoke and codegen-smoke jobs), and
+    asserts the headline claims: compiled plans >=2x over interpretive,
+    generated codecs >=1.5x over plans, and the fixed wire faster still
+    (all on the reference mix).
     """
     factory = WorkloadFactory()
     workloads = {
@@ -146,7 +148,29 @@ def test_fig7_decode_plan_speedup(report, benchmark):
         out["mix"] = sum(out[name] for name in wires)
         return out
 
-    def time_arena(use_plans: bool, reps: int = 300) -> dict[str, float]:
+    def time_fixed_reference(reps: int = 300) -> dict[str, float]:
+        """The branchless wire: one struct unpack + slot application.
+        Every bench workload is fixed-layout eligible."""
+        from repro.proto import get_fixed_layout
+
+        out = {}
+        for name, msg in workloads.items():
+            cls = classes[name]
+            layout = get_fixed_layout(cls.DESCRIPTOR, factory.schema.factory)
+            assert layout is not None, f"{name} must be fixed-eligible"
+            wire = layout.encode(msg)
+            layout.parse(cls, wire)
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter_ns()
+                for _ in range(reps):
+                    layout.parse(cls, wire)
+                best = min(best, (time.perf_counter_ns() - t0) / reps)
+            out[name] = best
+        out["mix"] = sum(out[name] for name in wires)
+        return out
+
+    def _arena_env():
         space = AddressSpace("bench-plan")
         space.map(MemoryRegion(ARENA_BASE, ARENA_SIZE, "arena"))
         universe = TypeUniverse(space)
@@ -154,13 +178,19 @@ def test_fig7_decode_plan_speedup(report, benchmark):
             [factory.schema.pool.message(f"bench.{n}") for n in
              ("Small", "IntArray", "CharArray")]
         )
-        deser = ArenaDeserializer(adt, use_plans=use_plans)
+        return space, adt
+
+    _ROOTS = (
+        ("small", "bench.Small"),
+        ("x512_ints", "bench.IntArray"),
+        ("x8000_chars", "bench.CharArray"),
+    )
+
+    def time_arena(mode: str, reps: int = 300) -> dict[str, float]:
+        space, adt = _arena_env()
+        deser = ArenaDeserializer(adt, mode=mode)
         out = {}
-        for name, root in (
-            ("small", "bench.Small"),
-            ("x512_ints", "bench.IntArray"),
-            ("x8000_chars", "bench.CharArray"),
-        ):
+        for name, root in _ROOTS:
             wire = wires[name]
             idx = deser.adt.index_of(root)
             deser.deserialize(idx, wire, Arena(space, ARENA_BASE, ARENA_SIZE))
@@ -174,35 +204,89 @@ def test_fig7_decode_plan_speedup(report, benchmark):
         out["mix"] = sum(out[n] for n in wires)
         return out
 
+    def time_fixed_arena(reps: int = 300) -> dict[str, float]:
+        from repro.proto import get_fixed_layout
+
+        space, adt = _arena_env()
+        deser = ArenaDeserializer(adt)
+        out = {}
+        for name, root in _ROOTS:
+            cls = classes[name]
+            layout = get_fixed_layout(cls.DESCRIPTOR, factory.schema.factory)
+            wire = layout.encode(workloads[name])
+            idx = deser.adt.index_of(root)
+            deser.deserialize_fixed(idx, wire, Arena(space, ARENA_BASE, ARENA_SIZE))
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter_ns()
+                for _ in range(reps):
+                    deser.deserialize_fixed(
+                        idx, wire, Arena(space, ARENA_BASE, ARENA_SIZE)
+                    )
+                best = min(best, (time.perf_counter_ns() - t0) / reps)
+            out[name] = best
+        out["mix"] = sum(out[n] for n in wires)
+        return out
+
     ref_plan = benchmark.pedantic(lambda: time_reference("plan"), rounds=1)
     ref_interp = time_reference("interpretive")
-    arena_plan = time_arena(True)
-    arena_interp = time_arena(False)
+    ref_gen = time_reference("generated")
+    ref_fixed = time_fixed_reference()
+    arena_plan = time_arena("plan")
+    arena_interp = time_arena("interpretive")
+    arena_gen = time_arena("generated")
+    arena_fixed = time_fixed_arena()
 
     results = {
         "units": "ns/op",
-        "reference": {"plan": ref_plan, "interpretive": ref_interp},
-        "arena": {"plan": arena_plan, "interpretive": arena_interp},
+        "reference": {
+            "plan": ref_plan,
+            "interpretive": ref_interp,
+            "generated": ref_gen,
+        },
+        "arena": {
+            "plan": arena_plan,
+            "interpretive": arena_interp,
+            "generated": arena_gen,
+        },
+        "wire_fixed": {"reference": ref_fixed, "arena": arena_fixed},
         "reference_mix_speedup": ref_interp["mix"] / ref_plan["mix"],
         "arena_mix_speedup": arena_interp["mix"] / arena_plan["mix"],
+        "reference_gen_mix_speedup": ref_plan["mix"] / ref_gen["mix"],
+        "arena_gen_mix_speedup": arena_plan["mix"] / arena_gen["mix"],
+        "wire_fixed_mix_speedup": ref_gen["mix"] / ref_fixed["mix"],
     }
     merge_bench_json(results)
 
-    lines = [f"{'workload':<12} {'ref interp':>12} {'ref plan':>10} {'speedup':>8}"
-             f" {'arena interp':>13} {'arena plan':>11} {'speedup':>8}"]
+    lines = [f"{'workload':<12} {'ref interp':>12} {'ref plan':>10} {'ref gen':>10}"
+             f" {'ref fixed':>10} {'arena plan':>11} {'arena gen':>10} {'arena fixed':>12}"]
     for name in (*wires, "mix"):
         lines.append(
             f"{name:<12} {ref_interp[name]:>12,.0f} {ref_plan[name]:>10,.0f} "
-            f"{ref_interp[name] / ref_plan[name]:>7.2f}x "
-            f"{arena_interp[name]:>13,.0f} {arena_plan[name]:>11,.0f} "
-            f"{arena_interp[name] / arena_plan[name]:>7.2f}x"
+            f"{ref_gen[name]:>10,.0f} {ref_fixed[name]:>10,.0f} "
+            f"{arena_plan[name]:>11,.0f} {arena_gen[name]:>10,.0f} "
+            f"{arena_fixed[name]:>12,.0f}"
         )
+    lines.append(
+        f"mix speedups: plan/interp {results['reference_mix_speedup']:.2f}x, "
+        f"gen/plan {results['reference_gen_mix_speedup']:.2f}x, "
+        f"fixed/gen {results['wire_fixed_mix_speedup']:.2f}x"
+    )
     lines.append(f"persisted to {BENCH_JSON}")
     report("fig7_decode_plan", "\n".join(lines))
 
     assert results["reference_mix_speedup"] >= 2.0, (
         f"compiled plans must be >=2x on the workload mix, got "
         f"{results['reference_mix_speedup']:.2f}x"
+    )
+    assert results["reference_gen_mix_speedup"] >= 1.5, (
+        f"generated codecs must be >=1.5x over compiled plans on the mix, "
+        f"got {results['reference_gen_mix_speedup']:.2f}x"
+    )
+    # The branchless wire has no tags or varints to decode at all.
+    assert ref_fixed["mix"] < ref_gen["mix"], (
+        f"WIRE_FIXED must beat the generated tag-wire decoder, got "
+        f"{ref_fixed['mix']:.0f} vs {ref_gen['mix']:.0f} ns/op"
     )
     # The arena interpretive path already bulk-decodes packed runs, so the
     # bar there is parity, not 2x.

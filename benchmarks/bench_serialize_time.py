@@ -19,7 +19,7 @@ from repro.workloads import WorkloadFactory
 
 from bench_fig7_deserialize_time import BENCH_JSON, merge_bench_json
 
-MODES = ("plan", "interpretive")
+MODES = ("plan", "interpretive", "generated")
 
 
 def _workloads():
@@ -63,6 +63,7 @@ def test_fig7_encode_plan_speedup(report, benchmark):
 
     plan = benchmark.pedantic(lambda: time_mode("plan"), rounds=1)
     interp = time_mode("interpretive")
+    gen = time_mode("generated")
 
     # Zero-copy accounting: emit each workload once directly into a
     # preallocated destination and count the avoided materializations.
@@ -74,17 +75,20 @@ def test_fig7_encode_plan_speedup(report, benchmark):
 
     results = merge_bench_json(
         {
-            "encode": {"plan": plan, "interpretive": interp},
+            "encode": {"plan": plan, "interpretive": interp, "generated": gen},
             "encode_mix_speedup": interp["mix"] / plan["mix"],
+            "encode_gen_mix_speedup": plan["mix"] / gen["mix"],
             "encode_copies_avoided_per_mix": copies_avoided,
         }
     )
 
-    lines = [f"{'workload':<12} {'interpretive':>13} {'plan':>10} {'speedup':>8}"]
+    lines = [f"{'workload':<12} {'interpretive':>13} {'plan':>10} {'generated':>10} "
+             f"{'plan spd':>8} {'gen spd':>8}"]
     for name in (*workloads, "mix"):
         lines.append(
             f"{name:<12} {interp[name]:>13,.0f} {plan[name]:>10,.0f} "
-            f"{interp[name] / plan[name]:>7.2f}x"
+            f"{gen[name]:>10,.0f} "
+            f"{interp[name] / plan[name]:>7.2f}x {plan[name] / gen[name]:>7.2f}x"
         )
     lines.append(f"copies avoided (one serialize_into per workload): {copies_avoided}")
     lines.append(f"persisted to {BENCH_JSON}")

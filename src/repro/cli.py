@@ -8,6 +8,7 @@ code generator from a shell.
     python -m repro fig8 [--workload NAME]     # Fig. 8 datapath cells
     python -m repro workloads                  # message size accounting
     python -m repro protoc FILE [--adt] [-o DIR]
+    python -m repro codegen FILE [-o DIR]      # generated codecs + WIRE_FIXED report
     python -m repro faults [--seed N] [--scenarios N]   # fault campaign
     python -m repro trace [--deployment D] [-o FILE]    # Perfetto trace
     python -m repro top [--batches N]                   # stage latency table
@@ -118,6 +119,32 @@ def _cmd_protoc(args) -> int:
         out_path.write_text(text)
         written.append(str(out_path))
     print("\n".join(written))
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    from repro.proto import compile_schema, fixed_eligibility, specs_of_descriptor
+    from repro.proto.gen_codec import generate_codec_module
+
+    path = pathlib.Path(args.file)
+    source = path.read_text()
+    module_source = generate_codec_module(source, path.name)
+    outdir = pathlib.Path(args.output) if args.output else path.parent
+    outdir.mkdir(parents=True, exist_ok=True)
+    out_path = outdir / f"{path.stem}_codec.py"
+    out_path.write_text(module_source)
+    print(out_path)
+
+    schema = compile_schema(source)
+    print("\nWIRE_FIXED eligibility:")
+    for desc in schema.messages():
+        ok, reasons = fixed_eligibility(specs_of_descriptor(desc))
+        if ok:
+            print(f"  {desc.full_name}: eligible")
+        else:
+            print(f"  {desc.full_name}: ineligible")
+            for reason in reasons:
+                print(f"    - {reason}")
     return 0
 
 
@@ -248,6 +275,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="also run the ADT plugin (.adt.pb analog)")
     pc.add_argument("-o", "--output", help="output directory (default: alongside input)")
     pc.set_defaults(fn=_cmd_protoc)
+
+    cg = sub.add_parser(
+        "codegen",
+        help="emit per-type generated codec sources for a .proto file and "
+        "report WIRE_FIXED eligibility (docs/DECODER.md)",
+    )
+    cg.add_argument("file", help=".proto source file")
+    cg.add_argument("-o", "--output", help="output directory (default: alongside input)")
+    cg.set_defaults(fn=_cmd_codegen)
 
     faults = sub.add_parser(
         "faults",

@@ -59,14 +59,18 @@ class ProtocolConfig:
     decode_mode:
         Deserialization path used by endpoints honoring this config:
         ``plan`` (default) dispatches through compiled per-message decode
-        plans (see docs/DECODER.md); ``interpretive`` keeps the original
-        descriptor-walking loop, retained for differential testing.
+        plans (see docs/DECODER.md); ``generated`` through per-type
+        straight-line source-generated decoders (the protoc idiom, faster
+        still); ``interpretive`` keeps the original descriptor-walking
+        loop, retained for differential testing.
     encode_mode:
         Serialization path used by endpoints honoring this config:
         ``plan`` (default) dispatches through compiled per-message encode
         plans that emit directly into the registered send region (see
-        docs/DECODER.md); ``interpretive`` keeps the descriptor-walking
-        serializer, retained for differential testing.
+        docs/DECODER.md); ``generated`` through per-type source-generated
+        encoders (same zero-copy emit surface); ``interpretive`` keeps
+        the descriptor-walking serializer, retained for differential
+        testing.
     """
 
     block_size: int = 8 * KIB
@@ -122,9 +126,9 @@ class ProtocolConfig:
             raise ValueError("flush_deadline_ticks must be >= 1")
         if self.flush_byte_threshold < 0:
             raise ValueError("flush_byte_threshold must be >= 0")
-        if self.decode_mode not in ("plan", "interpretive"):
+        if self.decode_mode not in ("plan", "generated", "interpretive"):
             raise ValueError(f"unknown decode mode {self.decode_mode!r}")
-        if self.encode_mode not in ("plan", "interpretive"):
+        if self.encode_mode not in ("plan", "generated", "interpretive"):
             raise ValueError(f"unknown encode mode {self.encode_mode!r}")
         if self.request_deadline_ticks < 0:
             raise ValueError("request_deadline_ticks must be >= 0")

@@ -91,6 +91,7 @@ _FLAG_NAMES = [
     (Flags.ABORTED, "ABORTED"),
     (Flags.WIRE_PAYLOAD, "WIRE"),
     (Flags.TRACE_CTX, "TRACE_CTX"),
+    (Flags.FIXED_PAYLOAD, "FIXED"),
 ]
 
 

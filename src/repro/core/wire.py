@@ -117,6 +117,11 @@ class Flags:
     #: correlated across replays, when the derived — zero-byte — trace
     #: ids could skew.  Stripped before the handler sees the payload.
     TRACE_CTX = 1 << 6
+    #: request payload is a WIRE_FIXED fixed-layout encoding (see
+    #: repro.proto.fixed_wire), not standard protobuf wire — set together
+    #: with WIRE_PAYLOAD when a crashed DPU engine forwards a fixed-mode
+    #: request for host-side deserialization
+    FIXED_PAYLOAD = 1 << 7
 
 
 def _align_up(value: int, alignment: int) -> int:

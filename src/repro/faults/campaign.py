@@ -283,6 +283,13 @@ def run_offloaded_scenario(seed: int, calls: int | None = None) -> ScenarioResul
     n_calls = calls if calls is not None else rng.randrange(6, 16)
     crash_at = rng.randrange(1, n_calls)
     revive_at = rng.choice((None, rng.randrange(crash_at + 1, n_calls + 1)))
+    # WIRE_FIXED fault surface: some scenarios negotiate the branchless
+    # fixed-layout wire, some of those are forced into a layout-hash
+    # mismatch (server salted), and some drop back to the standard wire
+    # mid-connection — every combination must keep answering correctly.
+    try_fixed = rng.random() < 0.5
+    layout_salt = "campaign-salt" if try_fixed and rng.random() < 0.3 else ""
+    disable_plan = try_fixed and rng.random() < 0.3
 
     schema = _calc_schema()
     BinOp, Value = schema["faults.BinOp"], schema["faults.Value"]
@@ -299,10 +306,17 @@ def run_offloaded_scenario(seed: int, calls: int | None = None) -> ScenarioResul
     host.send_bootstrap()
     dpu.receive_bootstrap()
     net = Network()
-    front = OffloadedXrpcServer(net, f"dpu:{seed & 0xFFFF}", dpu, service)
+    front = OffloadedXrpcServer(
+        net, f"dpu:{seed & 0xFFFF}", dpu, service, layout_salt=layout_salt
+    )
     channel = XrpcChannel(net, f"dpu:{seed & 0xFFFF}")
     channel.drive = lambda: (front.poll(), host.progress())
     stub = make_stub_class(service, schema.factory)(channel)
+
+    negotiated = False
+    if try_fixed:
+        negotiated = channel.negotiate_fixed(service)
+    disable_at = rng.randrange(1, n_calls) if negotiated and disable_plan else None
 
     outcomes: list[tuple[int, bool]] = []  # (status-ish, correct)
     error: str | None = None
@@ -312,6 +326,8 @@ def run_offloaded_scenario(seed: int, calls: int | None = None) -> ScenarioResul
                 dpu.crash("campaign")
             if revive_at is not None and i == revive_at:
                 dpu.revive()
+            if disable_at is not None and i == disable_at:
+                channel.disable_fixed()
             a, b = rng.randrange(1 << 20), rng.randrange(1 << 20)
             try:
                 value = stub.Add(BinOp(a=a, b=b))
@@ -327,11 +343,15 @@ def run_offloaded_scenario(seed: int, calls: int | None = None) -> ScenarioResul
 
     h = hashlib.sha256()
     h.update(f"crash={crash_at} revive={revive_at}\n".encode())
+    h.update(
+        f"fixed_try={int(try_fixed)} salted={int(bool(layout_salt))} "
+        f"negotiated={int(negotiated)} disable_at={disable_at}\n".encode()
+    )
     for i, (status, good) in enumerate(outcomes):
         h.update(f"{i}:{status}:{int(good)}\n".encode())
     h.update(
         f"fallback={front.fallback_requests} host_parsed={host.host_deserialized} "
-        f"crashes={dpu.crashes}".encode()
+        f"crashes={dpu.crashes} setup_mm={front.setup_mismatches}".encode()
     )
 
     return ScenarioResult(

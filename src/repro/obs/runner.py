@@ -246,6 +246,14 @@ def run_traced_workload(
     for label, endpoint in endpoints.items():
         EndpointExporter(registry, endpoint, f"trace_{deployment}_{label}").update()
 
+    # Codec-layer counters: plan-cache traffic plus the generated-codec
+    # tier (compiles, cache hits, source bytes, compile ns) land in the
+    # same scrape, so ``repro metrics`` shows what the codec layer did.
+    from repro.proto import ENCODE_PLAN_METRICS, PLAN_METRICS
+
+    PLAN_METRICS.bind_registry(registry).export()
+    ENCODE_PLAN_METRICS.bind_registry(registry).export()
+
     timelines, global_events = stitch(collector)
     latency = StageLatencyExporter(registry)
     latency.observe(timelines)

@@ -127,17 +127,32 @@ class ArenaDeserializer:
         adt: Adt,
         stats: DeserializeStats | None = None,
         use_plans: bool = True,
+        mode: str | None = None,
     ) -> None:
         self.adt = adt
         self.stats = stats or DeserializeStats()
         self.string_layout: StringLayout = (
             LibstdcxxString() if adt.stdlib is StdLib.LIBSTDCXX else LibcxxString()
         )
-        self.use_plans = use_plans
-        # Lazily built ArenaPlanCache (the compiled fast path, the offload
-        # twin of repro.proto.decode_plan).  Imported on first use: the
-        # plan module imports this one for the shared constants.
+        # ``mode`` supersedes the legacy ``use_plans`` bool: "plan"
+        # (closure-table plans), "generated" (straight-line source-generated
+        # decoders) or "interpretive".  ``use_plans=False`` maps to
+        # "interpretive" for backward compatibility.
+        if mode is None:
+            mode = "plan" if use_plans else "interpretive"
+        if mode not in ("plan", "generated", "interpretive"):
+            raise ValueError(f"unknown arena decode mode {mode!r}")
+        self.mode = mode
+        self.use_plans = mode != "interpretive"
+        # Lazily built caches (the compiled fast paths, the offload twins
+        # of repro.proto.decode_plan / repro.proto.gen_codec).  Imported on
+        # first use: the plan module imports this one for the shared
+        # constants.
         self._plan_cache = None
+        self._gen_cache = None
+        # index -> (FixedLayout, fields aligned with its slots); built on
+        # first WIRE_FIXED request for that entry.
+        self._fixed_layouts: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ API
 
@@ -150,14 +165,28 @@ class ArenaDeserializer:
             self._plan_cache = ArenaPlanCache(self)
         return self._plan_cache
 
+    @property
+    def gen_plans(self):
+        """The deserializer's generated-decoder cache (built on first
+        access) — the :class:`~repro.offload.arena_plan.ArenaGenCache`."""
+        if self._gen_cache is None:
+            from .arena_plan import ArenaGenCache
+
+            self._gen_cache = ArenaGenCache(self)
+        return self._gen_cache
+
     def deserialize(self, root_index: int, wire, arena: Arena) -> int:
         """Parse ``wire`` as the message class at ``root_index``; build the
         object in ``arena``; returns the object's virtual address.
 
-        Dispatches to the compiled decode-plan path unless the deserializer
-        was built with ``use_plans=False`` (the interpretive fallback kept
-        for differential testing and ``ProtocolConfig.decode_mode``).
+        Dispatches on the deserializer's ``mode``: compiled decode plans
+        (the default), source-generated straight-line decoders, or the
+        interpretive fallback kept for differential testing and
+        ``ProtocolConfig.decode_mode``.
         """
+        if self.mode == "generated":
+            buf = wire if isinstance(wire, (bytes, memoryview)) else bytes(wire)
+            return self.gen_plans.parse_message(root_index, buf, 0, len(buf), arena, depth=1)
         if self.use_plans:
             buf = wire if isinstance(wire, (bytes, memoryview)) else bytes(wire)
             return self.plans.parse_message(root_index, buf, 0, len(buf), arena, depth=1)
@@ -166,6 +195,120 @@ class ArenaDeserializer:
 
     def deserialize_by_name(self, full_name: str, wire, arena: Arena) -> int:
         return self.deserialize(self.adt.index_of(full_name), wire, arena)
+
+    # ------------------------------------------------- fixed-layout wire mode
+
+    def fixed_layout_for(self, index: int):
+        """The entry's :class:`~repro.proto.fixed_wire.FixedLayout` plus
+        its fields aligned with the layout's slots; raises
+        :class:`DeserializeError` when the type is ineligible.  The layout
+        is derived from the ADT alone, but byte-identical to the one the
+        client derived from its descriptors — that is what the
+        negotiation hash proves."""
+        cached = self._fixed_layouts.get(index)
+        if cached is not None:
+            return cached
+        from repro.proto.fixed_wire import FieldSpec, FixedLayout, fixed_eligibility
+
+        entry = self.adt.entry(index)
+        specs = [
+            FieldSpec(
+                name=f.name,
+                number=f.number,
+                kind=f.kind,
+                repeated=f.repeated,
+                in_oneof=f.oneof_group >= 0,
+            )
+            for f in entry.fields
+        ]
+        ok, reasons = fixed_eligibility(specs)
+        if not ok:
+            raise DeserializeError(
+                f"{entry.full_name} cannot ride fixed wire: {'; '.join(reasons)}"
+            )
+        layout = FixedLayout(entry.full_name, specs)
+        fields = sorted(entry.fields, key=lambda f: f.number)
+        self._fixed_layouts[index] = (layout, fields)
+        return layout, fields
+
+    def estimate_size_fixed(self, root_index: int, wire) -> int:
+        """Fixed-wire analog of :meth:`estimate_size`: the arena bound is
+        read straight out of the fixed section's count slots — no wire
+        scan at all."""
+        buf = wire if isinstance(wire, (bytes, memoryview)) else bytes(wire)
+        layout, fields = self.fixed_layout_for(root_index)
+        entry = self.adt.entry(root_index)
+        total = _align8(entry.sizeof) + 8
+        sso = self.string_layout.sso_capacity
+        values = layout.unpack_fixed(buf)
+        for slot, f, v in zip(layout.slots, fields, values):
+            if slot.category == "array":
+                total += v * max(f.elem_size, 1) + 16
+            elif slot.category == "blob" and v > sso:
+                total += _align8(v + 1) + 8
+        return total + 64
+
+    def deserialize_fixed(self, root_index: int, wire, arena: Arena) -> int:
+        """Decode a WIRE_FIXED payload into an arena object: one struct
+        unpack, then straight-line slot application — no tags, no
+        varints, no per-byte branches."""
+        buf = wire if isinstance(wire, (bytes, memoryview)) else bytes(wire)
+        layout, fields = self.fixed_layout_for(root_index)
+        entry = self.adt.entry(root_index)
+        space = arena.space
+        obj = arena.allocate(entry.sizeof, entry.alignof)
+        space.write(obj, entry.default_bytes)
+        stats = self.stats
+        stats.bytes_memcpy += entry.sizeof
+        stats.messages += 1
+        stats.max_depth = max(stats.max_depth, 1)
+        end = len(buf)
+        values = layout.unpack_fixed(buf)
+        pos = layout.fixed_size
+        for slot, f, v in zip(layout.slots, fields, values):
+            category = slot.category
+            if category == "scalar":
+                if v:
+                    stats.fixed_fields += 1
+                    self._store_scalar(space, f, obj + f.offset, v)
+                    self._set_has_bit(space, obj, f.has_bit)
+            elif category == "blob":
+                npos = pos + v
+                if npos > end:
+                    raise DeserializeError(
+                        f"{entry.full_name}.{f.name}: blob overruns fixed payload"
+                    )
+                if v:
+                    raw = bytes(buf[pos:npos])
+                    if f.kind is FieldType.STRING:
+                        try:
+                            validate_utf8(raw)
+                        except ValueError as exc:
+                            raise DeserializeError(
+                                f"{entry.full_name}.{f.name}: {exc}"
+                            ) from exc
+                        stats.utf8_bytes_validated += v
+                    stats.string_bytes_copied += v
+                    self._write_string(arena, obj + f.offset, raw)
+                    self._set_has_bit(space, obj, f.has_bit)
+                pos = npos
+            else:  # array
+                width = _ELEM_DTYPE[f.kind].itemsize
+                npos = pos + v * width
+                if npos > end:
+                    raise DeserializeError(
+                        f"{entry.full_name}.{f.name}: array overruns fixed payload"
+                    )
+                if v:
+                    arr = np.frombuffer(buf[pos:npos], dtype=_ELEM_DTYPE[f.kind])
+                    stats.fixed_fields += v
+                    self._materialize_repeated(f, obj, list(arr), arena)
+                pos = npos
+        if pos != end:
+            raise DeserializeError(
+                f"{entry.full_name}: {end - pos} trailing bytes after fixed payload"
+            )
+        return obj
 
     # ------------------------------------------------------- size estimation
 

@@ -194,11 +194,22 @@ class HostEngine:
             degraded = bool(request.flags & Flags.WIRE_PAYLOAD)
             if degraded:
                 # Failover path: the DPU engine is down, the payload is
-                # raw protobuf.  Deserialize here — the parsed Message
+                # raw protobuf (or, with FIXED_PAYLOAD, the negotiated
+                # fixed layout).  Deserialize here — the parsed Message
                 # duck-types field access exactly like the CppMessageView,
                 # so the business callback runs unchanged.
                 self.host_deserialized += 1
-                view = parse(input_cls, request.payload_bytes())
+                if request.flags & Flags.FIXED_PAYLOAD:
+                    from repro.proto.fixed_wire import get_fixed_layout
+
+                    fixed_layout = get_fixed_layout(desc, self.schema.factory)
+                    if fixed_layout is None:
+                        raise TypeError(
+                            f"{desc.full_name} cannot ride fixed wire"
+                        )
+                    view = fixed_layout.parse(input_cls, request.payload_bytes())
+                else:
+                    view = parse(input_cls, request.payload_bytes())
             else:
                 view = CppMessageView(self.universe, layout, request.payload_addr)
             trace = self.trace
@@ -298,7 +309,8 @@ class DpuEngine:
         self.channel = channel
         self.abi = abi or AbiConfig()
         #: ProtocolConfig.decode_mode: "plan" compiles per-ADT-entry decode
-        #: plans, "interpretive" keeps the field-by-field fallback.
+        #: plans, "generated" per-entry straight-line source-generated
+        #: decoders, "interpretive" keeps the field-by-field fallback.
         self.decode_mode = decode_mode
         self.adt: Adt | None = None
         self.method_table: dict[int, int] = {}
@@ -357,9 +369,7 @@ class DpuEngine:
         self.method_table = table
         self.method_names = names
         self.method_outputs = outputs
-        self.deserializer = ArenaDeserializer(
-            adt, self.stats, use_plans=self.decode_mode == "plan"
-        )
+        self.deserializer = ArenaDeserializer(adt, self.stats, mode=self.decode_mode)
 
     # -- crash simulation --------------------------------------------------------
 
@@ -390,17 +400,26 @@ class DpuEngine:
         on_response: Callable[[memoryview, int], None],
         background: bool = False,
         trace_ctx=None,
+        wire_mode: int = 0,
     ) -> None:
         """Degraded-mode request: ship the serialized payload as-is with
         ``Flags.WIRE_PAYLOAD`` so the *host* deserializes it.  This is
         the pre-offload baseline datapath, kept alive as the failover
-        target — it needs no deserializer and works while crashed."""
+        target — it needs no deserializer and works while crashed.
+
+        ``wire_mode`` tags WIRE_FIXED payloads with
+        ``Flags.FIXED_PAYLOAD`` so the host's degraded parser decodes the
+        fixed layout instead of standard wire."""
+        from repro.proto.fixed_wire import WIRE_FIXED
+
         self.fallback_calls += 1
         if self.trace is not None and trace_ctx is not None:
             trace_ctx.mark(degraded=True)
             self.trace.event(trace_ctx, "failover", method=method_id,
                              crashed=self.crashed)
         flags = Flags.WIRE_PAYLOAD | (Flags.BACKGROUND if background else Flags.NONE)
+        if wire_mode == WIRE_FIXED:
+            flags |= Flags.FIXED_PAYLOAD
         self.channel.client.enqueue_bytes(method_id, wire_bytes, on_response, flags,
                                           trace_ctx=trace_ctx)
 
@@ -411,9 +430,14 @@ class DpuEngine:
         on_response: Callable[[memoryview, int], None],
         background: bool = False,
         trace_ctx=None,
+        wire_mode: int = 0,
     ) -> None:
         """Offload one request: deserialize ``wire_bytes`` straight into
-        the outgoing block and enqueue it."""
+        the outgoing block and enqueue it.  ``wire_mode`` = WIRE_FIXED
+        routes the payload through the branchless fixed-layout arena
+        decoder instead of the tag-dispatch one."""
+        from repro.proto.fixed_wire import WIRE_FIXED
+
         if self.crashed:
             raise EngineCrashedError(f"dpu engine crashed: {self.crash_reason}")
         if self.deserializer is None:
@@ -423,7 +447,13 @@ class DpuEngine:
         except KeyError:
             raise AdtError(f"method {method_id} not in the offload table") from None
         deserializer = self.deserializer
-        estimate = deserializer.estimate_size(root, wire_bytes)
+        fixed = wire_mode == WIRE_FIXED
+        if fixed:
+            estimate = deserializer.estimate_size_fixed(root, wire_bytes)
+            decode = deserializer.deserialize_fixed
+        else:
+            estimate = deserializer.estimate_size(root, wire_bytes)
+            decode = deserializer.deserialize
         trace = self.trace
         if trace is not None and trace_ctx is None:
             trace_ctx = trace.context()
@@ -435,12 +465,13 @@ class DpuEngine:
                 # object, timed from inside the block writer so the span
                 # covers exactly the arena deserialization.
                 t0 = trace.now()
-                obj = deserializer.deserialize(root, wire_bytes, arena)
+                obj = decode(root, wire_bytes, arena)
                 trace.event(trace_ctx, "deserialize", ts=t0,
                             dur=trace.now() - t0, bytes=len(wire_bytes),
-                            object=arena.used)
+                            object=arena.used,
+                            mode="fixed" if fixed else deserializer.mode)
             else:
-                obj = deserializer.deserialize(root, wire_bytes, arena)
+                obj = decode(root, wire_bytes, arena)
             assert obj == addr, "root object must sit at the payload start"
             return arena.used
 

@@ -47,6 +47,23 @@ from .encode_plan import (
     SizedMessage,
 )
 from .encode_plan import get_plan as get_encode_plan
+from .fixed_wire import (
+    WIRE_FIXED,
+    WIRE_STANDARD,
+    FixedLayout,
+    FixedWireError,
+    fixed_eligibility,
+    get_fixed_layout,
+    negotiation_hash,
+    specs_of_descriptor,
+)
+from .gen_codec import (
+    GeneratedDecoder,
+    GeneratedEncoder,
+    generate_codec_module,
+    get_gen_decoder,
+    get_gen_encoder,
+)
 from .message import FieldValueError, Message, MessageFactory
 from .parser import ProtoParseError, compile_proto, parse_proto
 from .serializer import (
@@ -106,6 +123,19 @@ __all__ = [
     "ENCODE_PLAN_METRICS",
     "SizedMessage",
     "get_encode_plan",
+    "GeneratedDecoder",
+    "GeneratedEncoder",
+    "get_gen_decoder",
+    "get_gen_encoder",
+    "generate_codec_module",
+    "WIRE_FIXED",
+    "WIRE_STANDARD",
+    "FixedLayout",
+    "FixedWireError",
+    "fixed_eligibility",
+    "get_fixed_layout",
+    "negotiation_hash",
+    "specs_of_descriptor",
     "FieldValueError",
     "Message",
     "MessageFactory",

@@ -93,6 +93,14 @@ class PlanMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     plans_compiled: int = 0
+    #: generated-codec tier (repro.proto.gen_codec): compiles, cache hits,
+    #: total emitted source bytes, and nanoseconds spent generating +
+    #: compiling (outermost calls only — nested child compiles are
+    #: included in their parent's span).
+    gen_compiles: int = 0
+    gen_cache_hits: int = 0
+    gen_source_bytes: int = 0
+    gen_compile_ns: int = 0
 
     def __post_init__(self) -> None:
         #: decodes per message type, aggregated across factories
@@ -104,6 +112,8 @@ class PlanMetrics:
 
     def reset(self) -> None:
         self.cache_hits = self.cache_misses = self.plans_compiled = 0
+        self.gen_compiles = self.gen_cache_hits = 0
+        self.gen_source_bytes = self.gen_compile_ns = 0
         self.decodes.clear()
 
     # -- registry export -----------------------------------------------------
@@ -117,6 +127,18 @@ class PlanMetrics:
             "decodes": registry.gauge(
                 f"{prefix}_decodes", "plan-based message decodes", ("message",)
             ),
+            "gen_compiles": registry.gauge(
+                f"{prefix}_gen_compiles", "generated decoders compiled"
+            ),
+            "gen_hits": registry.gauge(
+                f"{prefix}_gen_cache_hits", "generated-decoder cache hits"
+            ),
+            "gen_source_bytes": registry.gauge(
+                f"{prefix}_gen_source_bytes", "generated decoder source bytes"
+            ),
+            "gen_compile_ns": registry.gauge(
+                f"{prefix}_gen_compile_ns", "ns spent generating + compiling decoders"
+            ),
         }
         return self
 
@@ -127,6 +149,10 @@ class PlanMetrics:
         self._gauges["hits"].set(self.cache_hits)
         self._gauges["misses"].set(self.cache_misses)
         self._gauges["compiled"].set(self.plans_compiled)
+        self._gauges["gen_compiles"].set(self.gen_compiles)
+        self._gauges["gen_hits"].set(self.gen_cache_hits)
+        self._gauges["gen_source_bytes"].set(self.gen_source_bytes)
+        self._gauges["gen_compile_ns"].set(self.gen_compile_ns)
         for name, count in self.decodes.items():
             self._gauges["decodes"].labels(name).set(count)
 

@@ -47,16 +47,19 @@ __all__ = [
     "get_decode_mode",
 ]
 
-#: Selectable decode paths: "plan" is the compiled fast path (see
-#: :mod:`repro.proto.decode_plan`), "interpretive" the original
-#: descriptor-walking baseline kept for differential testing.
-DECODE_MODES = ("plan", "interpretive")
+#: Selectable decode paths: "plan" is the compiled closure-table fast path
+#: (see :mod:`repro.proto.decode_plan`), "generated" the straight-line
+#: source-generated tier above it (:mod:`repro.proto.gen_codec`),
+#: "interpretive" the original descriptor-walking baseline kept for
+#: differential testing.
+DECODE_MODES = ("plan", "generated", "interpretive")
 
 _decode_mode = "plan"
 
-# Lazily bound to decode_plan.get_plan on first plan-mode parse (the plan
-# module imports this one, so the import cannot be at module level).
+# Lazily bound on first use (the plan/gen_codec modules import this one,
+# so the imports cannot be at module level).
 _get_plan = None
+_get_gen_decoder = None
 
 
 def set_decode_mode(mode: str) -> str:
@@ -250,10 +253,13 @@ def parse_into(msg: Message, data, mode: str | None = None) -> Message:
 
     ``mode`` overrides the process-wide decode mode for this call:
     ``"plan"`` dispatches to the message type's cached
-    :class:`~repro.proto.decode_plan.DecodePlan`; ``"interpretive"`` runs
-    the original descriptor-walking loop.
+    :class:`~repro.proto.decode_plan.DecodePlan`; ``"generated"`` to its
+    compiled straight-line decoder
+    (:mod:`repro.proto.gen_codec`); ``"interpretive"`` runs the original
+    descriptor-walking loop.
     """
-    if (mode or _decode_mode) == "plan":
+    m = mode or _decode_mode
+    if m == "plan":
         global _get_plan
         if _get_plan is None:
             from .decode_plan import get_plan
@@ -265,6 +271,20 @@ def parse_into(msg: Message, data, mode: str | None = None) -> Message:
         )
         plan.parse(msg, buf, 0, len(buf))
         return msg
+    if m == "generated":
+        global _get_gen_decoder
+        if _get_gen_decoder is None:
+            from .gen_codec import get_gen_decoder
+
+            _get_gen_decoder = get_gen_decoder
+        codec = _get_gen_decoder(type(msg).DESCRIPTOR, msg._FACTORY)
+        buf = data if isinstance(data, memoryview) else memoryview(
+            data if isinstance(data, (bytes, bytearray)) else bytes(data)
+        )
+        codec.parse(msg, buf, 0, len(buf))
+        return msg
+    if m != "interpretive":
+        raise ValueError(f"unknown decode mode {m!r}; expected one of {DECODE_MODES}")
     buf = bytes(data)
     _parse_range(msg, buf, 0, len(buf))
     return msg

@@ -99,6 +99,13 @@ class EncodePlanMetrics:
     plans_compiled: int = 0
     bytes_emitted: int = 0
     copies_avoided: int = 0
+    #: generated-codec tier (repro.proto.gen_codec): compiles, cache hits,
+    #: total emitted source bytes, and nanoseconds spent generating +
+    #: compiling (outermost calls only).
+    gen_compiles: int = 0
+    gen_cache_hits: int = 0
+    gen_source_bytes: int = 0
+    gen_compile_ns: int = 0
 
     def __post_init__(self) -> None:
         #: encodes per message type, aggregated across factories
@@ -111,6 +118,8 @@ class EncodePlanMetrics:
     def reset(self) -> None:
         self.cache_hits = self.cache_misses = self.plans_compiled = 0
         self.bytes_emitted = self.copies_avoided = 0
+        self.gen_compiles = self.gen_cache_hits = 0
+        self.gen_source_bytes = self.gen_compile_ns = 0
         self.encodes.clear()
 
     # -- registry export -----------------------------------------------------
@@ -129,6 +138,18 @@ class EncodePlanMetrics:
             "encodes": registry.gauge(
                 f"{prefix}_encodes", "plan-based message encodes", ("message",)
             ),
+            "gen_compiles": registry.gauge(
+                f"{prefix}_gen_compiles", "generated encoders compiled"
+            ),
+            "gen_hits": registry.gauge(
+                f"{prefix}_gen_cache_hits", "generated-encoder cache hits"
+            ),
+            "gen_source_bytes": registry.gauge(
+                f"{prefix}_gen_source_bytes", "generated encoder source bytes"
+            ),
+            "gen_compile_ns": registry.gauge(
+                f"{prefix}_gen_compile_ns", "ns spent generating + compiling encoders"
+            ),
         }
         return self
 
@@ -141,6 +162,10 @@ class EncodePlanMetrics:
         self._gauges["compiled"].set(self.plans_compiled)
         self._gauges["bytes"].set(self.bytes_emitted)
         self._gauges["copies"].set(self.copies_avoided)
+        self._gauges["gen_compiles"].set(self.gen_compiles)
+        self._gauges["gen_hits"].set(self.gen_cache_hits)
+        self._gauges["gen_source_bytes"].set(self.gen_source_bytes)
+        self._gauges["gen_compile_ns"].set(self.gen_compile_ns)
         for name, count in self.encodes.items():
             self._gauges["encodes"].labels(name).set(count)
 

@@ -1,0 +1,459 @@
+"""Negotiated branchless fixed-layout wire mode (WIRE_FIXED).
+
+Protobuf's wire format spends its flexibility budget on every message:
+each field carries a tag, every integer is a varint, and the decoder is
+one branch per byte.  For the RPC workloads the paper measures, the
+schema on both ends is *identical and static* — so a connection that has
+proven that (by exchanging a layout hash at setup) can drop the tags and
+varints entirely and ship **offset-addressed fields**: a single
+``struct``-packed fixed section, followed by a tail of raw fixed-width
+array elements and string bytes.  Decoding is one ``struct.unpack`` plus
+straight-line slot assignment — no per-byte branches.
+
+Eligibility is per message type, decided from the schema alone:
+
+* singular numeric scalars, bools and enums (one fixed-width slot each);
+* repeated packable numerics (a u32 count slot + fixed-width elements in
+  the tail);
+* singular strings / bytes (a u32 byte-length slot + raw bytes in the
+  tail).
+
+Message-typed fields, repeated strings/bytes/messages and oneof members
+make a type ineligible (:func:`fixed_eligibility` reports the reasons —
+surfaced by ``repro codegen``).  A message instance carrying unknown
+fields cannot be represented either; :meth:`FixedLayout.measure` returns
+``None`` and the sender falls back to standard wire for that message.
+
+The layout hash (:meth:`FixedLayout.layout_hash`,
+:func:`negotiation_hash`) is a SHA-256 over the canonical slot
+description, so any schema drift — field added, type changed, width
+changed — flips the hash and the xRPC setup handshake falls back to
+standard wire instead of misparsing (docs/PROTOCOL.md).
+
+Fixed wire deliberately has no presence bits: like proto3 scalar
+semantics, a decoded field is "set" iff its value is non-default.  That
+makes ``decode(encode(m))`` equal to ``parse(serialize(m))`` for every
+eligible message — the property the differential fuzz suite checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from .descriptor import FieldType, MessageDescriptor
+from .message import Message, MessageFactory, _RepeatedField
+from .utf8 import validate_utf8
+from .wire_format import WireFormatError
+
+__all__ = [
+    "WIRE_FIXED",
+    "WIRE_STANDARD",
+    "FixedWireError",
+    "FieldSpec",
+    "FixedLayout",
+    "SizedFixed",
+    "fixed_eligibility",
+    "get_fixed_layout",
+    "specs_of_descriptor",
+    "negotiation_hash",
+    "service_types",
+]
+
+#: Wire-mode values carried in the frame prefix byte (the gRPC
+#: "compressed" flag position): 0 = standard protobuf wire, 2 = fixed
+#: layout.  1 remains "compressed", which the stack rejects.
+WIRE_STANDARD = 0
+WIRE_FIXED = 2
+
+
+class FixedWireError(WireFormatError):
+    """Malformed fixed-layout payload (truncated, trailing bytes, or a
+    length slot pointing past the end)."""
+
+
+#: struct format character per fixed-section slot / tail element.
+_SCALAR_FMT = {
+    FieldType.BOOL: "B",
+    FieldType.INT32: "i",
+    FieldType.SINT32: "i",
+    FieldType.SFIXED32: "i",
+    FieldType.ENUM: "i",
+    FieldType.UINT32: "I",
+    FieldType.FIXED32: "I",
+    FieldType.FLOAT: "f",
+    FieldType.INT64: "q",
+    FieldType.SINT64: "q",
+    FieldType.SFIXED64: "q",
+    FieldType.UINT64: "Q",
+    FieldType.FIXED64: "Q",
+    FieldType.DOUBLE: "d",
+}
+
+_FMT_WIDTH = {"B": 1, "i": 4, "I": 4, "f": 4, "q": 8, "Q": 8, "d": 8}
+
+# Slot categories.
+_SCALAR = "scalar"
+_ARRAY = "array"  # u32 count slot + count * width tail bytes
+_BLOB = "blob"  # u32 byte-length slot + raw tail bytes
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """The schema facts fixed-layout eligibility depends on — producible
+    from a :class:`FieldDescriptor` *or* an offload-side ``AdtField``, so
+    both ends derive byte-identical layouts."""
+
+    name: str
+    number: int
+    kind: FieldType
+    repeated: bool
+    in_oneof: bool
+
+
+def specs_of_descriptor(descriptor: MessageDescriptor) -> list[FieldSpec]:
+    return [
+        FieldSpec(
+            name=fd.name,
+            number=fd.number,
+            kind=fd.type,
+            repeated=fd.is_repeated,
+            in_oneof=fd.containing_oneof is not None,
+        )
+        for fd in descriptor.fields
+    ]
+
+
+def _classify(spec: FieldSpec) -> tuple[str, str] | str:
+    """Slot ``(category, fmt)`` for an eligible field, or the reason
+    string making the containing type ineligible."""
+    if spec.kind is FieldType.MESSAGE:
+        return f"field {spec.name}: message-typed fields need pointers"
+    if spec.in_oneof:
+        return f"field {spec.name}: oneof members have no fixed slot"
+    if spec.kind in (FieldType.STRING, FieldType.BYTES):
+        if spec.repeated:
+            return (
+                f"field {spec.name}: repeated {spec.kind.value} has no "
+                "bounded layout"
+            )
+        return (_BLOB, "I")
+    fmt = _SCALAR_FMT.get(spec.kind)
+    if fmt is None:
+        return f"field {spec.name}: {spec.kind.value} is not fixable"
+    if spec.repeated:
+        return (_ARRAY, fmt)
+    return (_SCALAR, fmt)
+
+
+def fixed_eligibility(specs: list[FieldSpec]) -> tuple[bool, list[str]]:
+    """Whether a type with these fields can ride fixed wire; when not,
+    the per-field reasons."""
+    reasons = [c for c in map(_classify, specs) if isinstance(c, str)]
+    return (not reasons, reasons)
+
+
+@dataclass(frozen=True)
+class _Slot:
+    spec: FieldSpec
+    category: str
+    fmt: str  # scalar slot format; element format for arrays
+
+
+class SizedFixed:
+    """A measured fixed-wire message: knows its size, emits in place.
+
+    The fixed-wire analog of
+    :class:`~repro.proto.encode_plan.SizedMessage` — same
+    ``size``/``emit_into`` surface, so the zero-copy framed send path
+    (reserve, write header, emit payload in place) works unchanged.
+    """
+
+    __slots__ = ("layout", "size", "_fixed_values", "_tails")
+
+    def __init__(self, layout: "FixedLayout", fixed_values, tails, size: int) -> None:
+        self.layout = layout
+        self.size = size
+        self._fixed_values = fixed_values
+        self._tails = tails
+
+    def emit_into(self, buf, pos: int) -> int:
+        layout = self.layout
+        layout._struct.pack_into(buf, pos, *self._fixed_values)
+        pos += layout.fixed_size
+        for tail in self._tails:
+            end = pos + len(tail)
+            buf[pos:end] = tail
+            pos = end
+        return pos
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(self.size)
+        self.emit_into(out, 0)
+        return bytes(out)
+
+
+class FixedLayout:
+    """The fixed-layout codec for one eligible message type."""
+
+    __slots__ = (
+        "full_name", "slots", "fixed_size", "_struct", "_hash_base",
+        "_msg_fields", "_factory",
+    )
+
+    def __init__(self, full_name: str, specs: list[FieldSpec]) -> None:
+        ok, reasons = fixed_eligibility(specs)
+        if not ok:
+            raise ValueError(
+                f"{full_name} is not fixed-layout eligible: {'; '.join(reasons)}"
+            )
+        slots = []
+        for spec in sorted(specs, key=lambda s: s.number):
+            category, fmt = _classify(spec)
+            slots.append(_Slot(spec, category, fmt))
+        self.full_name = full_name
+        self.slots = slots
+        # Little-endian struct formats have no implicit padding, so the
+        # fixed section is exactly the sum of the slot widths.
+        self._struct = struct.Struct(
+            "<" + "".join(s.fmt if s.category == _SCALAR else "I" for s in slots)
+        )
+        self.fixed_size = self._struct.size
+        self._hash_base = "\n".join(self.layout_lines())
+        # Message-side binding (descriptor + factory), set by
+        # get_fixed_layout: enables the fast decode path that writes
+        # ``msg._values`` directly instead of going through setattr
+        # validation.  ADT-side layouts leave it unset — the arena
+        # decoder applies the slots itself via unpack_fixed.
+        self._msg_fields = None
+        self._factory = None
+
+    def bind_message_side(
+        self, descriptor: MessageDescriptor, factory: MessageFactory
+    ) -> "FixedLayout":
+        by_name = {fd.name: fd for fd in descriptor.fields}
+        self._msg_fields = [by_name[s.spec.name] for s in self.slots]
+        self._factory = factory
+        return self
+
+    # -- identity -----------------------------------------------------------
+
+    def layout_lines(self) -> list[str]:
+        """Canonical per-field description the layout hash covers."""
+        return [f"message {self.full_name}"] + [
+            f"  {s.spec.number} {s.spec.name} {s.category} {s.fmt}"
+            for s in self.slots
+        ]
+
+    def layout_hash(self, salt: str = "") -> str:
+        return hashlib.sha256((self._hash_base + salt).encode()).hexdigest()
+
+    # -- encode -------------------------------------------------------------
+
+    def measure(self, msg: Message) -> SizedFixed | None:
+        """Measure ``msg`` for fixed emission; ``None`` when this
+        particular instance cannot ride fixed wire (it carries unknown
+        fields, whose bytes fixed wire has no slot for)."""
+        if msg._unknown:
+            return None
+        fixed_values = []
+        tails = []
+        size = self.fixed_size
+        for slot in self.slots:
+            v = getattr(msg, slot.spec.name)
+            if slot.category == _SCALAR:
+                fixed_values.append(v)
+            elif slot.category == _BLOB:
+                raw = v.encode("utf-8") if slot.spec.kind is FieldType.STRING else bytes(v)
+                fixed_values.append(len(raw))
+                tails.append(raw)
+                size += len(raw)
+            else:  # _ARRAY
+                n = len(v)
+                fixed_values.append(n)
+                tail = struct.pack(f"<{n}{slot.fmt}", *v)
+                tails.append(tail)
+                size += len(tail)
+        return SizedFixed(self, fixed_values, tails, size)
+
+    def encode(self, msg: Message) -> bytes | None:
+        sized = self.measure(msg)
+        return None if sized is None else sized.to_bytes()
+
+    # -- decode -------------------------------------------------------------
+
+    def unpack_fixed(self, buf) -> tuple:
+        """The fixed-section values, one per slot in field-number order —
+        for decoders (the arena path) that apply them to a different
+        object representation."""
+        if len(buf) < self.fixed_size:
+            raise FixedWireError(
+                f"{self.full_name}: fixed section truncated "
+                f"({len(buf)} < {self.fixed_size} bytes)"
+            )
+        return self._struct.unpack_from(buf, 0)
+
+    def decode_into(self, msg: Message, data) -> Message:
+        buf = data if isinstance(data, (bytes, bytearray, memoryview)) else bytes(data)
+        end = len(buf)
+        if end < self.fixed_size:
+            raise FixedWireError(
+                f"{self.full_name}: fixed section truncated "
+                f"({end} < {self.fixed_size} bytes)"
+            )
+        fixed_values = self._struct.unpack_from(buf, 0)
+        pos = self.fixed_size
+        if self._msg_fields is not None:
+            return self._decode_bound(msg, buf, fixed_values, pos, end)
+        for slot, v in zip(self.slots, fixed_values):
+            spec = slot.spec
+            if slot.category == _SCALAR:
+                if v:
+                    setattr(msg, spec.name, bool(v) if spec.kind is FieldType.BOOL else v)
+            elif slot.category == _BLOB:
+                npos = pos + v
+                if npos > end:
+                    raise FixedWireError(
+                        f"{self.full_name}.{spec.name}: blob overruns payload"
+                    )
+                if v:
+                    raw = bytes(buf[pos:npos])
+                    if spec.kind is FieldType.STRING:
+                        try:
+                            validate_utf8(raw)
+                        except ValueError as exc:
+                            raise FixedWireError(
+                                f"{self.full_name}.{spec.name}: {exc}"
+                            ) from exc
+                        setattr(msg, spec.name, raw.decode("utf-8"))
+                    else:
+                        setattr(msg, spec.name, raw)
+                pos = npos
+            else:  # _ARRAY
+                width = _FMT_WIDTH[slot.fmt]
+                npos = pos + v * width
+                if npos > end:
+                    raise FixedWireError(
+                        f"{self.full_name}.{spec.name}: array overruns payload"
+                    )
+                if v:
+                    values = struct.unpack_from(f"<{v}{slot.fmt}", buf, pos)
+                    if spec.kind is FieldType.BOOL:
+                        values = [b != 0 for b in values]
+                    getattr(msg, spec.name).extend(values)
+                pos = npos
+        if pos != end:
+            raise FixedWireError(
+                f"{self.full_name}: {end - pos} trailing bytes after fixed payload"
+            )
+        return msg
+
+    def _decode_bound(self, msg: Message, buf, fixed_values, pos: int, end: int) -> Message:
+        """Message-side fast path: slots apply straight into
+        ``msg._values`` (the types are already exact — they came out of
+        the layout's own struct formats), mirroring how the generated
+        tag-wire decoder stores fields."""
+        values = msg._values
+        factory = self._factory
+        for slot, fd, v in zip(self.slots, self._msg_fields, fixed_values):
+            spec = slot.spec
+            if slot.category == _SCALAR:
+                if v:
+                    values[spec.name] = bool(v) if spec.kind is FieldType.BOOL else v
+            elif slot.category == _BLOB:
+                npos = pos + v
+                if npos > end:
+                    raise FixedWireError(
+                        f"{self.full_name}.{spec.name}: blob overruns payload"
+                    )
+                if v:
+                    raw = bytes(buf[pos:npos])
+                    if spec.kind is FieldType.STRING:
+                        try:
+                            validate_utf8(raw)
+                        except ValueError as exc:
+                            raise FixedWireError(
+                                f"{self.full_name}.{spec.name}: {exc}"
+                            ) from exc
+                        values[spec.name] = raw.decode("utf-8")
+                    else:
+                        values[spec.name] = raw
+                pos = npos
+            else:  # _ARRAY
+                width = _FMT_WIDTH[slot.fmt]
+                npos = pos + v * width
+                if npos > end:
+                    raise FixedWireError(
+                        f"{self.full_name}.{spec.name}: array overruns payload"
+                    )
+                if v:
+                    decoded = struct.unpack_from(f"<{v}{slot.fmt}", buf, pos)
+                    if spec.kind is FieldType.BOOL:
+                        decoded = [b != 0 for b in decoded]
+                    lst = _RepeatedField(fd, factory)
+                    list.extend(lst, decoded)
+                    values[spec.name] = lst
+                pos = npos
+        if pos != end:
+            raise FixedWireError(
+                f"{self.full_name}: {end - pos} trailing bytes after fixed payload"
+            )
+        return msg
+
+    def parse(self, cls: type[Message], data) -> Message:
+        return self.decode_into(cls(), data)
+
+
+# ---------------------------------------------------------------------------
+# Cache + negotiation
+# ---------------------------------------------------------------------------
+
+
+def get_fixed_layout(
+    descriptor: MessageDescriptor, factory: MessageFactory | None = None
+) -> FixedLayout | None:
+    """The type's :class:`FixedLayout`, or ``None`` if ineligible.
+    Cached on ``factory`` beside the decode/encode plans."""
+    cache = None
+    if factory is not None:
+        cache = getattr(factory, "_fixed_layouts", None)
+        if cache is None:
+            cache = factory._fixed_layouts = {}
+        if descriptor.full_name in cache:
+            return cache[descriptor.full_name]
+    specs = specs_of_descriptor(descriptor)
+    ok, _ = fixed_eligibility(specs)
+    layout = None
+    if ok:
+        layout = FixedLayout(descriptor.full_name, specs)
+        if factory is not None:
+            layout.bind_message_side(descriptor, factory)
+    if cache is not None:
+        cache[descriptor.full_name] = layout
+    return layout
+
+
+def service_types(service) -> list[MessageDescriptor]:
+    """The unique request/response types of a service, by full name."""
+    seen: dict[str, MessageDescriptor] = {}
+    for m in service.methods:
+        for desc in (m.input_type, m.output_type):
+            seen.setdefault(desc.full_name, desc)
+    return [seen[k] for k in sorted(seen)]
+
+
+def negotiation_hash(types, salt: str = "") -> str:
+    """Connection-setup hash over every type the connection may carry:
+    eligible types contribute their full slot layout, ineligible ones
+    just their name (they stay on standard wire either way, but a type
+    flipping eligibility across versions must still flip the hash)."""
+    lines = []
+    for desc in sorted(types, key=lambda d: d.full_name):
+        specs = specs_of_descriptor(desc)
+        ok, _ = fixed_eligibility(specs)
+        if ok:
+            lines += FixedLayout(desc.full_name, specs).layout_lines()
+        else:
+            lines.append(f"message {desc.full_name} ineligible")
+    return hashlib.sha256(("\n".join(lines) + salt).encode()).hexdigest()

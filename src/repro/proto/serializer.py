@@ -47,8 +47,10 @@ __all__ = [
     "EncodeError",
 ]
 
-#: Selectable encode paths; "plan" is the compiled fast path.
-ENCODE_MODES = ("plan", "interpretive")
+#: Selectable encode paths; "plan" is the compiled closure-table fast
+#: path, "generated" the straight-line source-generated tier
+#: (:mod:`repro.proto.gen_codec`), "interpretive" the walking baseline.
+ENCODE_MODES = ("plan", "generated", "interpretive")
 
 _encode_mode = "plan"
 
@@ -86,6 +88,16 @@ def _plan_for(msg: Message):
     from .encode_plan import get_plan
 
     return get_plan(type(msg).DESCRIPTOR, msg._FACTORY)
+
+
+def _encoder_for(msg: Message, mode: str):
+    """The compiled encoder serving ``mode``: an EncodePlan ("plan") or a
+    GeneratedEncoder ("generated") — identical public surface."""
+    if mode == "plan":
+        return _plan_for(msg)
+    from .gen_codec import get_gen_encoder
+
+    return get_gen_encoder(type(msg).DESCRIPTOR, msg._FACTORY)
 
 # Wire type used when a field of this type is emitted individually.
 _WIRE_TYPE_FOR = {
@@ -206,11 +218,12 @@ def _serialize_bytes(msg: Message) -> bytes:
 def serialize(msg: Message, mode: str | None = None) -> bytes:
     """Serialize ``msg`` to proto3 wire format.
 
-    ``mode`` overrides the process default ("plan" or "interpretive");
-    both paths emit byte-identical output.
+    ``mode`` overrides the process default ("plan", "generated" or
+    "interpretive"); all paths emit byte-identical output.
     """
-    if _resolve_mode(mode) == "plan":
-        return _plan_for(msg).serialize(msg)
+    m = _resolve_mode(mode)
+    if m != "interpretive":
+        return _encoder_for(msg, m).serialize(msg)
     return _serialize_bytes(msg)
 
 
@@ -225,8 +238,9 @@ def serialize_into(msg: Message, buf, offset: int = 0, mode: str | None = None) 
     measured against).  Raises :class:`EncodeError` if the message does
     not fit.
     """
-    if _resolve_mode(mode) == "plan":
-        return _plan_for(msg).serialize_into(msg, buf, offset)
+    m = _resolve_mode(mode)
+    if m != "interpretive":
+        return _encoder_for(msg, m).serialize_into(msg, buf, offset)
     data = _serialize_bytes(msg)
     end = offset + len(data)
     if end > len(buf):
@@ -272,8 +286,9 @@ def prepare_emit(msg: Message, mode: str | None = None):
     buffer) before any wire byte is produced, then have the plan emit in
     place.  The message must not be mutated in between.
     """
-    if _resolve_mode(mode) == "plan":
-        return _plan_for(msg).measure(msg)
+    m = _resolve_mode(mode)
+    if m != "interpretive":
+        return _encoder_for(msg, m).measure(msg)
     return _PreparedBytes(_serialize_bytes(msg))
 
 
@@ -299,8 +314,9 @@ def serialized_size(msg: Message, mode: str | None = None) -> int:
     simulator can size blocks cheaply; nested messages still require a
     recursive walk, matching protobuf's ``ByteSizeLong`` structure.
     """
-    if _resolve_mode(mode) == "plan":
-        return _plan_for(msg).serialized_size(msg)
+    m = _resolve_mode(mode)
+    if m != "interpretive":
+        return _encoder_for(msg, m).serialized_size(msg)
     size = len(msg._unknown)
     for fd, value in msg.ListFields():
         # The wire type occupies the tag's low 3 bits, so the natural and

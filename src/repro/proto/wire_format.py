@@ -42,6 +42,7 @@ __all__ = [
     "encode_packed_varints",
     "encode_packed_varints_bulk",
     "decode_packed_varints",
+    "decode_packed_varints_fast",
     "write_varint",
     "WireFormatError",
     "TruncatedMessageError",
@@ -358,3 +359,37 @@ def decode_packed_varints(data, count_hint: int | None = None) -> np.ndarray:
             f"expected {count_hint} packed elements, decoded {len(values)}"
         )
     return values
+
+
+def decode_packed_varints_fast(data) -> np.ndarray:
+    """Decode a packed varint run with a single segmented reduction.
+
+    Byte-identical results to :func:`decode_packed_varints` (same malformed
+    -input rejections), but instead of one masked pass per byte position
+    this shifts every payload byte into place at once and sums each
+    varint's bytes with ``np.add.reduceat`` — one fused pass regardless of
+    the longest varint in the run.  The generated codecs use this kernel;
+    the closure-table plans keep the per-position loop so the two tiers
+    stay independently measurable.
+    """
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    cont = (raw & 0x80).astype(bool)
+    if cont[-1]:
+        raise TruncatedMessageError("packed varint run ends mid-varint")
+    ends = np.flatnonzero(~cont)
+    starts = np.empty_like(ends)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if np.any(lengths > MAX_VARINT_LEN):
+        raise WireFormatError("varint longer than 10 bytes")
+    boundary = ends[lengths == MAX_VARINT_LEN]
+    if boundary.size and np.any(raw[boundary] > 1):
+        raise WireFormatError("varint exceeds 64 bits")
+    # Byte k of each varint shifts by 7k; k for every byte is its distance
+    # from the owning varint's start.
+    k = np.arange(raw.size, dtype=np.int64) - np.repeat(starts, lengths)
+    shifted = (raw & 0x7F).astype(np.uint64) << (np.uint64(7) * k.astype(np.uint64))
+    return np.add.reduceat(shifted, starts)

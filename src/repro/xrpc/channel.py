@@ -14,11 +14,19 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.proto import Message, parse, prepare_emit
+from repro.proto.fixed_wire import (
+    WIRE_FIXED,
+    FixedWireError,
+    get_fixed_layout,
+    negotiation_hash,
+    service_types,
+)
 
 from .framing import (
     FrameDecoder,
     FrameType,
     StatusCode,
+    encode_setup,
     request_frame_size,
     write_request_header,
 )
@@ -86,6 +94,7 @@ class XrpcChannel:
         address: str,
         name: str = "xrpc-client",
         encode_mode: str | None = None,
+        decode_mode: str | None = None,
         socket: SimSocket | None = None,
     ) -> None:
         """``socket`` bypasses the network registry with a pre-established
@@ -100,9 +109,17 @@ class XrpcChannel:
                 raise ValueError("XrpcChannel needs a network or an explicit socket")
             self.socket = network.connect(address, name)
         #: Request-serialization path (``ProtocolConfig.encode_mode``):
-        #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
-        #: the process-wide default (see repro.proto.set_encode_mode).
+        #: ``"plan"``/``"generated"``/``"interpretive"`` force that path;
+        #: ``None`` follows the process-wide default
+        #: (see repro.proto.set_encode_mode).
         self.encode_mode = encode_mode
+        #: Response-deserialization path (``ProtocolConfig.decode_mode``),
+        #: same convention (see repro.proto.set_decode_mode).
+        self.decode_mode = decode_mode
+        #: True once :meth:`negotiate_fixed` succeeded: eligible requests
+        #: ride the branchless fixed-layout wire (docs/PROTOCOL.md).
+        self.wire_fixed = False
+        self._setup_result: list[int] = []
         self._decoder = FrameDecoder()
         self._call_ids = itertools.count(1, 2)  # odd ids, like HTTP/2 client streams
         # call_id -> (response class, callback)
@@ -123,6 +140,39 @@ class XrpcChannel:
     @property
     def outstanding(self) -> int:
         return len(self._pending)
+
+    # -- wire-mode negotiation ------------------------------------------------
+
+    def negotiate_fixed(self, service, salt: str = "", max_iters: int = 10_000) -> bool:
+        """Offer the server this client's fixed-layout hash over the
+        service's request/response types.  On a matching SETUP_ACK the
+        connection switches eligible messages to WIRE_FIXED; on mismatch
+        (or no answer within ``max_iters`` drive iterations) it stays on
+        standard wire.  Requires :attr:`drive`, like :meth:`call_sync`.
+
+        ``salt`` perturbs the hash — the fault-injection knob that forces
+        a negotiation mismatch without touching the schema."""
+        if self.drive is None:
+            raise RuntimeError("negotiate_fixed needs channel.drive to advance the server")
+        h = negotiation_hash(service_types(service), salt)
+        self._setup_result.clear()
+        self.socket.send(encode_setup(h))
+        for _ in range(max_iters):
+            self.drive()
+            self.poll()
+            if self._setup_result:
+                self.wire_fixed = self._setup_result[0] == StatusCode.OK
+                if self.trace is not None:
+                    self.trace.instant("wire_fixed_negotiated",
+                                       enabled=self.wire_fixed)
+                return self.wire_fixed
+        return False
+
+    def disable_fixed(self) -> None:
+        """Drop back to standard wire mid-connection (fault injection and
+        operator override).  Per-frame wire modes make this safe at any
+        point: in-flight fixed frames still parse on the server."""
+        self.wire_fixed = False
 
     def call(
         self,
@@ -146,12 +196,21 @@ class XrpcChannel:
             self.trace.event(ctx, "xrpc_send", method=method)
             self._trace_by_call[call_id] = ctx
         # Zero-copy framing: size the message first, build the frame in
-        # one buffer, and have the encode plan emit the wire bytes in
-        # place after the header — no intermediate serialized `bytes`.
-        sized = prepare_emit(request, mode=self.encode_mode)
+        # one buffer, and have the encoder emit the wire bytes in place
+        # after the header — no intermediate serialized `bytes`.
+        wire_mode = 0
+        sized = None
+        if self.wire_fixed:
+            layout = get_fixed_layout(type(request).DESCRIPTOR, request._FACTORY)
+            if layout is not None:
+                sized = layout.measure(request)
+                if sized is not None:
+                    wire_mode = WIRE_FIXED
+        if sized is None:
+            sized = prepare_emit(request, mode=self.encode_mode)
         m = method.encode("utf-8")
         frame = bytearray(request_frame_size(len(m), sized.size))
-        payload_at = write_request_header(frame, call_id, m, sized.size)
+        payload_at = write_request_header(frame, call_id, m, sized.size, wire_mode)
         sized.emit_into(frame, payload_at)
         self.socket.send(frame)
         return call_id
@@ -238,6 +297,9 @@ class XrpcChannel:
             self._decoder.feed(data)
         completed = 0
         for frame in self._decoder.frames():
+            if frame.frame_type is FrameType.SETUP_ACK:
+                self._setup_result.append(frame.status)
+                continue
             if frame.frame_type is not FrameType.RESPONSE:
                 continue  # a server would not send requests; ignore
             entry = self._pending.pop(frame.call_id, None)
@@ -249,9 +311,29 @@ class XrpcChannel:
                 ctx = self._trace_by_call.pop(frame.call_id, None)
                 if ctx is not None:
                     self.trace.event(ctx, "xrpc_complete", status=frame.status,
-                                     bytes=len(frame.message))
+                                     bytes=len(frame.message),
+                                     wire_mode=frame.wire_mode)
             if frame.status == StatusCode.OK:
-                callback(parse(response_cls, frame.message), StatusCode.OK)
+                if frame.wire_mode == WIRE_FIXED:
+                    layout = get_fixed_layout(
+                        response_cls.DESCRIPTOR, response_cls._FACTORY
+                    )
+                    if layout is None:
+                        callback(None, StatusCode.INTERNAL)
+                        completed += 1
+                        continue
+                    try:
+                        response = layout.parse(response_cls, frame.message)
+                    except FixedWireError:
+                        callback(None, StatusCode.INTERNAL)
+                        completed += 1
+                        continue
+                    callback(response, StatusCode.OK)
+                else:
+                    callback(
+                        parse(response_cls, frame.message, mode=self.decode_mode),
+                        StatusCode.OK,
+                    )
             else:
                 callback(None, frame.status)
             completed += 1

@@ -25,12 +25,14 @@ from dataclasses import dataclass, field
 from repro.core import Flags, IncomingRequest
 from repro.offload.engine import DpuEngine, EngineCrashedError, HostEngine
 from repro.proto.descriptor import ServiceDescriptor
+from repro.proto.fixed_wire import negotiation_hash, service_types
 
 from .framing import (
     FrameDecoder,
     FrameType,
     StatusCode,
     encode_response,
+    encode_setup_ack,
     response_frame_size,
     write_response_header,
 )
@@ -55,6 +57,7 @@ class OffloadedXrpcServer:
         address: str,
         dpu: DpuEngine,
         service: ServiceDescriptor,
+        layout_salt: str = "",
     ) -> None:
         """With ``network=None`` the server starts without a listener;
         connections arrive through :meth:`adopt` instead (the multiprocess
@@ -63,6 +66,7 @@ class OffloadedXrpcServer:
         self.address = address
         self.listener: Listener | None = network.listen(address) if network is not None else None
         self.dpu = dpu
+        self.service = service
         self._method_ids = assign_method_ids(service)
         self._connections: list[_Connection] = []
         self.requests_forwarded = 0
@@ -70,6 +74,11 @@ class OffloadedXrpcServer:
         #: requests served through the degraded path (DPU engine down →
         #: wire bytes forwarded for host-side deserialization)
         self.fallback_requests = 0
+        #: Perturbs this front end's fixed-layout negotiation hash; any
+        #: non-empty value forces SETUP mismatches (fault injection).
+        self.layout_salt = layout_salt
+        self.setup_matches = 0
+        self.setup_mismatches = 0
         #: StageRecorder (repro.obs) — None keeps every hook free.
         self.trace = None
 
@@ -95,8 +104,13 @@ class OffloadedXrpcServer:
             if data:
                 conn.decoder.feed(data)
             for frame in conn.decoder.frames():
-                if frame.frame_type is FrameType.REQUEST:
-                    self._forward(conn, frame.call_id, frame.method, frame.message)
+                if frame.frame_type is FrameType.SETUP:
+                    self._answer_setup(conn, frame.method)
+                elif frame.frame_type is FrameType.REQUEST:
+                    self._forward(
+                        conn, frame.call_id, frame.method, frame.message,
+                        frame.wire_mode,
+                    )
                     forwarded += 1
             if budget is not None and forwarded >= budget:
                 break
@@ -108,7 +122,24 @@ class OffloadedXrpcServer:
         """Serve a pre-established connection (no listener involved)."""
         self._connections.append(_Connection(socket))
 
-    def _forward(self, conn: _Connection, call_id: int, method: str, payload: bytes) -> None:
+    def _answer_setup(self, conn: _Connection, offered_hash: str) -> None:
+        """WIRE_FIXED negotiation on the DPU: the front end hashes the
+        same service schema the client did — the negotiation that makes
+        the branchless decoder safe to select per frame."""
+        mine = negotiation_hash(service_types(self.service), self.layout_salt)
+        if offered_hash == mine:
+            self.setup_matches += 1
+            conn.socket.send(encode_setup_ack(StatusCode.OK))
+        else:
+            self.setup_mismatches += 1
+            conn.socket.send(encode_setup_ack(StatusCode.INVALID_ARGUMENT))
+        if self.trace is not None:
+            self.trace.instant("wire_fixed_setup", match=offered_hash == mine)
+
+    def _forward(
+        self, conn: _Connection, call_id: int, method: str, payload: bytes,
+        wire_mode: int = 0,
+    ) -> None:
         method_id = self._method_ids.get(method)
         if method_id is None:
             conn.socket.send(encode_response(call_id, StatusCode.UNIMPLEMENTED, b""))
@@ -150,13 +181,16 @@ class OffloadedXrpcServer:
                 # bytes for host-side deserialization: slower, never
                 # unavailable.
                 self.fallback_requests += 1
-                self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx)
+                self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx,
+                                  wire_mode=wire_mode)
             else:
-                self.dpu.call(method_id, payload, on_response, trace_ctx=ctx)
+                self.dpu.call(method_id, payload, on_response, trace_ctx=ctx,
+                              wire_mode=wire_mode)
         except EngineCrashedError:
             # Crash raced the check: same degradation, same request.
             self.fallback_requests += 1
-            self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx)
+            self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx,
+                              wire_mode=wire_mode)
         except Exception:  # noqa: BLE001 — malformed request payloads
             conn.socket.send(encode_response(call_id, StatusCode.INVALID_ARGUMENT, b""))
 

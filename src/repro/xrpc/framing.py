@@ -14,15 +14,25 @@ Frame layout::
     u8   status            # gRPC status code (0 = OK); responses only
     u16  method_len        # requests only
     ...  method path       # "/pkg.Service/Method"
-    u8   compressed_flag   # gRPC message prefix
+    u8   compressed_flag   # gRPC message prefix; doubles as wire mode
     u32  message_len       # big-endian, as in gRPC
     ...  message bytes
+
+The compressed flag doubles as the **wire mode**: 0 is standard
+protobuf wire, 1 remains gRPC "compressed" (rejected), and 2 marks a
+WIRE_FIXED payload — the negotiated branchless fixed-layout encoding of
+:mod:`repro.proto.fixed_wire`.  Two extra frame types carry the
+negotiation: a SETUP frame whose method field is the client's layout
+hash, answered by a SETUP_ACK whose status says whether the server's
+hash matches (docs/PROTOCOL.md).
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+
+from repro.proto.fixed_wire import WIRE_FIXED, WIRE_STANDARD
 
 __all__ = [
     "FrameType",
@@ -31,6 +41,8 @@ __all__ = [
     "FramingError",
     "encode_request",
     "encode_response",
+    "encode_setup",
+    "encode_setup_ack",
     "request_frame_size",
     "response_frame_size",
     "write_request_header",
@@ -46,6 +58,10 @@ class FramingError(RuntimeError):
 class FrameType:
     REQUEST = 1
     RESPONSE = 2
+    #: wire-mode negotiation: client -> server, method field = layout hash
+    SETUP = 3
+    #: server -> client answer; status OK = hashes match, WIRE_FIXED on
+    SETUP_ACK = 4
 
 
 class StatusCode:
@@ -69,6 +85,8 @@ class Frame:
     status: int
     method: str
     message: bytes
+    #: WIRE_STANDARD (0) or WIRE_FIXED (2) — how ``message`` is encoded
+    wire_mode: int = WIRE_STANDARD
 
 
 _HEADER = struct.Struct("<BIBH")
@@ -87,7 +105,10 @@ def response_frame_size(message_size: int) -> int:
     return _HEADER.size + _PREFIX.size + message_size
 
 
-def write_request_header(buf, call_id: int, method: bytes, message_size: int) -> int:
+def write_request_header(
+    buf, call_id: int, method: bytes, message_size: int,
+    wire_mode: int = WIRE_STANDARD,
+) -> int:
     """Write a request frame's header + method + message prefix into
     ``buf`` (a writable buffer of at least ``request_frame_size`` bytes);
     returns the offset where the message payload belongs.
@@ -100,15 +121,18 @@ def write_request_header(buf, call_id: int, method: bytes, message_size: int) ->
     pos = _HEADER.size
     end = pos + len(method)
     buf[pos:end] = method
-    _PREFIX.pack_into(buf, end, 0, message_size)
+    _PREFIX.pack_into(buf, end, wire_mode, message_size)
     return end + _PREFIX.size
 
 
-def write_response_header(buf, call_id: int, status: int, message_size: int) -> int:
+def write_response_header(
+    buf, call_id: int, status: int, message_size: int,
+    wire_mode: int = WIRE_STANDARD,
+) -> int:
     """Response analog of :func:`write_request_header`; returns the offset
     where the message payload belongs."""
     _HEADER.pack_into(buf, 0, FrameType.RESPONSE, call_id, status, 0)
-    _PREFIX.pack_into(buf, _HEADER.size, 0, message_size)
+    _PREFIX.pack_into(buf, _HEADER.size, wire_mode, message_size)
     return _HEADER.size + _PREFIX.size
 
 
@@ -124,6 +148,26 @@ def encode_response(call_id: int, status: int, message: bytes) -> bytes:
     buf = bytearray(response_frame_size(len(message)))
     pos = write_response_header(buf, call_id, status, len(message))
     buf[pos:] = message
+    return bytes(buf)
+
+
+def encode_setup(layout_hash: str) -> bytes:
+    """Wire-mode negotiation request: the layout hash rides in the method
+    field (it is connection metadata, not a message payload)."""
+    h = layout_hash.encode("ascii")
+    buf = bytearray(_HEADER.size + len(h) + _PREFIX.size)
+    _HEADER.pack_into(buf, 0, FrameType.SETUP, 0, 0, len(h))
+    buf[_HEADER.size : _HEADER.size + len(h)] = h
+    _PREFIX.pack_into(buf, _HEADER.size + len(h), 0, 0)
+    return bytes(buf)
+
+
+def encode_setup_ack(status: int) -> bytes:
+    """Negotiation answer: status OK enables WIRE_FIXED on the
+    connection; anything else keeps it on standard wire."""
+    buf = bytearray(_HEADER.size + _PREFIX.size)
+    _HEADER.pack_into(buf, 0, FrameType.SETUP_ACK, 0, status, 0)
+    _PREFIX.pack_into(buf, _HEADER.size, 0, 0)
     return bytes(buf)
 
 
@@ -149,21 +193,26 @@ class FrameDecoder:
         if len(buf) < _HEADER.size:
             return None
         frame_type, call_id, status, method_len = _HEADER.unpack_from(buf, 0)
-        if frame_type not in (FrameType.REQUEST, FrameType.RESPONSE):
+        if frame_type not in (
+            FrameType.REQUEST,
+            FrameType.RESPONSE,
+            FrameType.SETUP,
+            FrameType.SETUP_ACK,
+        ):
             raise FramingError(f"unknown frame type {frame_type}")
         pos = _HEADER.size
         if len(buf) < pos + method_len + _PREFIX.size:
             return None
         method = bytes(buf[pos : pos + method_len]).decode("utf-8")
         pos += method_len
-        compressed, msg_len = _PREFIX.unpack_from(buf, pos)
-        if compressed not in (0, 1):
-            raise FramingError(f"bad compressed flag {compressed}")
-        if compressed:
+        wire_mode, msg_len = _PREFIX.unpack_from(buf, pos)
+        if wire_mode not in (WIRE_STANDARD, 1, WIRE_FIXED):
+            raise FramingError(f"bad compressed flag {wire_mode}")
+        if wire_mode == 1:
             raise FramingError("compressed messages are not supported")
         pos += _PREFIX.size
         if len(buf) < pos + msg_len:
             return None
         message = bytes(buf[pos : pos + msg_len])
         del buf[: pos + msg_len]
-        return Frame(frame_type, call_id, status, method, message)
+        return Frame(frame_type, call_id, status, method, message, wire_mode)

@@ -14,12 +14,18 @@ from dataclasses import dataclass, field
 
 from repro.proto import Message, MessageFactory, WireFormatError, parse, prepare_emit
 from repro.proto.descriptor import ServiceDescriptor
+from repro.proto.fixed_wire import (
+    WIRE_FIXED,
+    get_fixed_layout,
+    negotiation_hash,
+)
 
 from .framing import (
     FrameDecoder,
     FrameType,
     StatusCode,
     encode_response,
+    encode_setup_ack,
     response_frame_size,
     write_response_header,
 )
@@ -54,14 +60,23 @@ class XrpcServer:
         factory: MessageFactory,
         decode_mode: str | None = None,
         encode_mode: str | None = None,
+        layout_salt: str = "",
     ) -> None:
         self.address = address
         self.listener: Listener = network.listen(address)
         self.factory = factory
         #: Request-deserialization path (``ProtocolConfig.decode_mode``):
-        #: ``"plan"``/``"interpretive"`` force that path; ``None`` follows
-        #: the process-wide default (see repro.proto.set_decode_mode).
+        #: ``"plan"``/``"generated"``/``"interpretive"`` force that path;
+        #: ``None`` follows the process-wide default
+        #: (see repro.proto.set_decode_mode).
         self.decode_mode = decode_mode
+        #: Perturbs this server's fixed-layout negotiation hash; any
+        #: non-empty value makes every SETUP offer mismatch (the fault
+        #: campaign's forced-fallback knob, docs/FAULTS.md).
+        self.layout_salt = layout_salt
+        #: WIRE_FIXED negotiations answered (match, mismatch) — observability
+        self.setup_matches = 0
+        self.setup_mismatches = 0
         #: Response-serialization path (``ProtocolConfig.encode_mode``),
         #: same convention (see repro.proto.set_encode_mode).
         self.encode_mode = encode_mode
@@ -104,15 +119,45 @@ class XrpcServer:
             if data:
                 conn.decoder.feed(data)
             for frame in conn.decoder.frames():
-                if frame.frame_type is FrameType.REQUEST:
+                if frame.frame_type is FrameType.SETUP:
+                    self._answer_setup(conn, frame.method)
+                elif frame.frame_type is FrameType.REQUEST:
                     handled += 1
-                    self._serve(conn, frame.call_id, frame.method, frame.message)
+                    self._serve(
+                        conn, frame.call_id, frame.method, frame.message,
+                        frame.wire_mode,
+                    )
             if budget is not None and handled >= budget:
                 break
         self._connections = [c for c in self._connections if not c.socket.eof()]
         return handled
 
-    def _serve(self, conn: _Connection, call_id: int, method: str, payload: bytes) -> None:
+    def _answer_setup(self, conn: _Connection, offered_hash: str) -> None:
+        """WIRE_FIXED negotiation: compare the client's layout hash with
+        our own over every registered request/response type.  Stateless —
+        the answer only informs the *client*; each frame carries its wire
+        mode, so the server never needs per-connection mode state."""
+        mine = negotiation_hash(self._registered_types(), self.layout_salt)
+        if offered_hash == mine:
+            self.setup_matches += 1
+            conn.socket.send(encode_setup_ack(StatusCode.OK))
+        else:
+            self.setup_mismatches += 1
+            conn.socket.send(encode_setup_ack(StatusCode.INVALID_ARGUMENT))
+        if self.trace is not None:
+            self.trace.instant("wire_fixed_setup", match=offered_hash == mine)
+
+    def _registered_types(self) -> list:
+        seen: dict[str, object] = {}
+        for binding in self._methods.values():
+            for desc in (binding.method.input_type, binding.method.output_type):
+                seen.setdefault(desc.full_name, desc)
+        return [seen[k] for k in sorted(seen)]
+
+    def _serve(
+        self, conn: _Connection, call_id: int, method: str, payload: bytes,
+        wire_mode: int = 0,
+    ) -> None:
         self.stats.requests += 1
         self.stats.request_bytes += len(payload)
         trace = self.trace
@@ -126,15 +171,28 @@ class XrpcServer:
             self._respond(conn, call_id, StatusCode.UNIMPLEMENTED, b"")
             return
         request_cls = self.factory.get_class(binding.method.input_type)
+        fixed = wire_mode == WIRE_FIXED
+        mode = "fixed" if fixed else (self.decode_mode or "default")
+
+        def _parse_request():
+            if fixed:
+                layout = get_fixed_layout(binding.method.input_type, self.factory)
+                if layout is None:
+                    raise WireFormatError(
+                        f"{binding.method.input_type.full_name} cannot ride fixed wire"
+                    )
+                return layout.parse(request_cls, payload)
+            return parse(request_cls, payload, mode=self.decode_mode)
+
         try:
             # The host-CPU deserialization the offload eliminates:
             if trace is not None:
                 t0 = trace.now()
-                request = parse(request_cls, payload, mode=self.decode_mode)
+                request = _parse_request()
                 trace.event(ctx, "deserialize", ts=t0, dur=trace.now() - t0,
-                            bytes=len(payload))
+                            bytes=len(payload), mode=mode)
             else:
-                request = parse(request_cls, payload, mode=self.decode_mode)
+                request = _parse_request()
         except WireFormatError:
             self._respond(conn, call_id, StatusCode.INVALID_ARGUMENT, b"")
             return
@@ -154,19 +212,38 @@ class XrpcServer:
         ):
             self._respond(conn, call_id, StatusCode.INTERNAL, b"")
             return
-        self._respond_message(conn, call_id, response)
+        self._respond_message(conn, call_id, response, fixed)
         if trace is not None:
             trace.event(ctx, "respond", status=int(StatusCode.OK))
 
-    def _respond_message(self, conn: _Connection, call_id: int, response: Message) -> None:
+    def _respond_message(
+        self, conn: _Connection, call_id: int, response: Message,
+        request_was_fixed: bool = False,
+    ) -> None:
         """OK response: size the message, build the frame in one buffer,
         emit the payload in place after the header (zero intermediate
-        full-payload ``bytes``)."""
-        sized = prepare_emit(response, mode=self.encode_mode)
+        full-payload ``bytes``).
+
+        A request that arrived on fixed wire gets a fixed-wire response
+        when the response type (and this instance) supports it — the
+        client negotiated the layout, so no per-connection state is
+        needed to answer in kind."""
+        sized = None
+        wire_mode = 0
+        if request_was_fixed:
+            layout = get_fixed_layout(response.DESCRIPTOR, self.factory)
+            if layout is not None:
+                sized = layout.measure(response)
+                if sized is not None:
+                    wire_mode = WIRE_FIXED
+        if sized is None:
+            sized = prepare_emit(response, mode=self.encode_mode)
         self.stats.responses += 1
         self.stats.response_bytes += sized.size
         frame = bytearray(response_frame_size(sized.size))
-        payload_at = write_response_header(frame, call_id, StatusCode.OK, sized.size)
+        payload_at = write_response_header(
+            frame, call_id, StatusCode.OK, sized.size, wire_mode
+        )
         sized.emit_into(frame, payload_at)
         conn.socket.send(frame)
 
