@@ -295,9 +295,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     faults.add_argument(
         "--deployment",
-        choices=["core", "offloaded", "both"],
+        choices=["core", "offloaded", "overload", "both"],
         default="both",
-        help="which deployment(s) to break",
+        help="which deployment(s) to break ('both' keeps its historical "
+        "meaning of core+offloaded; 'overload' runs the open-loop "
+        "overload-control scenarios, docs/OVERLOAD.md)",
     )
     faults.add_argument(
         "--verify-every",

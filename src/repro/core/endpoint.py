@@ -59,6 +59,7 @@ from repro.memory import (
 )
 from repro.rdma import CompletionQueue, Opcode, QpState, QueuePair, WorkRequest
 from repro.runtime.flush import FlushState, make_flush_policy
+from repro.runtime.overload import now_us, unpack_deadline
 
 from .config import ProtocolConfig
 from .credits import CreditManager
@@ -147,6 +148,11 @@ class IncomingRequest:
     flags: int = Flags.NONE
     #: request trace context (repro.obs), None unless tracing is attached
     trace: object | None = None
+    #: absolute deadline in overload-clock µs (0 = none); stripped from
+    #: the wire word before the handler sees the payload
+    deadline_us: int = 0
+    #: priority lane (repro.runtime.overload LANE_*) from the same word
+    lane: int = 0
 
     def payload_view(self) -> memoryview:
         return self.space.view(self.payload_addr, self.payload_size)
@@ -540,7 +546,7 @@ class ClientEndpoint(_EndpointBase):
 
     def enqueue_bytes(
         self, method_id: int, payload: bytes, continuation: Continuation,
-        flags: int = Flags.NONE, trace_ctx=None,
+        flags: int = Flags.NONE, trace_ctx=None, deadline: int = 0,
     ) -> None:
         self.enqueue(
             method_id,
@@ -550,11 +556,12 @@ class ClientEndpoint(_EndpointBase):
             continuation,
             flags,
             trace_ctx=trace_ctx,
+            deadline=deadline,
         )
 
     def enqueue_emit(
         self, method_id: int, size: int, emit, continuation: Continuation,
-        flags: int = Flags.NONE, trace_ctx=None,
+        flags: int = Flags.NONE, trace_ctx=None, deadline: int = 0,
     ) -> None:
         """Queue one request whose payload is written in place: ``size``
         bytes are reserved inside the outgoing block and ``emit(view)``
@@ -565,7 +572,8 @@ class ClientEndpoint(_EndpointBase):
             emit(space.view(addr, size))
             return size
 
-        self.enqueue(method_id, size, writer, continuation, flags, trace_ctx=trace_ctx)
+        self.enqueue(method_id, size, writer, continuation, flags,
+                     trace_ctx=trace_ctx, deadline=deadline)
 
     def enqueue(
         self,
@@ -575,13 +583,18 @@ class ClientEndpoint(_EndpointBase):
         continuation: Continuation,
         flags: int = Flags.NONE,
         trace_ctx=None,
+        deadline: int = 0,
     ) -> None:
         """Queue one request.  ``writer`` constructs the payload in place
         inside the outgoing block (this is where the offloaded
         deserializer writes the C++ object).  ``continuation`` fires when
         the response arrives (§III-D).  ``trace_ctx`` carries an upper
         layer's trace context through to the wire stages (repro.obs); a
-        fresh one is created here when tracing is on and none was given."""
+        fresh one is created here when tracing is on and none was given.
+        ``deadline`` is a packed overload word
+        (:func:`repro.runtime.overload.pack_deadline`): non-zero spends 8
+        bytes ahead of the payload so every downstream stage can drop the
+        request once its absolute deadline passes (docs/OVERLOAD.md)."""
         if max_payload > self.config.max_message_size:
             raise ProtocolError(
                 f"payload of {max_payload} exceeds max_message_size "
@@ -597,10 +610,12 @@ class ClientEndpoint(_EndpointBase):
         ):
             # Concurrency window full: defer, preserving FIFO order.
             self._backlog.append(
-                (method_id, max_payload, writer, continuation, flags, trace_ctx)
+                (method_id, max_payload, writer, continuation, flags, trace_ctx,
+                 deadline)
             )
             return
-        self._enqueue_now(method_id, max_payload, writer, continuation, flags, trace_ctx)
+        self._enqueue_now(method_id, max_payload, writer, continuation, flags,
+                          trace_ctx, deadline)
 
     def _enqueue_now(
         self,
@@ -610,7 +625,21 @@ class ClientEndpoint(_EndpointBase):
         continuation: Continuation,
         flags: int,
         trace_ctx=None,
+        deadline: int = 0,
     ) -> None:
+        if deadline and not flags & Flags.DEADLINE:
+            # Deadline propagation: one u64 ahead of the payload carries
+            # the absolute deadline + lane to every downstream stage.
+            # Wrapped before (inside) the trace wrap, so the wire layout
+            # is [trace word][deadline word][payload].
+            inner_w = writer
+
+            def writer(space, addr, _inner=inner_w, _w=deadline):
+                space.write_u64(addr, _w)
+                return _inner(space, addr + 8) + 8
+
+            max_payload += 8
+            flags |= Flags.DEADLINE
         if (
             self._trace_explicit
             and self.trace is not None
@@ -1018,6 +1047,12 @@ class ServerEndpoint(_EndpointBase):
         self._current_block_ids: list[int] = []
         self._background_executor = background_executor
         self._background_results: deque[tuple[int, Response]] = deque()
+        # rid -> absolute deadline (µs) for requests that carried a
+        # deadline word, so the response-emit stage can drop late answers
+        self._deadline_by_rid: dict[int, int] = {}
+        #: requests dropped because their deadline had already passed,
+        #: by the stage that dropped them (docs/OVERLOAD.md)
+        self.deadline_expired = {"host_dispatch": 0, "response_emit": 0}
 
     def register(self, method_id: int, handler: Handler) -> None:
         """Register the callback for a procedure ID (§III-D)."""
@@ -1096,6 +1131,14 @@ class ServerEndpoint(_EndpointBase):
                 payload_addr += 8
                 payload_size -= 8
                 flags &= ~Flags.TRACE_CTX
+            deadline_us = lane = 0
+            if flags & Flags.DEADLINE:
+                # Same contract for the deadline word (docs/OVERLOAD.md):
+                # stripped unconditionally, decoded into the request.
+                deadline_us, lane = unpack_deadline(self.space.read_u64(payload_addr))
+                payload_addr += 8
+                payload_size -= 8
+                flags &= ~Flags.DEADLINE
             ctx = None
             if self.trace is not None:
                 # rx-serial mirrors the client's tx-serial (wire order on
@@ -1119,8 +1162,28 @@ class ServerEndpoint(_EndpointBase):
                 payload_size=payload_size,
                 flags=flags,
                 trace=ctx,
+                deadline_us=deadline_us,
+                lane=lane,
             )
             self.stats.requests_received += 1
+            if deadline_us:
+                if now_us() >= deadline_us:
+                    # Expired on arrival: answer without invoking the
+                    # handler — no decode, no dispatch work.
+                    self.deadline_expired["host_dispatch"] += 1
+                    if ctx is not None:
+                        self.trace.event(ctx, "deadline_expired",
+                                         stage="host_dispatch", rid=rid)
+                    self._enqueue_response(
+                        rid,
+                        Response.from_bytes(
+                            b"stage=host_dispatch",
+                            flags=Flags.ERROR | Flags.EXPIRED,
+                        ),
+                    )
+                    count += 1
+                    continue
+                self._deadline_by_rid[rid] = deadline_us
             if (
                 flags & Flags.BACKGROUND
                 and self._background_executor is not None
@@ -1182,6 +1245,19 @@ class ServerEndpoint(_EndpointBase):
     # -- response path -------------------------------------------------------------------
 
     def _enqueue_response(self, rid: int, response: Response) -> None:
+        deadline_us = self._deadline_by_rid.pop(rid, 0)
+        if (
+            deadline_us
+            and not response.flags & Flags.EXPIRED
+            and now_us() >= deadline_us
+        ):
+            # The handler ran but the client's deadline passed meanwhile:
+            # emitting the full response would be wasted wire — send the
+            # small expiry marker instead (docs/OVERLOAD.md).
+            self.deadline_expired["response_emit"] += 1
+            response = Response.from_bytes(
+                b"stage=response_emit", flags=Flags.ERROR | Flags.EXPIRED
+            )
         if self._writer is not None and self._writer.remaining() < response.size + 32:
             self._record_flush("block_full")
             self._seal_responses()
@@ -1229,6 +1305,7 @@ class ServerEndpoint(_EndpointBase):
         self._outstanding_responses.clear()
         self._background_results.clear()
         self._trace_by_rid.clear()
+        self._deadline_by_rid.clear()
         super().reset_connection_state()
 
     def _flush_responses(self, reason: str = "explicit") -> None:

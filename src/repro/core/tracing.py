@@ -92,6 +92,8 @@ _FLAG_NAMES = [
     (Flags.WIRE_PAYLOAD, "WIRE"),
     (Flags.TRACE_CTX, "TRACE_CTX"),
     (Flags.FIXED_PAYLOAD, "FIXED"),
+    (Flags.DEADLINE, "DEADLINE"),
+    (Flags.EXPIRED, "EXPIRED"),
 ]
 
 

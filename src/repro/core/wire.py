@@ -122,6 +122,15 @@ class Flags:
     #: with WIRE_PAYLOAD when a crashed DPU engine forwards a fixed-mode
     #: request for host-side deserialization
     FIXED_PAYLOAD = 1 << 7
+    #: an 8-byte packed deadline word (absolute µs deadline + priority
+    #: lane, repro.runtime.overload) precedes the payload — after the
+    #: TRACE_CTX word when both are present (docs/OVERLOAD.md).  Stripped
+    #: before the handler sees the payload.
+    DEADLINE = 1 << 8
+    #: response synthesized because the request's deadline expired before
+    #: (or during) processing; always paired with ERROR, payload names
+    #: the dropping stage (``stage=host_dispatch`` etc.)
+    EXPIRED = 1 << 9
 
 
 def _align_up(value: int, alignment: int) -> int:

@@ -18,6 +18,7 @@ from .campaign import (
     run_campaign,
     run_core_scenario,
     run_offloaded_scenario,
+    run_overload_scenario,
     run_scenario,
 )
 from .injector import FaultEvent, FaultInjector
@@ -44,6 +45,7 @@ __all__ = [
     "run_scenario",
     "run_core_scenario",
     "run_offloaded_scenario",
+    "run_overload_scenario",
     "run_campaign",
     "child_seed",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "run_scenario",
     "run_core_scenario",
     "run_offloaded_scenario",
+    "run_overload_scenario",
     "run_campaign",
     "child_seed",
 ]
@@ -373,11 +374,118 @@ def run_offloaded_scenario(seed: int, calls: int | None = None) -> ScenarioResul
     )
 
 
+# -- overload deployment -----------------------------------------------------------
+
+
+def run_overload_scenario(seed: int) -> ScenarioResult:
+    """The offloaded stack under seeded open-loop burst traffic plus an
+    injected host-worker slowdown, with the whole overload-control
+    subsystem armed (docs/OVERLOAD.md): admission control sheds, the
+    degradation ladder steps down, the DPU circuit breaker trips to
+    host-parse fallback and recovers via half-open probes.
+
+    The invariants here are the overload promises: every offered request
+    is answered (served, typed shed, or typed deadline drop — never
+    silently lost), the latency lane is never shed harder than bulk, and
+    the shed → degrade → trip → half-open → close → recover *sequence*
+    is deterministic — the fingerprint hashes it event by event."""
+    from repro.runtime.overload import CircuitBreaker, QueueDepthAdmission
+    from repro.workloads.openloop import OpenLoopConfig, run_open_loop
+
+    rng = random.Random(seed)
+    ticks = rng.randrange(400, 700)
+    burst_from = rng.randrange(60, 120)
+    burst_len = rng.randrange(120, 240)
+    config = OpenLoopConfig(
+        seed=seed,
+        ticks=ticks,
+        offered_per_tick=0.4,
+        capacity_per_tick=1,
+        bulk_fraction=0.7,
+        timeout_us=rng.choice((0, 50_000)),
+        burst_from=burst_from,
+        burst_until=burst_from + burst_len,
+        burst_per_tick=2.0 + rng.random() * 2.0,
+        slow_from=burst_from + 10,
+        slow_until=burst_from + burst_len - 20,
+        slow_stride=rng.choice((3, 4)),
+    )
+    admission = QueueDepthAdmission(max_depth=rng.choice((12, 16, 24)))
+    breaker = CircuitBreaker(recovery_ticks=rng.choice((48, 64, 96)))
+
+    error: str | None = None
+    try:
+        result = run_open_loop(
+            config, admission=admission, use_degradation=True, breaker=breaker
+        )
+    except Exception as exc:  # noqa: BLE001 — an uncontained escape is the finding
+        return ScenarioResult(
+            seed=seed, deployment="overload", requests=0, completed=0,
+            failed=0, mismatches=0, duplicate_fires=0, resets=0,
+            faults_fired=0, stalls=0, contained=0, ticks=0, hung=False,
+            error=f"{type(exc).__name__}: {exc}", fingerprint="",
+        )
+
+    # Overload invariants, mapped onto the campaign verdict fields:
+    # a silently lost request shows up as `unanswered` (a hang), shedding
+    # the latency lane at a higher *rate* than bulk breaks the priority
+    # promise, and the breaker must have closed again by the end.
+    failed = result.total_shed + sum(result.expired.values()) + result.errors
+    violations = []
+    total_by_lane = {
+        lane: result.completed[lane] + result.shed[lane]
+        for lane in result.completed
+    }
+    if all(total_by_lane.values()):
+        rate = {
+            lane: result.shed[lane] / total_by_lane[lane]
+            for lane in total_by_lane
+        }
+        if rate[0] > rate[1] + 1e-9 and result.shed[0] > 1:
+            violations.append("latency lane shed harder than bulk")
+    if breaker.trips and breaker.state != CircuitBreaker.CLOSED:
+        violations.append(f"breaker stuck {breaker.state}")
+    if breaker.trips:
+        states = [s for _, s, _ in breaker.transitions]
+        if "half_open" not in states or states[-1] != "closed":
+            violations.append("breaker never recovered via half-open probes")
+    if violations:
+        error = "; ".join(violations)
+
+    h = hashlib.sha256()
+    for line in result.fingerprint_lines():
+        h.update(line.encode())
+        h.update(b"\n")
+    h.update(
+        f"breaker_fallbacks={result.breaker_fallbacks} "
+        f"host_parsed={result.host_parsed} ticks={result.ticks}".encode()
+    )
+
+    return ScenarioResult(
+        seed=seed,
+        deployment="overload",
+        requests=result.offered,
+        completed=result.total_completed,
+        failed=failed,
+        mismatches=0,
+        duplicate_fires=0,
+        resets=0,
+        faults_fired=len(result.degradation_events),
+        stalls=0,
+        contained=result.breaker_fallbacks,
+        ticks=result.ticks,
+        hung=result.unanswered > 0,
+        error=error,
+        fingerprint=h.hexdigest(),
+    )
+
+
 # -- the campaign ------------------------------------------------------------------
 
 _DEPLOYMENTS = {
     "core": run_core_scenario,
     "offloaded": run_offloaded_scenario,
+    "overload": run_overload_scenario,
 }
 
 

@@ -80,11 +80,18 @@ class Stage:
     RECOVERY = "recovery_reset"
     CRASH = "engine_crash"
     REVIVE = "engine_revive"
+    # -- overload control (docs/OVERLOAD.md) ------------------------------
+    SHED = "shed"                        # admission control rejected
+    DEADLINE_EXPIRED = "deadline_expired"  # dropped expired-on-arrival
+    DEGRADE = "degrade"                  # degradation ladder stepped up
+    RECOVER = "recover"                  # degradation ladder stepped down
+    BREAKER_FALLBACK = "breaker_fallback"  # breaker denied the offload path
 
     #: stages whose presence marks a request as error-afflicted for the
     #: tail sampler (docs/OBSERVABILITY.md#sampling)
     EXCEPTIONAL = frozenset(
-        {RETRY, TIMEOUT, FAILOVER, RESET, ABORT, RECOVERY, CRASH}
+        {RETRY, TIMEOUT, FAILOVER, RESET, ABORT, RECOVERY, CRASH,
+         SHED, DEADLINE_EXPIRED}
     )
 
 

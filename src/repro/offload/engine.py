@@ -401,6 +401,7 @@ class DpuEngine:
         background: bool = False,
         trace_ctx=None,
         wire_mode: int = 0,
+        deadline: int = 0,
     ) -> None:
         """Degraded-mode request: ship the serialized payload as-is with
         ``Flags.WIRE_PAYLOAD`` so the *host* deserializes it.  This is
@@ -421,7 +422,7 @@ class DpuEngine:
         if wire_mode == WIRE_FIXED:
             flags |= Flags.FIXED_PAYLOAD
         self.channel.client.enqueue_bytes(method_id, wire_bytes, on_response, flags,
-                                          trace_ctx=trace_ctx)
+                                          trace_ctx=trace_ctx, deadline=deadline)
 
     def call(
         self,
@@ -431,6 +432,7 @@ class DpuEngine:
         background: bool = False,
         trace_ctx=None,
         wire_mode: int = 0,
+        deadline: int = 0,
     ) -> None:
         """Offload one request: deserialize ``wire_bytes`` straight into
         the outgoing block and enqueue it.  ``wire_mode`` = WIRE_FIXED
@@ -509,6 +511,7 @@ class DpuEngine:
             continuation,
             flags=Flags.BACKGROUND if background else Flags.NONE,
             trace_ctx=trace_ctx,
+            deadline=deadline,
         )
 
     def call_message(self, method_id: int, message: Message, on_response) -> None:

@@ -12,6 +12,12 @@ module level — every layer (core, xrpc, sim) imports *it*, so it must
 sit at the bottom of the dependency stack.
 """
 
+from .degradation import (
+    DegradationEvent,
+    DegradationManager,
+    DegradationStep,
+    standard_ladder,
+)
 from .engine import EngineError, EngineState, ProgressEngine, Registration
 from .flush import (
     FLUSH_POLICIES,
@@ -23,6 +29,21 @@ from .flush import (
     make_flush_policy,
 )
 from .metrics import EngineMetrics, PollableMetrics
+from .overload import (
+    LANE_BULK,
+    LANE_LATENCY,
+    AdmissionController,
+    AdmissionDecision,
+    CircuitBreaker,
+    CoDelAdmission,
+    ManualClock,
+    QueueDepthAdmission,
+    RetryBudget,
+    install_clock,
+    now_us,
+    pack_deadline,
+    unpack_deadline,
+)
 from .pollable import FnPollable, Pollable, resolve_poll_fn
 from .scheduling import (
     SCHEDULERS,
@@ -59,4 +80,21 @@ __all__ = [
     "make_scheduler",
     "EngineSupervisor",
     "SupervisorEvent",
+    "LANE_BULK",
+    "LANE_LATENCY",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitBreaker",
+    "CoDelAdmission",
+    "ManualClock",
+    "QueueDepthAdmission",
+    "RetryBudget",
+    "install_clock",
+    "now_us",
+    "pack_deadline",
+    "unpack_deadline",
+    "DegradationEvent",
+    "DegradationManager",
+    "DegradationStep",
+    "standard_ladder",
 ]

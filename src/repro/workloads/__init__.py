@@ -8,6 +8,12 @@ from .traces import (
     deeply_nested,
     nested_schema,
 )
+from .openloop import (
+    OpenLoopConfig,
+    OpenLoopResult,
+    percentile,
+    run_open_loop,
+)
 from .messages import (
     SMALL,
     STANDARD_WORKLOADS,
@@ -36,4 +42,8 @@ __all__ = [
     "WorkloadFactory",
     "WorkloadSpec",
     "workload_schema",
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "percentile",
+    "run_open_loop",
 ]

@@ -10,6 +10,7 @@ two halves that move the server onto the DPU — the
 from .channel import (
     RetryPolicy,
     RpcError,
+    RpcResourceExhaustedError,
     RpcTimeoutError,
     RpcTransportError,
     XrpcChannel,
@@ -21,8 +22,10 @@ from .framing import (
     FrameType,
     FramingError,
     StatusCode,
+    encode_overload_detail,
     encode_request,
     encode_response,
+    parse_overload_detail,
 )
 from .server import ServerStats, XrpcServer
 from .service import (
@@ -38,9 +41,12 @@ from .transport import ConnectionClosed, Listener, Network, SimSocket, Transport
 __all__ = [
     "RetryPolicy",
     "RpcError",
+    "RpcResourceExhaustedError",
     "RpcTimeoutError",
     "RpcTransportError",
     "XrpcChannel",
+    "encode_overload_detail",
+    "parse_overload_detail",
     "OffloadedXrpcServer",
     "register_offloaded_servicer",
     "Frame",

@@ -10,6 +10,8 @@ to modify the xRPC server address").
 from __future__ import annotations
 
 import itertools
+import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,18 +23,27 @@ from repro.proto.fixed_wire import (
     negotiation_hash,
     service_types,
 )
+from repro.runtime.overload import LANE_LATENCY, RetryBudget, now_us, pack_deadline
 
 from .framing import (
     FrameDecoder,
     FrameType,
     StatusCode,
     encode_setup,
+    parse_overload_detail,
     request_frame_size,
     write_request_header,
 )
 from .transport import Network, SimSocket
 
-__all__ = ["RpcError", "RpcTimeoutError", "RpcTransportError", "RetryPolicy", "XrpcChannel"]
+__all__ = [
+    "RpcError",
+    "RpcTimeoutError",
+    "RpcTransportError",
+    "RpcResourceExhaustedError",
+    "RetryPolicy",
+    "XrpcChannel",
+]
 
 
 class RpcError(RuntimeError):
@@ -45,18 +56,25 @@ class RpcError(RuntimeError):
 
 
 class RpcTimeoutError(RpcError):
-    """No response arrived within the call's iteration budget.  The
+    """The call's deadline passed.  ``stage`` names where: ``"client"``
+    when no response arrived within the local iteration budget (the
     pending-call entry is cleaned up before this is raised — a response
     that straggles in later is dropped by :meth:`XrpcChannel.poll`
-    instead of firing a dead callback."""
+    instead of firing a dead callback), or the server-side stage that
+    dropped the expired request (``dpu_ingress``, ``host_dispatch``,
+    ``response_emit``, ``dispatch``) when the propagated deadline
+    expired in the datapath (docs/OVERLOAD.md)."""
 
-    def __init__(self, method: str, iterations: int) -> None:
-        super().__init__(
-            StatusCode.DEADLINE_EXCEEDED,
-            f"no response to {method} after {iterations} iterations",
+    def __init__(self, method: str, iterations: int, stage: str = "client") -> None:
+        detail = (
+            f"no response to {method} after {iterations} iterations"
+            if stage == "client"
+            else f"{method} deadline expired at {stage}"
         )
+        super().__init__(StatusCode.DEADLINE_EXCEEDED, detail)
         self.method = method
         self.iterations = iterations
+        self.stage = stage
 
 
 class RpcTransportError(RpcError):
@@ -67,22 +85,54 @@ class RpcTransportError(RpcError):
         super().__init__(StatusCode.UNAVAILABLE, detail)
 
 
+class RpcResourceExhaustedError(RpcError):
+    """The server's admission controller shed the call before executing
+    it (docs/OVERLOAD.md).  Always retryable — even for non-idempotent
+    methods, since a shed request never ran — subject to the channel's
+    retry budget; ``retry_after_ticks`` is the server's backoff hint in
+    drive iterations."""
+
+    def __init__(self, method: str, stage: str = "",
+                 retry_after_ticks: int = 0) -> None:
+        super().__init__(
+            StatusCode.RESOURCE_EXHAUSTED,
+            f"{method} shed at {stage or 'server'}"
+            f" (retry after {retry_after_ticks} ticks)",
+        )
+        self.method = method
+        self.stage = stage
+        self.retry_after_ticks = retry_after_ticks
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Capped exponential backoff for idempotent calls.
+    """Jittered capped exponential backoff.
 
-    Attempt *n* (0-based) waits ``min(base_iters * 2**n, cap_iters)``
-    drive iterations before re-sending.  Only timeouts and transport
-    failures are retried — application-level statuses never are — and
-    only when the caller marked the call idempotent, since a timed-out
-    request may still execute on the server."""
+    Attempt *n* (0-based) waits up to ``ceiling = min(base_iters * 2**n,
+    cap_iters)`` drive iterations before re-sending.  With ``jitter``
+    (the default) and an ``rng``, the wait is drawn uniformly from
+    ``[1, ceiling]`` ("full jitter"): clients that failed together retry
+    *spread out* instead of in synchronized bursts that re-overload the
+    server the moment it recovers.  Without an rng (or with
+    ``jitter=False``) the wait is the deterministic ceiling — the
+    pre-overload-control behavior.
+
+    Only timeouts, transport failures, and admission sheds are retried —
+    application-level statuses never are.  Timeouts and transport
+    failures additionally require the caller to mark the call
+    idempotent, since a timed-out request may still execute on the
+    server; sheds never executed, so they are always retryable."""
 
     max_retries: int = 3
     base_iters: int = 64
     cap_iters: int = 4096
+    jitter: bool = True
 
-    def backoff(self, attempt: int) -> int:
-        return min(self.base_iters * (1 << attempt), self.cap_iters)
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> int:
+        ceiling = min(self.base_iters * (1 << attempt), self.cap_iters)
+        if rng is None or not self.jitter:
+            return ceiling
+        return 1 + rng.randrange(ceiling)
 
 
 class XrpcChannel:
@@ -129,10 +179,27 @@ class XrpcChannel:
         self.drive: Callable[[], None] | None = None
         #: backoff schedule used by call_sync for idempotent retries
         self.retry_policy = RetryPolicy()
+        #: token bucket bounding retry amplification (docs/OVERLOAD.md);
+        #: exhausted budget means the last error propagates un-retried
+        self.retry_budget = RetryBudget()
+        # Deterministic per-channel jitter stream: crc32 of the channel
+        # name (hash() is salted per process, crc32 is not), so runs are
+        # reproducible while distinct channels still de-synchronize.
+        self._retry_rng = random.Random(zlib.crc32(name.encode()) or 1)
+        #: relative deadline stamped on every call when the caller gives
+        #: none (0 = no deadline); see :meth:`call`
+        self.default_timeout_us = 0
+        #: priority lane for calls that don't specify one
+        self.default_lane = LANE_LATENCY
         # -- failure statistics ----------------------------------------------
         self.timeouts = 0
         self.retries = 0
         self.transport_errors = 0
+        #: calls shed by server admission control (RESOURCE_EXHAUSTED)
+        self.sheds = 0
+        #: detail bytes of the most recent non-OK response frame, for the
+        #: error-callback path (callbacks only receive (None, status))
+        self.last_error_detail = b""
         #: StageRecorder (repro.obs) — None keeps every hook free.
         self.trace = None
         self._trace_by_call: dict[int, object] = {}
@@ -180,10 +247,31 @@ class XrpcChannel:
         request: Message,
         response_cls: type[Message],
         callback: Callable[[Message | None, int], None],
+        timeout_us: int | None = None,
+        lane: int | None = None,
     ) -> int:
         """Start a unary call; ``callback(response, status)`` fires on
-        completion (response is None unless status == OK)."""
+        completion (response is None unless status == OK).
+
+        ``timeout_us`` (or the channel's ``default_timeout_us``) stamps
+        an absolute deadline word into the request frame: every datapath
+        stage drops the request once the deadline passes instead of
+        doing further work on it.  ``lane`` rides in the same word and
+        classifies the request for admission control (docs/OVERLOAD.md).
+        """
         call_id = next(self._call_ids)
+        if timeout_us is None:
+            timeout_us = self.default_timeout_us
+        if lane is None:
+            lane = self.default_lane
+        deadline_word = 0
+        if timeout_us:
+            deadline_word = pack_deadline(now_us() + timeout_us, lane)
+        elif lane != LANE_LATENCY:
+            # No deadline, but the lane still matters to admission
+            # control: a packed deadline of 0 means "never expires", so
+            # the word costs 8 bytes and carries only the lane bit.
+            deadline_word = pack_deadline(0, lane)
         self._pending[call_id] = (response_cls, callback)
         if self.trace is not None:
             # The client's view of the call is its own small timeline —
@@ -209,8 +297,11 @@ class XrpcChannel:
         if sized is None:
             sized = prepare_emit(request, mode=self.encode_mode)
         m = method.encode("utf-8")
-        frame = bytearray(request_frame_size(len(m), sized.size))
-        payload_at = write_request_header(frame, call_id, m, sized.size, wire_mode)
+        frame = bytearray(
+            request_frame_size(len(m), sized.size, deadline=bool(deadline_word))
+        )
+        payload_at = write_request_header(frame, call_id, m, sized.size,
+                                          wire_mode, deadline_word)
         sized.emit_into(frame, payload_at)
         self.socket.send(frame)
         return call_id
@@ -229,52 +320,101 @@ class XrpcChannel:
         response_cls: type[Message],
         max_iters: int = 100_000,
         idempotent: bool = False,
+        timeout_us: int | None = None,
+        lane: int | None = None,
     ) -> Message:
         """Synchronous unary call.  Requires :attr:`drive` so the server
         (and the DPU/host datapath behind it) can make progress.
 
         Failure semantics: no response within ``max_iters`` raises
         :class:`RpcTimeoutError` (after cleaning up the pending call);
-        UNAVAILABLE/ABORTED statuses raise :class:`RpcTransportError`.
-        With ``idempotent=True`` both are retried per
-        :attr:`retry_policy` — capped exponential backoff, then the last
-        error propagates.  Non-idempotent calls never retry: a timed-out
-        request may still execute server-side."""
+        UNAVAILABLE/ABORTED statuses raise :class:`RpcTransportError`;
+        admission sheds raise :class:`RpcResourceExhaustedError`; a
+        propagated deadline (``timeout_us``) that expires in the
+        datapath raises :class:`RpcTimeoutError` with the dropping
+        stage.
+
+        Retry hygiene (docs/OVERLOAD.md): retries wait per
+        :attr:`retry_policy` — jittered capped exponential backoff,
+        never less than the server's retry-after hint — and each retry
+        spends a :attr:`retry_budget` token; an exhausted budget
+        propagates the last error immediately.  Client-side timeouts and
+        transport failures retry only with ``idempotent=True`` (a
+        timed-out request may still execute server-side); admission
+        sheds always may (they never executed); server-observed deadline
+        expiry never retries (the caller's deadline has passed)."""
         if self.drive is None:
             raise RuntimeError("call_sync needs channel.drive to advance the server")
-        attempts = self.retry_policy.max_retries + 1 if idempotent else 1
-        last_error: RpcError | None = None
+        attempts = self.retry_policy.max_retries + 1
         for attempt in range(attempts):
-            if attempt:
+            try:
+                response = self._call_sync_once(
+                    method, request, response_cls, max_iters, timeout_us, lane
+                )
+                self.retry_budget.on_success()
+                return response
+            except (RpcTimeoutError, RpcTransportError,
+                    RpcResourceExhaustedError) as exc:
+                if (
+                    attempt == attempts - 1
+                    or not self._retryable(exc, idempotent)
+                    or not self.retry_budget.try_spend()
+                ):
+                    raise
                 self.retries += 1
                 if self.trace is not None:
-                    self.trace.instant("retry", method=method, attempt=attempt)
-                for _ in range(self.retry_policy.backoff(attempt - 1)):
+                    self.trace.instant("retry", method=method,
+                                       attempt=attempt + 1, status=exc.status)
+                hint = getattr(exc, "retry_after_ticks", 0)
+                wait = max(self.retry_policy.backoff(attempt, self._retry_rng),
+                           hint)
+                for _ in range(wait):
                     self.drive()
                     self.poll()
-            try:
-                return self._call_sync_once(method, request, response_cls, max_iters)
-            except (RpcTimeoutError, RpcTransportError) as exc:
-                last_error = exc
-        raise last_error
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _retryable(exc: RpcError, idempotent: bool) -> bool:
+        if isinstance(exc, RpcResourceExhaustedError):
+            return True  # shed before execution: safe for any method
+        if isinstance(exc, RpcTimeoutError):
+            # Only the *local* iteration budget is worth retrying; a
+            # datapath-reported expiry means the caller's deadline passed.
+            return idempotent and exc.stage == "client"
+        return idempotent  # RpcTransportError
 
     def _call_sync_once(
-        self, method: str, request: Message, response_cls: type[Message], max_iters: int
+        self,
+        method: str,
+        request: Message,
+        response_cls: type[Message],
+        max_iters: int,
+        timeout_us: int | None = None,
+        lane: int | None = None,
     ) -> Message:
         result: list = []
 
         def done(response: Message | None, status: int) -> None:
-            result.append((response, status))
+            result.append((response, status, self.last_error_detail))
 
-        call_id = self.call(method, request, response_cls, done)
+        call_id = self.call(method, request, response_cls, done,
+                            timeout_us=timeout_us, lane=lane)
         for _ in range(max_iters):
             self.drive()
             self.poll()
             if result:
-                response, status = result[0]
+                response, status, detail = result[0]
                 if status in (StatusCode.UNAVAILABLE, StatusCode.ABORTED):
                     self.transport_errors += 1
                     raise RpcTransportError(f"{method}: status {status}")
+                if status == StatusCode.RESOURCE_EXHAUSTED:
+                    self.sheds += 1
+                    stage, retry_after = parse_overload_detail(detail)
+                    raise RpcResourceExhaustedError(method, stage, retry_after)
+                if status == StatusCode.DEADLINE_EXCEEDED:
+                    self.timeouts += 1
+                    stage, _ = parse_overload_detail(detail)
+                    raise RpcTimeoutError(method, 0, stage=stage or "server")
                 if status != StatusCode.OK:
                     raise RpcError(status, repr(response))
                 return response
@@ -335,6 +475,10 @@ class XrpcChannel:
                         StatusCode.OK,
                     )
             else:
+                # Callbacks only see (None, status); stash the frame's
+                # detail bytes (shed stage, retry-after hint) so callers
+                # that need them can read last_error_detail synchronously.
+                self.last_error_detail = frame.message
                 callback(None, frame.status)
             completed += 1
         return completed

@@ -20,17 +20,20 @@ null pointer for simplicity"), and return a response Message.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core import Flags, IncomingRequest
 from repro.offload.engine import DpuEngine, EngineCrashedError, HostEngine
 from repro.proto.descriptor import ServiceDescriptor
 from repro.proto.fixed_wire import negotiation_hash, service_types
+from repro.runtime.overload import deadline_expired, now_us
 
 from .framing import (
     FrameDecoder,
     FrameType,
     StatusCode,
+    encode_overload_detail,
     encode_response,
     encode_setup_ack,
     response_frame_size,
@@ -74,6 +77,24 @@ class OffloadedXrpcServer:
         #: requests served through the degraded path (DPU engine down →
         #: wire bytes forwarded for host-side deserialization)
         self.fallback_requests = 0
+        #: AdmissionController (repro.runtime.overload) — None admits
+        #: everything with zero overhead (docs/OVERLOAD.md)
+        self.admission = None
+        #: CircuitBreaker on the *offload* path — while open, requests
+        #: take the host-parse fallback even though the DPU engine is up
+        self.breaker = None
+        #: requests routed to host-parse because the breaker denied the
+        #: offload path (distinct from fallback_requests' crash failover)
+        self.breaker_fallbacks = 0
+        #: requests dropped expired-on-arrival at the DPU, before the
+        #: arena deserializer touched them
+        self.deadline_expired = {"dpu_ingress": 0}
+        # Two priority lanes of decoded-but-unforwarded requests:
+        # (conn, frame, arrival_us).  Latency lane drains first; with
+        # budget=None both drain fully each pass.
+        self._lanes = (deque(), deque())
+        # Event-loop pass counter — the breaker's monotonic time unit.
+        self._ticks = 0
         #: Perturbs this front end's fixed-layout negotiation hash; any
         #: non-empty value forces SETUP mismatches (fault injection).
         self.layout_salt = layout_salt
@@ -92,13 +113,16 @@ class OffloadedXrpcServer:
         """One event-loop pass: accept, convert xRPC→RPC over RDMA,
         advance the protocol (responses fire continuations that write
         back to the right client socket).  ``budget`` caps the requests
-        forwarded in one pass."""
+        *forwarded* in one pass — expired drops and admission sheds are
+        cheap and never charged against it; unforwarded requests wait in
+        their priority lane, where their sojourn feeds CoDel-style
+        admission (docs/OVERLOAD.md)."""
+        self._ticks += 1
         while self.listener is not None:
             sock = self.listener.accept()
             if sock is None:
                 break
             self._connections.append(_Connection(sock))
-        forwarded = 0
         for conn in self._connections:
             data = conn.socket.recv(1 << 20)
             if data:
@@ -107,16 +131,69 @@ class OffloadedXrpcServer:
                 if frame.frame_type is FrameType.SETUP:
                     self._answer_setup(conn, frame.method)
                 elif frame.frame_type is FrameType.REQUEST:
-                    self._forward(
-                        conn, frame.call_id, frame.method, frame.message,
-                        frame.wire_mode,
+                    lane = frame.deadline_word & 1
+                    stamp = (
+                        now_us()
+                        if self.admission is not None or frame.deadline_word
+                        else 0
                     )
-                    forwarded += 1
-            if budget is not None and forwarded >= budget:
-                break
+                    self._lanes[lane].append((conn, frame, stamp))
+        forwarded = 0
+        for lane, queue in enumerate(self._lanes):
+            while queue and (budget is None or forwarded < budget):
+                conn, frame, arrival = queue.popleft()
+                if conn.socket.eof():
+                    continue  # client gone; a reply would be dropped anyway
+                if self._drop_or_shed(conn, frame, lane, arrival):
+                    continue
+                forwarded += 1
+                self._forward(
+                    conn, frame.call_id, frame.method, frame.message,
+                    frame.wire_mode, frame.deadline_word,
+                )
         self.dpu.progress(budget)
         self._connections = [c for c in self._connections if not c.socket.eof()]
         return forwarded
+
+    def _drop_or_shed(self, conn: _Connection, frame, lane: int,
+                      arrival: int) -> bool:
+        """DPU-ingress overload checks, ahead of the arena deserializer:
+        expired-on-arrival requests are dropped, then the admission
+        controller may shed.  The depth signal counts both lanes *and*
+        the requests already in flight to the host — queueing at the
+        PCIe handoff is where the tail lives (nanoPU, PAPERS.md).
+        Returns True when the request was answered without forwarding."""
+        word = frame.deadline_word
+        if word and deadline_expired(word):
+            self.deadline_expired["dpu_ingress"] += 1
+            if self.trace is not None:
+                self.trace.instant("deadline_expired", stage="dpu_ingress",
+                                   call_id=frame.call_id)
+            conn.socket.send(encode_response(
+                frame.call_id, StatusCode.DEADLINE_EXCEEDED,
+                encode_overload_detail("dpu_ingress"),
+            ))
+            return True
+        if self.admission is None:
+            return False
+        now = now_us()
+        self.admission.note_sojourn(now - arrival, now)
+        depth = (
+            1
+            + sum(len(q) for q in self._lanes)
+            + self.dpu.channel.client.outstanding
+        )
+        decision = self.admission.decide(lane, depth, now)
+        if decision.admit:
+            return False
+        if self.trace is not None:
+            self.trace.instant("shed", lane=lane, call_id=frame.call_id,
+                               reason=decision.reason)
+        conn.socket.send(encode_response(
+            frame.call_id, StatusCode.RESOURCE_EXHAUSTED,
+            encode_overload_detail("dpu_admission", decision.retry_after_ticks),
+        ))
+        return True
 
     def adopt(self, socket: SimSocket) -> None:
         """Serve a pre-established connection (no listener involved)."""
@@ -138,7 +215,7 @@ class OffloadedXrpcServer:
 
     def _forward(
         self, conn: _Connection, call_id: int, method: str, payload: bytes,
-        wire_mode: int = 0,
+        wire_mode: int = 0, deadline_word: int = 0,
     ) -> None:
         method_id = self._method_ids.get(method)
         if method_id is None:
@@ -149,6 +226,21 @@ class OffloadedXrpcServer:
         if self.trace is not None:
             ctx = self.trace.context(method=method, call_id=call_id)
             self.trace.event(ctx, "ingress", bytes=len(payload))
+        # Offload-path circuit breaker (repro.runtime.overload): while
+        # open, route through host-parse fallback even though the DPU is
+        # healthy; while half-open, responses below grade the probes.
+        offloaded = self.dpu.ready
+        if (
+            offloaded
+            and self.breaker is not None
+            and not self.breaker.allow(self._ticks)
+        ):
+            offloaded = False
+            self.breaker_fallbacks += 1
+            if self.trace is not None:
+                self.trace.event(ctx, "breaker_fallback",
+                                 state=self.breaker.state)
+        probe = offloaded and self.breaker is not None
 
         def on_response(view: memoryview, flags: int) -> None:
             # The host's response is already serialized protobuf; the DPU
@@ -156,7 +248,11 @@ class OffloadedXrpcServer:
             # is copied exactly once — from the protocol block straight
             # into the outgoing frame, with no intermediate bytes object.
             self.responses_returned += 1
-            if flags & Flags.ABORTED:
+            if flags & Flags.EXPIRED:
+                # The propagated deadline expired in the datapath; the
+                # payload names the dropping stage (docs/OVERLOAD.md).
+                status = StatusCode.DEADLINE_EXCEEDED
+            elif flags & Flags.ABORTED:
                 # The datapath gave up on this request (deadline expiry,
                 # connection reset without replay): ABORTED is retryable,
                 # INTERNAL would not be.
@@ -165,6 +261,11 @@ class OffloadedXrpcServer:
                 status = StatusCode.INTERNAL
             else:
                 status = StatusCode.OK
+            if probe:
+                if flags & Flags.ERROR and not flags & Flags.EXPIRED:
+                    self.breaker.record_failure(self._ticks)
+                else:
+                    self.breaker.record_success(self._ticks)
             if self.trace is not None and ctx is not None:
                 self.trace.event(ctx, "respond", status=int(status),
                                  flags=flags, bytes=len(view))
@@ -174,23 +275,25 @@ class OffloadedXrpcServer:
             conn.socket.send(frame)
 
         try:
-            if not self.dpu.ready:
+            if not offloaded:
                 # Graceful degradation (docs/FAULTS.md): with the DPU
                 # engine down — or freshly respawned and still awaiting
                 # its bootstrap blob — keep serving by shipping wire
                 # bytes for host-side deserialization: slower, never
-                # unavailable.
-                self.fallback_requests += 1
+                # unavailable.  Breaker denials land here too (with the
+                # engine healthy); those were counted above instead.
+                if not self.dpu.ready:
+                    self.fallback_requests += 1
                 self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx,
-                                  wire_mode=wire_mode)
+                                  wire_mode=wire_mode, deadline=deadline_word)
             else:
                 self.dpu.call(method_id, payload, on_response, trace_ctx=ctx,
-                              wire_mode=wire_mode)
+                              wire_mode=wire_mode, deadline=deadline_word)
         except EngineCrashedError:
             # Crash raced the check: same degradation, same request.
             self.fallback_requests += 1
             self.dpu.call_raw(method_id, payload, on_response, trace_ctx=ctx,
-                              wire_mode=wire_mode)
+                              wire_mode=wire_mode, deadline=deadline_word)
         except Exception:  # noqa: BLE001 — malformed request payloads
             conn.socket.send(encode_response(call_id, StatusCode.INVALID_ARGUMENT, b""))
 

@@ -11,12 +11,20 @@ Frame layout::
 
     u8   frame_type        # REQUEST / RESPONSE
     u32  call_id           # client-chosen stream id (odd, increasing)
-    u8   status            # gRPC status code (0 = OK); responses only
+    u8   status            # responses: gRPC status code (0 = OK)
+                           # requests:  request-flags byte (REQ_FLAG_*)
     u16  method_len        # requests only
     ...  method path       # "/pkg.Service/Method"
+    u64  deadline word     # requests with REQ_FLAG_DEADLINE only:
+                           # packed absolute deadline + priority lane
+                           # (repro.runtime.overload.pack_deadline)
     u8   compressed_flag   # gRPC message prefix; doubles as wire mode
     u32  message_len       # big-endian, as in gRPC
     ...  message bytes
+
+The status byte was always written as 0 on request frames, so reusing
+it as a request-flags byte is wire-compatible: old clients emit flags 0
+(no deadline word) and old servers treated the byte as padding.
 
 The compressed flag doubles as the **wire mode**: 0 is standard
 protobuf wire, 1 remains gRPC "compressed" (rejected), and 2 marks a
@@ -39,10 +47,13 @@ __all__ = [
     "StatusCode",
     "Frame",
     "FramingError",
+    "REQ_FLAG_DEADLINE",
     "encode_request",
     "encode_response",
     "encode_setup",
     "encode_setup_ack",
+    "encode_overload_detail",
+    "parse_overload_detail",
     "request_frame_size",
     "response_frame_size",
     "write_request_header",
@@ -72,10 +83,18 @@ class StatusCode:
     INVALID_ARGUMENT = 3
     DEADLINE_EXCEEDED = 4
     NOT_FOUND = 5
+    #: admission control shed the request before execution; the detail
+    #: carries a retry-after hint (docs/OVERLOAD.md).  Safe to retry even
+    #: for non-idempotent calls — shed requests never ran.
+    RESOURCE_EXHAUSTED = 8
     ABORTED = 10
     UNIMPLEMENTED = 12
     INTERNAL = 13
     UNAVAILABLE = 14
+
+
+#: request-flags bit: an 8-byte packed deadline word follows the method
+REQ_FLAG_DEADLINE = 0x01
 
 
 @dataclass(frozen=True)
@@ -87,16 +106,24 @@ class Frame:
     message: bytes
     #: WIRE_STANDARD (0) or WIRE_FIXED (2) — how ``message`` is encoded
     wire_mode: int = WIRE_STANDARD
+    #: packed deadline + lane (repro.runtime.overload), 0 when the
+    #: request carried no deadline word
+    deadline_word: int = 0
 
 
 _HEADER = struct.Struct("<BIBH")
 _PREFIX = struct.Struct(">BI")  # gRPC's 5-byte prefix: compressed flag + u32 BE length
+_DEADLINE = struct.Struct("<Q")
 
 
-def request_frame_size(method_len: int, message_size: int) -> int:
+def request_frame_size(
+    method_len: int, message_size: int, deadline: bool = False
+) -> int:
     """Total bytes of a request frame carrying ``message_size`` payload
-    bytes — what a caller allocates before :func:`write_request_header`."""
-    return _HEADER.size + method_len + _PREFIX.size + message_size
+    bytes — what a caller allocates before :func:`write_request_header`.
+    ``deadline`` reserves the 8-byte deadline word."""
+    size = _HEADER.size + method_len + _PREFIX.size + message_size
+    return size + _DEADLINE.size if deadline else size
 
 
 def response_frame_size(message_size: int) -> int:
@@ -107,7 +134,7 @@ def response_frame_size(message_size: int) -> int:
 
 def write_request_header(
     buf, call_id: int, method: bytes, message_size: int,
-    wire_mode: int = WIRE_STANDARD,
+    wire_mode: int = WIRE_STANDARD, deadline_word: int = 0,
 ) -> int:
     """Write a request frame's header + method + message prefix into
     ``buf`` (a writable buffer of at least ``request_frame_size`` bytes);
@@ -115,12 +142,18 @@ def write_request_header(
 
     The reserve-then-fill half of the zero-copy send path: the serializer
     emits the payload in place at the returned offset instead of handing
-    over a ``bytes`` object for concatenation.
+    over a ``bytes`` object for concatenation.  A non-zero
+    ``deadline_word`` sets REQ_FLAG_DEADLINE and spends 8 bytes after the
+    method path (size the buffer with ``deadline=True``).
     """
-    _HEADER.pack_into(buf, 0, FrameType.REQUEST, call_id, 0, len(method))
+    req_flags = REQ_FLAG_DEADLINE if deadline_word else 0
+    _HEADER.pack_into(buf, 0, FrameType.REQUEST, call_id, req_flags, len(method))
     pos = _HEADER.size
     end = pos + len(method)
     buf[pos:end] = method
+    if deadline_word:
+        _DEADLINE.pack_into(buf, end, deadline_word)
+        end += _DEADLINE.size
     _PREFIX.pack_into(buf, end, wire_mode, message_size)
     return end + _PREFIX.size
 
@@ -136,10 +169,15 @@ def write_response_header(
     return _HEADER.size + _PREFIX.size
 
 
-def encode_request(call_id: int, method: str, message: bytes) -> bytes:
+def encode_request(
+    call_id: int, method: str, message: bytes, deadline_word: int = 0
+) -> bytes:
     m = method.encode("utf-8")
-    buf = bytearray(request_frame_size(len(m), len(message)))
-    pos = write_request_header(buf, call_id, m, len(message))
+    buf = bytearray(
+        request_frame_size(len(m), len(message), deadline=bool(deadline_word))
+    )
+    pos = write_request_header(buf, call_id, m, len(message),
+                               deadline_word=deadline_word)
     buf[pos:] = message
     return bytes(buf)
 
@@ -160,6 +198,28 @@ def encode_setup(layout_hash: str) -> bytes:
     buf[_HEADER.size : _HEADER.size + len(h)] = h
     _PREFIX.pack_into(buf, _HEADER.size + len(h), 0, 0)
     return bytes(buf)
+
+
+def encode_overload_detail(stage: str, retry_after_ticks: int = 0) -> bytes:
+    """Error-detail payload for RESOURCE_EXHAUSTED / DEADLINE_EXCEEDED
+    responses: names the stage that shed or dropped the request and (for
+    sheds) the server's retry-after hint in client drive iterations."""
+    if retry_after_ticks:
+        return f"stage={stage};retry_after_ticks={retry_after_ticks}".encode()
+    return f"stage={stage}".encode()
+
+
+def parse_overload_detail(data: bytes) -> tuple[str, int]:
+    """Inverse of :func:`encode_overload_detail`: (stage, retry_after).
+    Unknown payloads decode to ("", 0) — the detail is advisory."""
+    stage, ticks = "", 0
+    for part in data.decode("utf-8", "replace").split(";"):
+        key, _, value = part.partition("=")
+        if key == "stage":
+            stage = value
+        elif key == "retry_after_ticks" and value.isdigit():
+            ticks = int(value)
+    return stage, ticks
 
 
 def encode_setup_ack(status: int) -> bytes:
@@ -201,10 +261,19 @@ class FrameDecoder:
         ):
             raise FramingError(f"unknown frame type {frame_type}")
         pos = _HEADER.size
-        if len(buf) < pos + method_len + _PREFIX.size:
+        deadline_len = (
+            _DEADLINE.size
+            if frame_type == FrameType.REQUEST and status & REQ_FLAG_DEADLINE
+            else 0
+        )
+        if len(buf) < pos + method_len + deadline_len + _PREFIX.size:
             return None
         method = bytes(buf[pos : pos + method_len]).decode("utf-8")
         pos += method_len
+        deadline_word = 0
+        if deadline_len:
+            (deadline_word,) = _DEADLINE.unpack_from(buf, pos)
+            pos += deadline_len
         wire_mode, msg_len = _PREFIX.unpack_from(buf, pos)
         if wire_mode not in (WIRE_STANDARD, 1, WIRE_FIXED):
             raise FramingError(f"bad compressed flag {wire_mode}")
@@ -215,4 +284,5 @@ class FrameDecoder:
             return None
         message = bytes(buf[pos : pos + msg_len])
         del buf[: pos + msg_len]
-        return Frame(frame_type, call_id, status, method, message, wire_mode)
+        return Frame(frame_type, call_id, status, method, message, wire_mode,
+                     deadline_word)

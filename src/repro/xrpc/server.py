@@ -10,6 +10,7 @@ in the offloaded configuration.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.proto import Message, MessageFactory, WireFormatError, parse, prepare_emit
@@ -19,11 +20,13 @@ from repro.proto.fixed_wire import (
     get_fixed_layout,
     negotiation_hash,
 )
+from repro.runtime.overload import deadline_expired, now_us
 
 from .framing import (
     FrameDecoder,
     FrameType,
     StatusCode,
+    encode_overload_detail,
     encode_response,
     encode_setup_ack,
     response_frame_size,
@@ -83,6 +86,16 @@ class XrpcServer:
         self._methods: dict[str, MethodBinding] = {}
         self._connections: list[_Connection] = []
         self.stats = ServerStats()
+        #: AdmissionController (repro.runtime.overload) — None admits
+        #: everything with zero overhead (docs/OVERLOAD.md)
+        self.admission = None
+        #: requests dropped expired-on-arrival, before any decode work
+        self.deadline_expired = {"dispatch": 0}
+        # Two priority lanes of decoded-but-unserved requests:
+        # (conn, frame, arrival_us).  The latency lane always drains
+        # first; with budget=None both drain fully every pass, so the
+        # lanes only reorder under an explicit per-pass budget.
+        self._lanes = (deque(), deque())
         #: StageRecorder (repro.obs) — None keeps every hook free.
         self.trace = None
 
@@ -107,13 +120,14 @@ class XrpcServer:
         """Accept connections and serve buffered requests; returns the
         number of requests handled this pass.  Registerable with a
         :class:`~repro.runtime.engine.ProgressEngine`; ``budget`` caps
-        the requests served in one pass."""
+        the requests *served* in one pass (overload drops and sheds are
+        cheap and never charged against it) — unserved requests stay in
+        their priority lane for the next pass."""
         while True:
             sock = self.listener.accept()
             if sock is None:
                 break
             self._connections.append(_Connection(sock))
-        handled = 0
         for conn in self._connections:
             data = conn.socket.recv(1 << 20)
             if data:
@@ -122,15 +136,59 @@ class XrpcServer:
                 if frame.frame_type is FrameType.SETUP:
                     self._answer_setup(conn, frame.method)
                 elif frame.frame_type is FrameType.REQUEST:
-                    handled += 1
-                    self._serve(
-                        conn, frame.call_id, frame.method, frame.message,
-                        frame.wire_mode,
+                    lane = frame.deadline_word & 1
+                    stamp = (
+                        now_us()
+                        if self.admission is not None or frame.deadline_word
+                        else 0
                     )
-            if budget is not None and handled >= budget:
-                break
+                    self._lanes[lane].append((conn, frame, stamp))
+        handled = 0
+        for lane, queue in enumerate(self._lanes):
+            while queue and (budget is None or handled < budget):
+                conn, frame, arrival = queue.popleft()
+                if conn.socket.eof():
+                    continue  # client gone; a reply would be dropped anyway
+                if self._drop_or_shed(conn, frame, lane, arrival):
+                    continue
+                handled += 1
+                self._serve(
+                    conn, frame.call_id, frame.method, frame.message,
+                    frame.wire_mode,
+                )
         self._connections = [c for c in self._connections if not c.socket.eof()]
         return handled
+
+    def _drop_or_shed(self, conn: _Connection, frame, lane: int,
+                      arrival: int) -> bool:
+        """Overload checks ahead of any decode work: expired-on-arrival
+        requests are dropped, then the admission controller may shed.
+        Returns True when the request was answered without serving."""
+        word = frame.deadline_word
+        if word and deadline_expired(word):
+            self.deadline_expired["dispatch"] += 1
+            if self.trace is not None:
+                self.trace.instant("deadline_expired", stage="dispatch",
+                                   call_id=frame.call_id)
+            self._respond(conn, frame.call_id, StatusCode.DEADLINE_EXCEEDED,
+                          encode_overload_detail("dispatch"))
+            return True
+        if self.admission is None:
+            return False
+        now = now_us()
+        self.admission.note_sojourn(now - arrival, now)
+        depth = 1 + sum(len(q) for q in self._lanes)
+        decision = self.admission.decide(lane, depth, now)
+        if decision.admit:
+            return False
+        if self.trace is not None:
+            self.trace.instant("shed", lane=lane, call_id=frame.call_id,
+                               reason=decision.reason)
+        self._respond(
+            conn, frame.call_id, StatusCode.RESOURCE_EXHAUSTED,
+            encode_overload_detail("dispatch", decision.retry_after_ticks),
+        )
+        return True
 
     def _answer_setup(self, conn: _Connection, offered_hash: str) -> None:
         """WIRE_FIXED negotiation: compare the client's layout hash with
