@@ -10,13 +10,21 @@ reduction at throughput parity) holds beyond the three synthetic shapes.
 
 from __future__ import annotations
 
+import json
+import pathlib
+import time
+import tracemalloc
+
 import pytest
 
+from repro.core import Response, create_channel
 from repro.memory import AddressSpace, Arena, MemoryRegion
 from repro.offload import ArenaDeserializer, TypeUniverse
 from repro.proto import serialize
 from repro.sim import DatapathSimulator, Scenario, WorkloadProfile
 from repro.workloads import FLEET_MIX, WorkloadFactory, deeply_nested, nested_schema
+
+BENCH_JSON = pathlib.Path(__file__).parents[1] / "BENCH_trace.json"
 
 
 def test_fleet_mix_datapath(report, benchmark):
@@ -44,6 +52,150 @@ def test_fleet_mix_datapath(report, benchmark):
 
     assert 0.7 <= dpu.requests_per_second / cpu.requests_per_second <= 1.4
     assert cpu.host_cores_used / dpu.host_cores_used > 1.5
+
+
+def test_trace_overhead(report):
+    """Observability cost on the fleet-shaped request path, in tiers.
+
+    The contract the datapath makes (docs/OBSERVABILITY.md#overhead) is
+    that tracing is *free when off*: every hook is one ``is not None``
+    test and the disabled path allocates nothing in ``obs``.  That is
+    the gated number — a channel whose hooks were armed and detached
+    must stay within 5 % of one never armed, and tracemalloc must see
+    zero obs allocations.  Full-fidelity tracing records ~10 stage
+    events per request in pure Python, so its enabled-vs-disabled RPS
+    delta (and the telemetry hub's marginal cost on top) is measured
+    and *reported* into ``BENCH_trace.json`` rather than gated — the
+    fidelity is the product, the disabled path is the promise."""
+    METHOD = 1
+    factory = WorkloadFactory()
+    wires = [serialize(m) for m in FLEET_MIX.sample(factory, 64)]
+
+    def make_channel():
+        ch = create_channel()
+        ch.server.register(
+            METHOD, lambda req: Response.from_bytes(req.payload_bytes()))
+        return ch
+
+    def drive(ch, n: int) -> None:
+        done = []
+        k = len(wires)
+        for i in range(n):
+            ch.client.enqueue_bytes(
+                METHOD, wires[i % k], lambda v, f: done.append(f))
+            ch.client.progress()
+            ch.server.progress()
+        for _ in range(40 * n):
+            if len(done) == n:
+                break
+            ch.client.progress()
+            ch.server.progress()
+        assert len(done) == n
+
+    def measure(setups, n: int = 1_500, rounds: int = 5) -> dict:
+        # interleave the tiers round-robin so clock drift and machine
+        # noise land on every tier equally, then take each tier's best
+        best = {name: 0.0 for name in setups}
+        for _ in range(rounds):
+            for name, setup in setups.items():
+                ch = setup()
+                t0 = time.perf_counter()
+                drive(ch, n)
+                best[name] = max(best[name], n / (time.perf_counter() - t0))
+        return best
+
+    def disabled():
+        return make_channel()
+
+    def detached():
+        # hooks armed then removed: the disabled predicates must be
+        # exactly as inert as never having attached at all
+        from repro.obs import TraceCollector, attach_channel
+
+        ch = make_channel()
+        attach_channel(TraceCollector(), ch, stream="t")
+        ch.client.trace = None
+        ch.server.trace = None
+        ch.fabric.trace = None
+        return ch
+
+    def traced():
+        from repro.obs import TraceCollector, attach_channel
+
+        ch = make_channel()
+        attach_channel(TraceCollector(), ch, stream="t")
+        return ch
+
+    def telemetry():
+        from repro.obs import TelemetryHub, TraceCollector, attach_channel
+
+        ch = make_channel()
+        collector = TraceCollector()
+        ch._hub = TelemetryHub(collector, window_ticks=64)  # live sink
+        attach_channel(collector, ch, stream="t")
+        return ch
+
+    drive(make_channel(), 32)  # warm caches before any measurement
+    tiers = measure({
+        "disabled": disabled,
+        "detached": detached,
+        "traced": traced,
+        "telemetry": telemetry,
+    })
+
+    # zero-alloc check, same discipline as tests/obs/test_overhead_guard
+    ch = make_channel()
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    drive(ch, 8)
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    obs_allocs = [
+        stat for stat in after.compare_to(before, "filename")
+        if "/obs/" in stat.traceback[0].filename and stat.size_diff > 0
+    ]
+
+    disabled_overhead = 1.0 - tiers["detached"] / tiers["disabled"]
+    traced_delta = 1.0 - tiers["traced"] / tiers["disabled"]
+    telemetry_delta = 1.0 - tiers["telemetry"] / tiers["disabled"]
+    hub_marginal = 1.0 - tiers["telemetry"] / tiers["traced"]
+
+    payload = {
+        "requests_per_tier": 1_500,
+        "mean_wire_bytes": sum(len(w) for w in wires) // len(wires),
+        "rps": {k: round(v, 1) for k, v in tiers.items()},
+        "disabled_path_overhead": round(disabled_overhead, 4),
+        "enabled_vs_disabled_delta": round(traced_delta, 4),
+        "telemetry_vs_disabled_delta": round(telemetry_delta, 4),
+        "telemetry_marginal_over_traced": round(hub_marginal, 4),
+        "disabled_obs_allocations": len(obs_allocs),
+        "overhead_gate_pct": 5.0,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report(
+        "trace_overhead",
+        "\n".join([
+            f"{'tier':<10} {'rps':>9}   delta vs disabled",
+            *(
+                f"{name:<10} {v:>9.0f}   {1 - v / tiers['disabled']:>7.1%}"
+                for name, v in tiers.items()
+            ),
+            f"telemetry hub marginal over traced: {hub_marginal:.1%}",
+            f"disabled-path gate: {disabled_overhead:.1%} <= 5.0% "
+            f"(obs allocations: {len(obs_allocs)})",
+            f"persisted to {BENCH_JSON}",
+        ]),
+    )
+
+    # The gate: observability is free when off — armed-then-detached
+    # hooks cost <= 5 % vs never-armed, and allocate nothing in obs.
+    assert disabled_overhead <= 0.05, tiers
+    assert obs_allocs == [], [str(s) for s in obs_allocs]
+    # Sanity on the reported deltas: full tracing costs something, the
+    # hub costs more, and neither halves the datapath.
+    assert 0.0 <= traced_delta <= 0.5, tiers
+    assert tiers["telemetry"] <= tiers["traced"] + tiers["disabled"] * 0.02, tiers
 
 
 def test_bench_deeply_nested_deserialize(benchmark, report):

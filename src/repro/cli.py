@@ -11,8 +11,9 @@ code generator from a shell.
     python -m repro codegen FILE [-o DIR]      # generated codecs + WIRE_FIXED report
     python -m repro faults [--seed N] [--scenarios N]   # fault campaign
     python -m repro trace [--deployment D] [-o FILE]    # Perfetto trace
-    python -m repro top [--batches N]                   # stage latency table
+    python -m repro top [--batches N] [--live]          # stage latency table / live dashboard
     python -m repro metrics [--deployment D]            # Prometheus scrape
+    python -m repro tune [--bad-start] [--verify]       # closed-loop autotuner run
 """
 
 from __future__ import annotations
@@ -210,13 +211,108 @@ def _cmd_trace(args) -> int:
     return 0 if res.errors == 0 else 1
 
 
+def _open_loop_config(args):
+    from repro.workloads.openloop import OpenLoopConfig
+
+    return OpenLoopConfig(
+        seed=args.seed,
+        ticks=args.ticks,
+        offered_per_tick=args.offered,
+        capacity_per_tick=args.capacity,
+        bulk_fraction=args.bulk_fraction,
+    )
+
+
+#: the deliberately bad starting config (docs/AUTOTUNE.md#convergence):
+#: maximal response batching, minimal poller budget, starved credits
+BAD_START = (
+    ("flush_ticks", 16),
+    ("forward_budget", 1),
+    ("host_passes", 1),
+    ("credits", 2),
+)
+
+
+def _cmd_tune(args) -> int:
+    import json
+
+    from repro.runtime.overload import LANE_LATENCY
+    from repro.workloads.openloop import TuneConfig, run_autotuned
+
+    config = _open_loop_config(args)
+    tune = TuneConfig(
+        window_ticks=args.window,
+        enabled=not args.static,
+        initial=BAD_START if args.bad_start else (),
+    )
+    res = run_autotuned(config, tune)
+    if args.verify:
+        again = run_autotuned(config, tune)
+        if again.tuner_fingerprint != res.tuner_fingerprint:
+            print(
+                f"FINGERPRINT MISMATCH: {res.tuner_fingerprint} != "
+                f"{again.tuner_fingerprint}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"fingerprint verified: {res.tuner_fingerprint}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(res.summary(), indent=2))
+        return 0
+    for line in res.decision_log():
+        print(line)
+    print()
+    print(f"initial config: {res.initial_config}")
+    print(f"final config:   {res.final_config}")
+    print(
+        f"steady goodput {res.steady_goodput():.3f}/tick, "
+        f"latency-lane p99 {res.steady_p99_us(LANE_LATENCY):.0f}µs, "
+        f"{res.windows} windows, {len(res.decisions)} decisions "
+        f"({sum(1 for d in res.decisions if d.action == 'rollback')} rollbacks)"
+    )
+    print(f"decision fingerprint: {res.tuner_fingerprint}")
+    return 0
+
+
+def _top_live(args) -> int:
+    from repro.obs.telemetry import render_dashboard
+    from repro.runtime.overload import LANE_NAMES
+    from repro.workloads.openloop import TuneConfig, run_autotuned
+
+    config = _open_loop_config(args)
+    tune = TuneConfig(
+        window_ticks=args.window,
+        enabled=args.tune,
+        initial=BAD_START if args.bad_start else (),
+    )
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+
+    def observer(hub, slo, tuner, snapshot) -> None:
+        frame = render_dashboard(hub, slo=slo, tuner=tuner if args.tune else None,
+                                 lane_names=LANE_NAMES)
+        print(f"{clear}{frame}", flush=True)
+
+    res = run_autotuned(config, tune, observer=observer)
+    print(
+        f"done: {res.result.total_completed} completed over {res.result.ticks} "
+        f"ticks, {res.windows} windows", file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_top(args) -> int:
+    if args.live:
+        return _top_live(args)
     from repro.metrics import MetricsRegistry
     from repro.obs.runner import run_traced_workload
-    from repro.obs.timeline import StageLatencyExporter
+    from repro.obs.timeline import StageLatencyExporter, TailSampler
 
     registry = MetricsRegistry()
     latency = StageLatencyExporter(registry)
+    # Streaming tail sampling across batches: each batch is a fresh
+    # collector (its own epoch), so retained outliers age out instead of
+    # squatting in the slowest-N list with incomparable timestamps.
+    sampler = TailSampler(keep_slowest=10, keep_epochs=1)
     errors = 0
     for batch in range(args.batches):
         res = run_traced_workload(
@@ -224,10 +320,16 @@ def _cmd_top(args) -> int:
             transport=args.transport,
         )
         latency.observe(res.timelines)
+        sampler.retain(res.timelines, epoch=batch)
         errors += res.errors
         print(f"batch {batch + 1}/{args.batches}: "
               f"{res.requests - res.errors}/{res.requests} ok", file=sys.stderr)
     print(latency.table())
+    print(
+        f"tail sample: {len(sampler.retained())} retained "
+        f"({sampler.evicted} evicted across {args.batches} epochs)",
+        file=sys.stderr,
+    )
     return 0 if errors == 0 else 1
 
 
@@ -238,6 +340,26 @@ def _cmd_metrics(args) -> int:
                               transport=args.transport)
     print(res.registry.expose(), end="")
     return 0 if res.errors == 0 else 1
+
+
+def _add_openloop_args(subparser) -> None:
+    subparser.add_argument("--seed", type=int, default=2024,
+                           help="arrival-process seed (default 2024)")
+    subparser.add_argument("--ticks", type=int, default=1500,
+                           help="event-loop ticks to drive (default 1500)")
+    subparser.add_argument("--offered", type=float, default=1.6,
+                           help="mean arrivals per tick (default 1.6)")
+    subparser.add_argument("--capacity", type=int, default=2,
+                           help="front-end forward budget per tick (default 2)")
+    subparser.add_argument("--bulk-fraction", type=float, default=0.7,
+                           help="fraction of arrivals on the bulk lane")
+    subparser.add_argument("--window", type=int, default=50,
+                           help="telemetry window in ticks (default 50)")
+    subparser.add_argument(
+        "--bad-start", action="store_true",
+        help="start from the deliberately bad config the convergence "
+        "benchmark uses (wide Nagle, budget 1, starved credits)",
+    )
 
 
 def _add_transport_arg(subparser) -> None:
@@ -340,7 +462,8 @@ def main(argv: list[str] | None = None) -> int:
     trace.set_defaults(fn=_cmd_trace)
 
     top = sub.add_parser(
-        "top", help="aggregate per-stage latency quantiles over several runs"
+        "top", help="aggregate per-stage latency quantiles over several runs, "
+        "or watch a live telemetry dashboard (--live)"
     )
     top.add_argument("--deployment", choices=["offloaded", "core", "procs"],
                      default="offloaded")
@@ -349,7 +472,32 @@ def main(argv: list[str] | None = None) -> int:
                      help="number of traced runs to aggregate (default 3)")
     top.add_argument("--requests-per-batch", type=int, default=40,
                      help="requests per run (default 40)")
+    top.add_argument(
+        "--live", action="store_true",
+        help="drive the open-loop workload and refresh a telemetry "
+        "dashboard every window (stage table, SLO burn gauges, tuner "
+        "actions — docs/AUTOTUNE.md)",
+    )
+    top.add_argument("--tune", action="store_true",
+                     help="with --live: close the loop (arm the autotuner)")
+    _add_openloop_args(top)
     top.set_defaults(fn=_cmd_top)
+
+    tune = sub.add_parser(
+        "tune",
+        help="run the open-loop harness under the trace-driven autotuner "
+        "and print the decision log (docs/AUTOTUNE.md)",
+    )
+    _add_openloop_args(tune)
+    tune.add_argument("--static", action="store_true",
+                      help="observe without steering (static-config twin)")
+    tune.add_argument(
+        "--verify", action="store_true",
+        help="run twice and require identical decision fingerprints",
+    )
+    tune.add_argument("--json", action="store_true",
+                      help="emit the run summary as JSON")
+    tune.set_defaults(fn=_cmd_tune)
 
     metrics = sub.add_parser(
         "metrics",

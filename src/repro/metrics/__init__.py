@@ -1,11 +1,12 @@
 """Prometheus-style metrics and the monitoring/stability pipeline (§VI)."""
 
-from .exporters import EndpointExporter
+from .exporters import EndpointExporter, OverloadExporter
 from .monitor import MonitorError, Scraper, StabilityMonitor, TimeSeries
 from .registry import Counter, Gauge, Histogram, MetricError, MetricsRegistry, Sample
 
 __all__ = [
     "EndpointExporter",
+    "OverloadExporter",
     "MonitorError",
     "Scraper",
     "StabilityMonitor",

@@ -10,10 +10,26 @@ Layers (docs/OBSERVABILITY.md):
 * :mod:`repro.obs.perfetto` — Chrome/Perfetto ``trace_event`` JSON
   export and validation;
 * :mod:`repro.obs.runner` — the traced-workload driver behind the
-  ``repro trace`` / ``repro top`` / ``repro metrics`` CLI subcommands.
+  ``repro trace`` / ``repro top`` / ``repro metrics`` CLI subcommands;
+* :mod:`repro.obs.telemetry` — the streaming aggregator: windowed
+  snapshots folded from the live event stream (docs/AUTOTUNE.md);
+* :mod:`repro.obs.slo` — declarative SLO specs, multi-window burn-rate
+  tracking, and anomaly detection over telemetry snapshots.
 """
 
 from .perfetto import to_trace_events, validate_trace_events, write_trace
+from .slo import (
+    AnomalyDetector,
+    SloEvent,
+    SloSpec,
+    SloTracker,
+)
+from .telemetry import (
+    TelemetryHub,
+    TelemetrySnapshot,
+    exact_quantile,
+    render_dashboard,
+)
 from .timeline import (
     RequestTimeline,
     StageLatencyExporter,
@@ -53,4 +69,12 @@ __all__ = [
     "to_trace_events",
     "validate_trace_events",
     "write_trace",
+    "TelemetryHub",
+    "TelemetrySnapshot",
+    "exact_quantile",
+    "render_dashboard",
+    "AnomalyDetector",
+    "SloEvent",
+    "SloSpec",
+    "SloTracker",
 ]

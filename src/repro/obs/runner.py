@@ -134,7 +134,16 @@ def _build_offloaded(collector: TraceCollector, explicit_context: bool,
         return True
 
     endpoints = {"client": rdma.client, "server": rdma.server}
-    return issue, endpoints, rdma.close
+    # Overload-control sources for the merged scrape (`repro metrics`):
+    # absent subsystems (no admission controller armed, no breaker) are
+    # simply None/empty — OverloadExporter handles every shape.
+    overload = {
+        "stages": [front, rdma.server],
+        "admissions": [front.admission] if front.admission is not None else [],
+        "breaker": front.breaker,
+        "budget": channel.retry_budget,
+    }
+    return issue, endpoints, rdma.close, overload
 
 
 def _build_procs(collector: TraceCollector, explicit_context: bool,
@@ -151,7 +160,8 @@ def _build_procs(collector: TraceCollector, explicit_context: bool,
     sup = ProcSupervisor(schema, service, servicer, name="traceprocs", trace=True)
     sup.collector = collector
     sup.start()
-    calls = _bench_calls(schema, service, sup.xrpc_channel())
+    channel = sup.xrpc_channel()
+    calls = _bench_calls(schema, service, channel)
 
     def issue(i: int) -> bool:
         calls[i % len(calls)]()
@@ -161,7 +171,10 @@ def _build_procs(collector: TraceCollector, explicit_context: bool,
         sup.collect_traces()
         sup.stop()
 
-    return issue, {}, finalize
+    # The DPU/host overload sources live in the child processes; only
+    # the client-side retry budget is scrapeable from here.
+    overload = {"budget": channel.retry_budget}
+    return issue, {}, finalize, overload
 
 
 def _build_core(collector: TraceCollector, explicit_context: bool,
@@ -192,7 +205,8 @@ def _build_core(collector: TraceCollector, explicit_context: bool,
         return bool(done) and not (done[0] & Flags.ERROR)
 
     endpoints = {"client": channel.client, "server": channel.server}
-    return issue, endpoints, channel.close
+    overload = {"stages": [channel.server]}
+    return issue, endpoints, channel.close, overload
 
 
 _BUILDERS = {
@@ -224,7 +238,7 @@ def run_traced_workload(
         transport = "shm" if deployment == "procs" else "inproc"
     collector = collector or TraceCollector(ring=ring)
     registry = registry or MetricsRegistry()
-    issue, endpoints, finalize = _BUILDERS[deployment](
+    issue, endpoints, finalize, overload = _BUILDERS[deployment](
         collector, explicit_context, transport
     )
 
@@ -241,10 +255,16 @@ def run_traced_workload(
         if finalize is not None:
             finalize()
 
-    from repro.metrics import EndpointExporter
+    from repro.metrics import EndpointExporter, OverloadExporter
 
     for label, endpoint in endpoints.items():
         EndpointExporter(registry, endpoint, f"trace_{deployment}_{label}").update()
+
+    # The overload subsystem joins the same scrape: per-stage deadline
+    # drops, admission outcomes, breaker state, retry budget — whatever
+    # sources this deployment actually has (docs/OVERLOAD.md).  Before
+    # this bind, a plain `repro metrics` run silently omitted them.
+    OverloadExporter(registry, "overload", **overload).update()
 
     # Codec-layer counters: plan-cache traffic plus the generated-codec
     # tier (compiles, cache hits, source bytes, compile ns) land in the

@@ -171,16 +171,31 @@ class TailSampler:
     """Tail-based sampling: decide *after* completion which request
     timelines to keep.  Always keeps the slowest ``keep_slowest`` plus
     every errored / retried / failed-over / otherwise-exceptional
-    request (docs/OBSERVABILITY.md#sampling)."""
+    request (docs/OBSERVABILITY.md#sampling).
+
+    :meth:`sample` is the one-shot form.  Long-running collectors use
+    the streaming form instead — :meth:`retain` folds each batch's
+    keepers into a retained set, and :meth:`rebase` must be called
+    whenever the collector's epoch generation changes (``clear()``
+    bumps :attr:`~repro.obs.trace.TraceCollector.epoch_id`; a procs
+    supervisor's DPU respawn is a generation too).  Entries recorded
+    against an epoch older than ``keep_epochs`` generations are
+    evicted: timestamps from a dead epoch are not comparable to the
+    current one, so a pre-crash outlier would otherwise sit at the top
+    of the slowest-N list forever."""
 
     def __init__(self, keep_slowest: int = 10, keep_errored: bool = True,
                  keep_retried: bool = True, keep_failed_over: bool = True,
-                 keep_exceptional: bool = True) -> None:
+                 keep_exceptional: bool = True, keep_epochs: int = 1) -> None:
         self.keep_slowest = keep_slowest
         self.keep_errored = keep_errored
         self.keep_retried = keep_retried
         self.keep_failed_over = keep_failed_over
         self.keep_exceptional = keep_exceptional
+        self.keep_epochs = keep_epochs
+        self._epoch = 0
+        self._retained: list[tuple[int, RequestTimeline]] = []
+        self.evicted = 0
 
     def sample(self, timelines) -> list[RequestTimeline]:
         """The kept subset, in start-time order, with reasons recorded
@@ -190,10 +205,9 @@ class TailSampler:
         def mark(tl: RequestTimeline, why: str) -> None:
             keep.setdefault(id(tl), (tl, why))
 
-        for tl in sorted(timelines, key=lambda t: t.total, reverse=True)[
-            : self.keep_slowest
-        ]:
-            mark(tl, "slow")
+        # Exceptional reasons mark first: a request that is both errored
+        # and slowest-N keeps its exceptional label, so the streaming
+        # form never makes it compete for (and lose) a slow seat.
         for tl in timelines:
             if self.keep_errored and tl.errored:
                 mark(tl, "errored")
@@ -203,6 +217,10 @@ class TailSampler:
                 mark(tl, "failed_over")
             elif self.keep_exceptional and tl.exceptional:
                 mark(tl, "exceptional")
+        for tl in sorted(timelines, key=lambda t: t.total, reverse=True)[
+            : self.keep_slowest
+        ]:
+            mark(tl, "slow")
         out = []
         for tl, why in keep.values():
             for ev in tl.events:
@@ -212,6 +230,56 @@ class TailSampler:
             out.append(tl)
         out.sort(key=lambda tl: tl.start)
         return out
+
+    # -- streaming form (long-running / procs collectors) -----------------
+
+    @staticmethod
+    def _why(tl: RequestTimeline) -> str:
+        for ev in tl.events:
+            if ev.ctx is not None:
+                return ev.ctx.attrs.get("sampled_because", "slow")
+        return "slow"
+
+    def rebase(self, epoch: int) -> int:
+        """Note the collector's current epoch generation (its
+        ``epoch_id``, or a supervisor respawn counter).  Retained
+        timelines more than ``keep_epochs`` generations behind are
+        evicted; returns how many."""
+        if epoch == self._epoch:
+            return 0
+        self._epoch = epoch
+        horizon = epoch - self.keep_epochs
+        before = len(self._retained)
+        self._retained = [(e, tl) for e, tl in self._retained if e >= horizon]
+        evicted = before - len(self._retained)
+        self.evicted += evicted
+        return evicted
+
+    def retain(self, timelines, epoch: int | None = None) -> list[RequestTimeline]:
+        """Fold one batch's keepers into the retained set (tagging them
+        with the current epoch — pass ``epoch`` to rebase in the same
+        call) and re-rank: exceptional keeps accumulate, slow keeps
+        compete for ``keep_slowest`` seats *within the live epochs
+        only*.  Returns the batch's own keepers."""
+        if epoch is not None:
+            self.rebase(epoch)
+        kept = self.sample(timelines)
+        self._retained.extend((self._epoch, tl) for tl in kept)
+        slow = [(e, tl) for e, tl in self._retained if self._why(tl) == "slow"]
+        if len(slow) > self.keep_slowest:
+            slow.sort(key=lambda pair: pair[1].total, reverse=True)
+            losers = {id(tl) for _, tl in slow[self.keep_slowest:]}
+            self._retained = [
+                (e, tl) for e, tl in self._retained if id(tl) not in losers
+            ]
+        return kept
+
+    def retained(self) -> list[RequestTimeline]:
+        """The surviving sample across every live epoch, oldest epoch
+        first, start-time ordered within an epoch."""
+        return [tl for _, tl in sorted(
+            self._retained, key=lambda pair: (pair[0], pair[1].start)
+        )]
 
 
 #: Buckets tuned for in-process stage gaps: sub-µs hooks up to ms-scale

@@ -86,6 +86,11 @@ class Stage:
     DEGRADE = "degrade"                  # degradation ladder stepped up
     RECOVER = "recover"                  # degradation ladder stepped down
     BREAKER_FALLBACK = "breaker_fallback"  # breaker denied the offload path
+    # -- the closed observability loop (docs/AUTOTUNE.md) -----------------
+    SLO_BURN = "slo_burn"                # an SLO's error budget is burning
+    SLO_RECOVERED = "slo_recovered"      # burn dropped back under 1x
+    ANOMALY = "stage_anomaly"            # stage gap outside median±k·MAD
+    TUNE = "tune"                        # one autotuner decision
 
     #: stages whose presence marks a request as error-afflicted for the
     #: tail sampler (docs/OBSERVABILITY.md#sampling)
@@ -175,7 +180,11 @@ class StageRecorder:
         """Record one stage crossing for ``ctx`` (None = global)."""
         if ts is None:
             ts = self._clock() - self._epoch
-        self._ring.append(StageEvent(ctx, stage, self.component, ts, dur, attrs))
+        ev = StageEvent(ctx, stage, self.component, ts, dur, attrs)
+        self._ring.append(ev)
+        sink = self.collector.sink
+        if sink is not None:
+            sink.offer(ev)
 
     def instant(self, stage: str, **attrs) -> None:
         """Component-global event with no request context."""
@@ -194,9 +203,24 @@ class TraceCollector:
         self.ring = ring
         self.clock = clock or time.perf_counter
         self.epoch = self.clock()
+        #: generation counter for the epoch: bumped on every :meth:`clear`
+        #: so consumers retaining state across rebases (the streaming
+        #: :class:`~repro.obs.timeline.TailSampler`) can evict entries
+        #: recorded against a dead epoch.
+        self.epoch_id = 0
+        #: optional streaming consumer (``offer(event)`` — the telemetry
+        #: aggregator); None keeps the record path a plain ring append.
+        self.sink = None
         self._rings: dict[str, deque] = {}
         self._recorders: dict[str, StageRecorder] = {}
         self._context_words = iter(range(1, 1 << 62))
+
+    def attach_sink(self, sink):
+        """Stream every recorded event into ``sink.offer(event)`` as it
+        happens (the incremental path of :mod:`repro.obs.telemetry` —
+        no ring rescans).  Returns the sink; pass None to detach."""
+        self.sink = sink
+        return sink
 
     def recorder(self, component: str) -> StageRecorder:
         """The (memoized) recorder for one component name."""
@@ -227,6 +251,7 @@ class TraceCollector:
         for ring in self._rings.values():
             ring.clear()
         self.epoch = self.clock()
+        self.epoch_id += 1
         for rec in self._recorders.values():
             rec._epoch = self.epoch
 
@@ -314,11 +339,19 @@ def import_events(collector: TraceCollector, snapshot: dict,
     offset = snapshot["epoch"] - collector.epoch
     contexts = [TraceContext(tid=tid, **attrs) for tid, attrs in snapshot["contexts"]]
     n = 0
-    for key, stage, component, ts, dur, attrs in snapshot["events"]:
+    # The snapshot groups events by ring (component); a streaming sink
+    # needs them in causal (timestamp) order or its gap attribution sees
+    # components out of sequence.  Ring membership is unaffected.
+    records = sorted(snapshot["events"], key=lambda rec: rec[3])
+    sink = collector.sink
+    for key, stage, component, ts, dur, attrs in records:
         comp = component_prefix + component
         ring = collector._rings.setdefault(comp, deque(maxlen=collector.ring))
         ctx = contexts[key] if key is not None else None
-        ring.append(StageEvent(ctx, stage, comp, ts + offset, dur, attrs))
+        ev = StageEvent(ctx, stage, comp, ts + offset, dur, attrs)
+        ring.append(ev)
+        if sink is not None:
+            sink.offer(ev)
         n += 1
     return n
 

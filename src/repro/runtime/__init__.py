@@ -12,6 +12,7 @@ module level — every layer (core, xrpc, sim) imports *it*, so it must
 sit at the bottom of the dependency stack.
 """
 
+from .autotune import AutoTuner, Knob, KnobSet, TuneDecision
 from .degradation import (
     DegradationEvent,
     DegradationManager,
@@ -97,4 +98,8 @@ __all__ = [
     "DegradationManager",
     "DegradationStep",
     "standard_ladder",
+    "AutoTuner",
+    "Knob",
+    "KnobSet",
+    "TuneDecision",
 ]

@@ -1,0 +1,326 @@
+"""Trace-driven autotuning: guarded hill-climbing over live knobs.
+
+The control half of the closed observability loop (docs/AUTOTUNE.md).
+The telemetry hub turns the trace stream into windowed snapshots; this
+module turns snapshots into knob movements.  RPCAcc (PAPERS.md)
+reconfigures its datapath per workload offline; this is the online
+version — one guarded step per observation window, scored only by what
+the telemetry actually measured.
+
+Like :mod:`repro.runtime.overload`, this module imports nothing from
+the rest of ``repro``: a :class:`Knob` is a named setter over an ordered
+value ladder, a snapshot is anything the caller's ``score_fn`` can read,
+and burn is a scalar the caller supplies (the SLO tracker's worst
+short-horizon burn).  The wiring — which knobs exist, what score means,
+where decisions are traced — lives with the harness
+(:func:`repro.workloads.openloop.run_autotuned`).
+
+The control discipline, in order of importance:
+
+1. **One step at a time.**  Exactly one knob moves per observation
+   window, so the next window's delta is attributable to it.
+2. **Hysteresis.**  After any action the tuner *holds* for
+   ``hold_windows`` windows, rebuilding a stable baseline before acting
+   again — reacting to a single window chases noise.
+3. **Rollback.**  A step is probed for ``probe_windows`` windows (the
+   mean score judged against the pre-step baseline, within
+   ``tolerance``) and must not push SLO burn past ``burn_floor`` — or
+   past the pre-step burn, whichever is higher — at any probe window;
+   otherwise the knob snaps back and that direction goes on cooldown.
+   Judging a probe on the same number of windows the baseline averaged
+   keeps the comparison symmetric — a single noisy window can neither
+   sell a bad step nor sink a good one.  The datapath is never left
+   running a config the telemetry judged worse.
+4. **Momentum.**  An accepted step retries the same knob and direction
+   next time — hill climbing walks a monotone slope in
+   ``hold_windows``-sized strides instead of re-discovering it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+__all__ = [
+    "Knob",
+    "KnobSet",
+    "TuneDecision",
+    "AutoTuner",
+]
+
+
+class Knob:
+    """One live-adjustable parameter: a name, an ordered value ladder
+    (the safe range — the tuner never leaves it), and a setter that
+    applies a value to the running datapath."""
+
+    __slots__ = ("name", "values", "apply", "index")
+
+    def __init__(self, name: str, values, apply, initial_index: int = 0) -> None:
+        values = list(values)
+        if not values:
+            raise ValueError(f"knob {name!r} needs at least one value")
+        if not 0 <= initial_index < len(values):
+            raise ValueError(f"knob {name!r}: initial index out of range")
+        self.name = name
+        self.values = values
+        self.apply = apply
+        self.index = initial_index
+
+    @property
+    def value(self):
+        return self.values[self.index]
+
+    def set_index(self, index: int) -> None:
+        self.index = index
+        self.apply(self.values[index])
+
+    def can_step(self, direction: int) -> bool:
+        return 0 <= self.index + direction < len(self.values)
+
+
+class KnobSet:
+    """Ordered collection the tuner walks round-robin."""
+
+    def __init__(self, knobs) -> None:
+        self.knobs = list(knobs)
+        names = [k.name for k in self.knobs]
+        if len(set(names)) != len(names):
+            raise ValueError("knob names must be unique")
+
+    def __iter__(self):
+        return iter(self.knobs)
+
+    def __len__(self) -> int:
+        return len(self.knobs)
+
+    def get(self, name: str) -> Knob:
+        for knob in self.knobs:
+            if knob.name == name:
+                return knob
+        raise KeyError(name)
+
+    def config(self) -> dict:
+        """Current value per knob (the dashboard / result surface)."""
+        return {knob.name: knob.value for knob in self.knobs}
+
+
+class TuneDecision:
+    """One logged controller action (every one becomes a traced ``tune``
+    stage, so Perfetto shows the loop acting on the datapath)."""
+
+    __slots__ = ("window", "action", "knob", "old_value", "new_value",
+                 "score", "baseline", "burn", "reason")
+
+    #: action vocabulary
+    STEP = "step"          # probing a new value
+    ACCEPT = "accept"      # probe beat the baseline; value kept
+    ROLLBACK = "rollback"  # probe lost; value reverted, direction cooled
+    HOLD = "hold"          # observing; no movement this window
+
+    def __init__(self, window: int, action: str, knob: str | None,
+                 old_value, new_value, score: float, baseline: float,
+                 burn: float, reason: str) -> None:
+        self.window = window
+        self.action = action
+        self.knob = knob
+        self.old_value = old_value
+        self.new_value = new_value
+        self.score = score
+        self.baseline = baseline
+        self.burn = burn
+        self.reason = reason
+
+    def render(self) -> str:
+        move = (
+            f"{self.knob}: {self.old_value} -> {self.new_value}"
+            if self.knob is not None else "-"
+        )
+        return (
+            f"w{self.window:<4} {self.action:<8} {move:<28} "
+            f"score={self.score:.3f} base={self.baseline:.3f} "
+            f"burn={self.burn:.2f}x ({self.reason})"
+        )
+
+    def fingerprint_line(self) -> str:
+        return (
+            f"tune:{self.window}:{self.action}:{self.knob}:"
+            f"{self.old_value}:{self.new_value}:{self.score:.4f}:{self.burn:.3f}"
+        )
+
+
+class AutoTuner:
+    """Guarded-step hill climber over a :class:`KnobSet`.
+
+    ``score_fn(snapshot) -> float`` defines "better" (higher wins); the
+    harness composes it from goodput and lane-latency terms, which is
+    where lane-awareness lives — a latency-lane p99 penalty makes the
+    tuner back off batching the moment the fast lane pays for bulk
+    throughput.  Call :meth:`observe` once per sealed telemetry window
+    (wire it as a hub listener); ``burn`` is the SLO tracker's worst
+    short-horizon burn at that window, and any action the tuner takes is
+    returned (and appended to :attr:`decisions`)."""
+
+    def __init__(self, knobs: KnobSet, score_fn, tolerance: float = 0.02,
+                 hold_windows: int = 2, cooldown: int = 4,
+                 warmup_windows: int = 2, probe_windows: int | None = None,
+                 burn_floor: float = 1.0, max_decisions: int = 4096) -> None:
+        if isinstance(knobs, (list, tuple)):
+            knobs = KnobSet(knobs)
+        self.knobs = knobs
+        self.score_fn = score_fn
+        self.tolerance = tolerance
+        self.hold_windows = hold_windows
+        self.cooldown = cooldown
+        self.warmup_windows = warmup_windows
+        #: windows a probe runs before judgement (default: the same
+        #: count the baseline averaged, so the comparison is symmetric)
+        self.probe_windows = hold_windows if probe_windows is None else probe_windows
+        #: burn level below which the rollback guard stays quiet.  The
+        #: caller sets this above the burn a *single* violating window
+        #: produces inside the tracker's short horizon (1/short/budget),
+        #: so transient noise cannot revert a step the score accepted —
+        #: only sustained burn can.
+        self.burn_floor = burn_floor
+        self.decisions: deque = deque(maxlen=max_decisions)
+        self.windows_seen = 0
+        self.steps = 0
+        self.accepts = 0
+        self.rollbacks = 0
+        # -- controller state ---------------------------------------------
+        self._probe = None          # (knob, old_index, direction, baseline, burn)
+        self._probe_scores: list = []
+        self._probe_burn = 0.0
+        self._hold_scores: deque = deque(maxlen=max(1, hold_windows))
+        self._held = 0
+        self._rr = 0                # round-robin cursor into the knob set
+        self._momentum = None       # (knob_name, direction) to retry first
+        self._cooldowns: dict = {}  # (knob_name, direction) -> windows left
+        self._direction: dict = {knob.name: +1 for knob in self.knobs}
+
+    # -- the per-window entry point ---------------------------------------
+
+    def observe(self, snapshot, burn: float = 0.0) -> TuneDecision | None:
+        """Fold one telemetry window in; returns the action taken, or
+        None while warming up with nothing to log."""
+        self.windows_seen += 1
+        window = getattr(snapshot, "window", self.windows_seen - 1)
+        score = self.score_fn(snapshot)
+        for key in list(self._cooldowns):
+            self._cooldowns[key] -= 1
+            if self._cooldowns[key] <= 0:
+                del self._cooldowns[key]
+
+        if self._probe is not None:
+            self._probe_scores.append(score)
+            self._probe_burn = max(self._probe_burn, burn)
+            if len(self._probe_scores) < self.probe_windows:
+                return None  # still probing: judge on the full window set
+            return self._judge_probe(window)
+
+        self._hold_scores.append(score)
+        self._held += 1
+        if self.windows_seen <= self.warmup_windows or self._held < self.hold_windows:
+            return None
+        return self._try_step(window, score, burn)
+
+    # -- probe lifecycle ---------------------------------------------------
+
+    def _judge_probe(self, window: int) -> TuneDecision:
+        knob, old_index, direction, baseline, base_burn = self._probe
+        score = sum(self._probe_scores) / len(self._probe_scores)
+        burn = self._probe_burn
+        self._probe = None
+        self._probe_scores = []
+        self._probe_burn = 0.0
+        self._held = 0
+        self._hold_scores.clear()
+        burn_worsened = burn > max(self.burn_floor, base_burn + 1e-9)
+        score_ok = score >= baseline * (1.0 - self.tolerance)
+        if score_ok and not burn_worsened:
+            self.accepts += 1
+            self._momentum = (knob.name, direction)
+            self._direction[knob.name] = direction
+            # seed the next baseline with the probe mean itself: the
+            # accepted config produced it, and momentum wants to move
+            # again after hold_windows, not rebuild from nothing.
+            self._hold_scores.append(score)
+            self._held = 1
+            decision = TuneDecision(
+                window, TuneDecision.ACCEPT, knob.name,
+                knob.values[old_index], knob.value, score, baseline, burn,
+                "score held" if score < baseline else "score improved",
+            )
+        else:
+            self.rollbacks += 1
+            knob.set_index(old_index)
+            self._momentum = None
+            self._cooldowns[(knob.name, direction)] = self.cooldown
+            reason = "slo burn worsened" if burn_worsened else "score regressed"
+            decision = TuneDecision(
+                window, TuneDecision.ROLLBACK, knob.name,
+                knob.values[old_index + direction], knob.value,
+                score, baseline, burn, reason,
+            )
+        self.decisions.append(decision)
+        return decision
+
+    def _try_step(self, window: int, score: float, burn: float) -> TuneDecision | None:
+        baseline = sum(self._hold_scores) / len(self._hold_scores)
+        choice = self._pick(burn)
+        if choice is None:
+            self._held = 0  # keep observing; every direction is cooled/parked
+            return None
+        knob, direction = choice
+        old_index = knob.index
+        knob.set_index(old_index + direction)
+        self.steps += 1
+        self._probe = (knob, old_index, direction, baseline, burn)
+        decision = TuneDecision(
+            window, TuneDecision.STEP, knob.name,
+            knob.values[old_index], knob.value, score, baseline, burn,
+            "momentum" if self._momentum == (knob.name, direction) else "explore",
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _pick(self, burn: float):
+        """Next (knob, direction) to probe: momentum first, then
+        round-robin through the set, preferring each knob's last good
+        direction and skipping cooled-down moves."""
+        if self._momentum is not None:
+            name, direction = self._momentum
+            knob = self.knobs.get(name)
+            if knob.can_step(direction) and (name, direction) not in self._cooldowns:
+                return knob, direction
+            self._momentum = None
+        n = len(self.knobs)
+        for i in range(n):
+            knob = self.knobs.knobs[(self._rr + i) % n]
+            preferred = self._direction[knob.name]
+            for direction in (preferred, -preferred):
+                if not knob.can_step(direction):
+                    continue
+                if (knob.name, direction) in self._cooldowns:
+                    continue
+                self._rr = (self._rr + i + 1) % n
+                return knob, direction
+        return None
+
+    # -- result surface ----------------------------------------------------
+
+    def config(self) -> dict:
+        return self.knobs.config()
+
+    def fingerprint_lines(self):
+        for decision in self.decisions:
+            yield decision.fingerprint_line()
+
+    def fingerprint(self) -> str:
+        """sha256 over the decision log — the determinism contract the
+        CI smoke job verifies (same seed, same decisions, same hash)."""
+        h = hashlib.sha256()
+        for line in self.fingerprint_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()

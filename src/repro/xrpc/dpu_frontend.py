@@ -149,7 +149,7 @@ class OffloadedXrpcServer:
                 forwarded += 1
                 self._forward(
                     conn, frame.call_id, frame.method, frame.message,
-                    frame.wire_mode, frame.deadline_word,
+                    frame.wire_mode, frame.deadline_word, lane,
                 )
         self.dpu.progress(budget)
         self._connections = [c for c in self._connections if not c.socket.eof()]
@@ -215,7 +215,7 @@ class OffloadedXrpcServer:
 
     def _forward(
         self, conn: _Connection, call_id: int, method: str, payload: bytes,
-        wire_mode: int = 0, deadline_word: int = 0,
+        wire_mode: int = 0, deadline_word: int = 0, lane: int = 0,
     ) -> None:
         method_id = self._method_ids.get(method)
         if method_id is None:
@@ -224,7 +224,7 @@ class OffloadedXrpcServer:
         self.requests_forwarded += 1
         ctx = None
         if self.trace is not None:
-            ctx = self.trace.context(method=method, call_id=call_id)
+            ctx = self.trace.context(method=method, call_id=call_id, lane=lane)
             self.trace.event(ctx, "ingress", bytes=len(payload))
         # Offload-path circuit breaker (repro.runtime.overload): while
         # open, route through host-parse fallback even though the DPU is

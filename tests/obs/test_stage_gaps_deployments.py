@@ -1,0 +1,113 @@
+"""stage_gaps() attribution across all three deployments.
+
+The same offloaded request must tell the same story — the identical
+lifecycle stage ordering — whether the stack runs in one process
+(inproc), on the shared-memory fabric (shm), or split across three OS
+processes (procs).  And after the procs children's rings are merged and
+re-based onto the parent's clock, no gap may come out negative: a
+negative gap means the re-basing mixed epochs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.runner import run_traced_workload
+
+#: lifecycle stages in canonical order (docs/OBSERVABILITY.md); every
+#: deployment's datapath timeline must present its stages in this
+#: relative order, whatever subset it records.
+_LIFECYCLE_ORDER = [
+    "ingress", "enqueue", "deserialize", "block_seal", "transmit",
+    "deliver", "dispatch", "callback", "response_emit",
+    "response_deliver", "respond",
+]
+_RANK = {stage: i for i, stage in enumerate(_LIFECYCLE_ORDER)}
+
+
+def _datapath(result):
+    # The datapath stream is named "rdma" in-process and after the
+    # supervisor in the procs deployment; select by shape instead.
+    tls = [tl for tl in result.timelines if "ingress" in tl.stages()]
+    assert tls, "no datapath timelines stitched"
+    return tls
+
+
+def _lifecycle_sequence(tl):
+    """The timeline's lifecycle stages in recorded (timestamp) order,
+    first occurrence only (retries may repeat a stage)."""
+    seen = []
+    for stage in tl.stages():
+        if stage in _RANK and stage not in seen:
+            seen.append(stage)
+    return seen
+
+
+class _GapContract:
+    """Shared assertions, parameterized by deployment fixture."""
+
+    def test_stage_ordering_is_canonical(self, result):
+        for tl in _datapath(result):
+            seq = _lifecycle_sequence(tl)
+            ranks = [_RANK[s] for s in seq]
+            assert ranks == sorted(ranks), (
+                f"{result.deployment}: stages out of canonical order: {seq}"
+            )
+
+    def test_no_negative_gaps(self, result):
+        for tl in _datapath(result):
+            for component, stage, seconds in tl.stage_gaps():
+                assert seconds >= 0.0, (
+                    f"{result.deployment}: negative gap "
+                    f"{seconds} at {component}/{stage}"
+                )
+
+    def test_gaps_cover_every_stage_after_the_first(self, result):
+        # Every recorded event except the very first contributes a gap
+        # entry — nothing silently drops out of the attribution.
+        for tl in _datapath(result):
+            assert len(tl.stage_gaps()) == len(tl.events) - 1
+
+    def test_end_to_end_is_positive(self, result):
+        for tl in _datapath(result):
+            assert tl.total > 0.0
+
+
+class TestInprocGaps(_GapContract):
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_traced_workload("offloaded", requests=9, transport="inproc")
+
+
+class TestShmGaps(_GapContract):
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_traced_workload("offloaded", requests=9, transport="shm")
+
+
+class TestProcsGaps(_GapContract):
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Three OS processes; child rings merge + re-base at teardown.
+        return run_traced_workload("procs", requests=9)
+
+
+class TestCrossDeploymentAgreement:
+    def test_all_deployments_tell_the_same_story(self):
+        """One request's lifecycle sequence is deployment-invariant."""
+        sequences = {}
+        for deployment, kw in (
+            ("offloaded", {"transport": "inproc"}),
+            ("offloaded", {"transport": "shm"}),
+            ("procs", {}),
+        ):
+            result = run_traced_workload(deployment, requests=3, **kw)
+            tl = _datapath(result)[0]
+            key = kw.get("transport", deployment)
+            sequences[key] = _lifecycle_sequence(tl)
+        inproc, shm, procs = (
+            sequences["inproc"], sequences["shm"], sequences[("procs")]
+        )
+        assert inproc == shm, (inproc, shm)
+        # the procs deployment traces the same datapath components from
+        # two child processes; the merged ordering must match too
+        assert procs == inproc, (procs, inproc)

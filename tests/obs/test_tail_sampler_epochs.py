@@ -1,0 +1,93 @@
+"""The TailSampler streaming form: retention across collector epoch
+rebases (satellite of the closed-loop PR — a pre-rebase outlier must not
+squat in the slowest-N list forever)."""
+
+from __future__ import annotations
+
+from repro.obs import RequestTimeline, StageEvent, TailSampler, TraceCollector, TraceContext
+
+
+def make_timeline(tid, start, total, stage="dispatch"):
+    ctx = TraceContext(tid=tid)
+    events = [
+        StageEvent(ctx, "ingress", "c", start, 0.0, {}),
+        StageEvent(ctx, stage, "c", start + total, 0.0, {}),
+    ]
+    return RequestTimeline(tid, events)
+
+
+class TestEpochRetention:
+    def test_retain_accumulates_within_epoch(self):
+        sampler = TailSampler(keep_slowest=2)
+        kept = sampler.retain([make_timeline(("t", 1), 0.0, 1.0)])
+        assert len(kept) == 1
+        sampler.retain([make_timeline(("t", 2), 1.0, 2.0)])
+        assert [tl.tid for tl in sampler.retained()] == [("t", 1), ("t", 2)]
+
+    def test_slow_keeps_compete_across_batches(self):
+        sampler = TailSampler(keep_slowest=2)
+        sampler.retain([make_timeline(("t", i), float(i), float(i + 1))
+                        for i in range(2)])  # totals 1, 2
+        sampler.retain([make_timeline(("t", 9), 9.0, 10.0)])  # total 10
+        retained = sampler.retained()
+        # only 2 slow seats: the total=1 timeline lost its seat
+        assert len(retained) == 2
+        assert {tl.tid for tl in retained} == {("t", 1), ("t", 9)}
+
+    def test_rebase_evicts_stale_epochs(self):
+        sampler = TailSampler(keep_slowest=4, keep_epochs=1)
+        sampler.retain([make_timeline(("old", 1), 0.0, 5.0)], epoch=0)
+        sampler.retain([make_timeline(("mid", 1), 0.0, 1.0)], epoch=1)
+        # old epoch still within keep_epochs=1 of epoch 1
+        assert len(sampler.retained()) == 2
+        evicted = sampler.rebase(2)
+        assert evicted == 1
+        assert [tl.tid for tl in sampler.retained()] == [("mid", 1)]
+        assert sampler.evicted == 1
+
+    def test_pre_rebase_outlier_cannot_squat(self):
+        # The motivating bug: a huge-total timeline from a dead epoch
+        # (its timestamps are not comparable post-clear) must stop
+        # occupying a slowest-N seat once the epoch ages out.
+        sampler = TailSampler(keep_slowest=1, keep_epochs=0)
+        sampler.retain([make_timeline(("pre", 1), 0.0, 100.0)], epoch=0)
+        kept = sampler.retain([make_timeline(("post", 1), 0.0, 0.5)], epoch=1)
+        assert len(kept) == 1
+        assert [tl.tid for tl in sampler.retained()] == [("post", 1)]
+
+    def test_exceptional_keeps_survive_slow_competition(self):
+        sampler = TailSampler(keep_slowest=1)
+        errored = make_timeline(("err", 1), 0.0, 0.1)
+        errored.events[1].attrs["flags"] = 1  # Flags.ERROR
+        sampler.retain([errored])
+        sampler.retain([make_timeline(("slow", 1), 1.0, 5.0)])
+        retained = sampler.retained()
+        # the errored keep is not competing for the single slow seat
+        assert {tl.tid for tl in retained} == {("err", 1), ("slow", 1)}
+
+    def test_collector_clear_bumps_epoch_id(self):
+        collector = TraceCollector(clock=lambda: 0.0)
+        rec = collector.recorder("c")
+        rec.instant("reset")
+        assert collector.epoch_id == 0
+        collector.clear()
+        assert collector.epoch_id == 1
+        assert collector.events() == []
+
+    def test_rebase_with_collector_epoch_id(self):
+        # The intended wiring: tag batches with collector.epoch_id and
+        # let clear() age them out.
+        collector = TraceCollector(clock=lambda: 0.0)
+        sampler = TailSampler(keep_slowest=4, keep_epochs=0)
+        sampler.retain([make_timeline(("a", 1), 0.0, 1.0)],
+                       epoch=collector.epoch_id)
+        collector.clear()
+        sampler.retain([make_timeline(("b", 1), 0.0, 1.0)],
+                       epoch=collector.epoch_id)
+        assert [tl.tid for tl in sampler.retained()] == [("b", 1)]
+
+    def test_rebase_same_epoch_is_noop(self):
+        sampler = TailSampler()
+        sampler.retain([make_timeline(("a", 1), 0.0, 1.0)], epoch=3)
+        assert sampler.rebase(3) == 0
+        assert len(sampler.retained()) == 1

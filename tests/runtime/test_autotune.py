@@ -1,0 +1,169 @@
+"""The guarded hill climber: stepping, rollback, hysteresis, momentum,
+cooldowns, and fingerprint determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import AutoTuner, Knob, KnobSet, TuneDecision
+
+
+class Snap:
+    def __init__(self, window, value):
+        self.window = window
+        self.value = value
+
+
+def make_tuner(values=(1, 2, 4, 8), score=None, applied=None, cooldown=2, **kw):
+    """One knob whose applied values are recorded; score reads a table
+    mapping knob value -> score (so the climb surface is explicit)."""
+    applied = applied if applied is not None else []
+    knob = Knob("k", list(values), applied.append, initial_index=0)
+    table = score or {}
+    kw.setdefault("warmup_windows", 0)
+    kw.setdefault("hold_windows", 1)
+    tuner = AutoTuner(
+        KnobSet([knob]),
+        lambda snap: table.get(knob.value, snap.value),
+        cooldown=cooldown, **kw,
+    )
+    return tuner, knob, applied
+
+
+def drive(tuner, scores, burns=None):
+    decisions = []
+    for i, s in enumerate(scores):
+        burn = (burns or {}).get(i, 0.0)
+        decisions.append(tuner.observe(Snap(i, s), burn=burn))
+    return decisions
+
+
+class TestKnob:
+    def test_ladder_validation(self):
+        with pytest.raises(ValueError):
+            Knob("k", [], lambda v: None)
+        with pytest.raises(ValueError):
+            Knob("k", [1, 2], lambda v: None, initial_index=5)
+
+    def test_set_index_applies(self):
+        seen = []
+        knob = Knob("k", [1, 2, 4], seen.append)
+        knob.set_index(2)
+        assert knob.value == 4
+        assert seen == [4]
+
+    def test_can_step_bounds(self):
+        knob = Knob("k", [1, 2], lambda v: None)
+        assert knob.can_step(+1)
+        assert not knob.can_step(-1)
+
+    def test_knobset_unique_names(self):
+        with pytest.raises(ValueError):
+            KnobSet([Knob("k", [1], lambda v: None),
+                     Knob("k", [2], lambda v: None)])
+
+    def test_knobset_config(self):
+        ks = KnobSet([Knob("a", [1, 2], lambda v: None, initial_index=1),
+                      Knob("b", ["x"], lambda v: None)])
+        assert ks.config() == {"a": 2, "b": "x"}
+
+
+class TestClimbing:
+    def test_accepts_improving_step(self):
+        # score improves with the knob value: the tuner should step,
+        # see a better probe window, and keep the move.
+        surface = {1: 1.0, 2: 2.0, 4: 3.0, 8: 4.0}
+        tuner, knob, applied = make_tuner(score=surface)
+        drive(tuner, [0] * 4)
+        assert knob.value > 1
+        assert tuner.accepts >= 1
+        assert tuner.rollbacks == 0
+        actions = [d.action for d in tuner.decisions]
+        assert actions[:2] == [TuneDecision.STEP, TuneDecision.ACCEPT]
+
+    def test_momentum_retries_same_direction(self):
+        surface = {1: 1.0, 2: 2.0, 4: 3.0, 8: 4.0}
+        tuner, knob, _ = make_tuner(score=surface)
+        drive(tuner, [0] * 12)
+        # monotone slope: every step climbs, ending at the ladder top
+        assert knob.value == 8
+        steps = [d for d in tuner.decisions if d.action == TuneDecision.STEP]
+        assert any(d.reason == "momentum" for d in steps[1:])
+
+    def test_rollback_on_score_regression(self):
+        surface = {1: 2.0, 2: 0.5}  # stepping up is strictly worse
+        tuner, knob, _ = make_tuner(score=surface)
+        drive(tuner, [0] * 3)  # step, judged rollback, parked on cooldown
+        assert knob.value == 1  # snapped back
+        assert tuner.rollbacks == 1
+        rollback = [d for d in tuner.decisions
+                    if d.action == TuneDecision.ROLLBACK][0]
+        assert rollback.reason == "score regressed"
+
+    def test_rollback_on_burn_worsening(self):
+        # score would accept, but the probe window's burn went past 1x
+        surface = {1: 1.0, 2: 5.0}
+        tuner, knob, _ = make_tuner(score=surface)
+        tuner.observe(Snap(0, 0))            # hold -> step (burn 0)
+        assert tuner.decisions[-1].action == TuneDecision.STEP
+        tuner.observe(Snap(1, 0), burn=2.0)  # probe judged under burn
+        assert knob.value == 1
+        assert tuner.decisions[-1].reason == "slo burn worsened"
+
+    def test_rolled_back_direction_goes_on_cooldown(self):
+        surface = {1: 2.0, 2: 0.5}
+        tuner, knob, _ = make_tuner(values=(1, 2), score=surface, cooldown=6)
+        drive(tuner, [0] * 2)  # step, judged rollback
+        assert tuner.rollbacks == 1
+        steps_before = tuner.steps
+        # the only available move is on cooldown: the tuner just observes
+        drive(tuner, [0] * 4)
+        assert tuner.steps == steps_before
+
+    def test_hysteresis_holds_between_actions(self):
+        surface = {1: 1.0, 2: 1.0}
+        tuner, _, _ = make_tuner(values=(1, 2), score=surface,
+                                 hold_windows=3)
+        tuner._held = 0
+        decisions = drive(tuner, [0] * 3)
+        # first two windows rebuild the baseline; only the third may act
+        assert decisions[0] is None and decisions[1] is None
+        assert decisions[2] is not None
+
+    def test_warmup_windows_defer_first_step(self):
+        applied = []
+        knob = Knob("k", [1, 2], applied.append)
+        tuner = AutoTuner(KnobSet([knob]), lambda s: 1.0,
+                          warmup_windows=3, hold_windows=1)
+        decisions = drive(tuner, [0] * 3)
+        assert decisions == [None, None, None]
+        assert tuner.steps == 0
+
+    def test_exactly_one_knob_moves_per_window(self):
+        knobs = [Knob(n, [1, 2, 4], lambda v: None) for n in "abc"]
+        tuner = AutoTuner(KnobSet(knobs), lambda s: 1.0,
+                          warmup_windows=0, hold_windows=1)
+        for i in range(10):
+            before = [k.index for k in knobs]
+            tuner.observe(Snap(i, 0))
+            moved = sum(1 for k, b in zip(knobs, before) if k.index != b)
+            assert moved <= 1
+
+
+class TestFingerprint:
+    def run_once(self):
+        surface = {1: 1.0, 2: 2.0, 4: 1.5, 8: 0.5}
+        tuner, _, _ = make_tuner(score=surface)
+        drive(tuner, [0] * 16)
+        return tuner.fingerprint(), [d.fingerprint_line() for d in tuner.decisions]
+
+    def test_deterministic(self):
+        fp1, lines1 = self.run_once()
+        fp2, lines2 = self.run_once()
+        assert lines1 and fp1 == fp2 and lines1 == lines2
+
+    def test_fingerprint_covers_every_decision(self):
+        surface = {1: 1.0, 2: 2.0}
+        tuner, _, _ = make_tuner(values=(1, 2), score=surface)
+        drive(tuner, [0] * 6)
+        assert len(list(tuner.fingerprint_lines())) == len(tuner.decisions)
